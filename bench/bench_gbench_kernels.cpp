@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the kernel inner loops: per-edge
+// fold throughput across head dimensions, flash tile-width sweep
+// (§VI-A's "naive and untuned" GPU parameters, explored on the CPU
+// substrate), and mask-construction cost.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/flash_attention.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/nnz.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace gpa;
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+/// Edge-fold throughput: local attention, fixed edge count, varying dk.
+/// items_per_second reports edges/s; the paper's work-optimality claim
+/// says runtime tracks edge count × d.
+void BM_LocalEdgeThroughput(benchmark::State& state) {
+  const Index L = 2048;
+  const Index d = state.range(0);
+  const auto in = make_inputs(L, d, 1);
+  const LocalParams p{16};
+  Matrix<float> out(L, d);
+  for (auto _ : state) {
+    local_attention(in.q, in.k, in.v, p, out, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(local_nnz(L, p)));
+}
+BENCHMARK(BM_LocalEdgeThroughput)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// CSR edge throughput at fixed Sf across L: work-optimality predicts
+/// near-constant edges/s.
+void BM_CsrEdgeThroughput(benchmark::State& state) {
+  const Index L = state.range(0);
+  const Index d = 64;
+  const auto in = make_inputs(L, d, 2);
+  const auto mask = build_csr_random(L, RandomParams{0.01, 3});
+  Matrix<float> out(L, d);
+  for (auto _ : state) {
+    csr_attention(in.q, in.k, in.v, mask, out, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(mask.nnz()));
+}
+BENCHMARK(BM_CsrEdgeThroughput)->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096);
+
+/// Flash tile-width sweep (the Bc parameter).
+void BM_FlashTileWidth(benchmark::State& state) {
+  const Index L = 2048, d = 64;
+  const auto in = make_inputs(L, d, 4);
+  Matrix<float> out(L, d);
+  baselines::FlashConfig cfg;
+  cfg.tile_cols = state.range(0);
+  for (auto _ : state) {
+    baselines::flash_attention(in.q, in.k, in.v, out, {}, cfg);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FlashTileWidth)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// Mask construction cost (the setup the explicit kernels amortise).
+void BM_BuildCsrLocal(benchmark::State& state) {
+  const Index L = state.range(0);
+  for (auto _ : state) {
+    auto csr = build_csr_local(L, LocalParams{32});
+    benchmark::DoNotOptimize(csr.col_idx.data());
+  }
+}
+BENCHMARK(BM_BuildCsrLocal)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_BuildCsrRandom(benchmark::State& state) {
+  const Index L = state.range(0);
+  for (auto _ : state) {
+    auto csr = build_csr_random(L, RandomParams{0.01, 5});
+    benchmark::DoNotOptimize(csr.col_idx.data());
+  }
+}
+BENCHMARK(BM_BuildCsrRandom)->Arg(1024)->Arg(4096)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

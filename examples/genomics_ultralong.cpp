@@ -1,0 +1,71 @@
+// Ultra-long genomic sequence modeling — the paper's motivating workload
+// (§I cites HyenaDNA: genomics needs 4-5 orders of magnitude more
+// context). A synthetic nucleotide token stream is embedded and run
+// through dilated attention with the LongNet sparsity rule (Sf = C/L),
+// in fp16 storage like Table III, and the memory model reports how far
+// the same configuration scales on the paper's GPUs.
+//
+//   $ ./genomics_ultralong [L]
+
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "memmodel/memory_model.hpp"
+#include "sparse/nnz.hpp"
+#include "tensor/tensor_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpa;
+  const Index L = argc > 1 ? std::stoll(argv[1]) : 65'536;
+  const Index dk = 64;
+
+  std::cout << "Ultra-long genomics attention demo (L=" << L << ", dk=" << dk << ", fp16)\n\n";
+
+  // Synthetic DNA: tokens over {A, C, G, T} embedded as fixed random
+  // per-base vectors plus positional noise — enough structure to
+  // exercise the exact code path a nucleotide model would.
+  Rng rng(99);
+  Matrix<float> base_embed(4, dk);
+  fill_uniform(base_embed, rng);
+  Matrix<half_t> q(L, dk), k(L, dk), v(L, dk);
+  for (Index i = 0; i < L; ++i) {
+    const Index base = rng.next_index(0, 4);
+    for (Index p = 0; p < dk; ++p) {
+      const float e = base_embed(base, p) + 0.01f * rng.next_float();
+      q(i, p) = half_t(e);
+      k(i, p) = half_t(e * 0.9f + 0.05f);
+      v(i, p) = half_t(e * 1.1f);
+    }
+  }
+
+  // LongNet rule: Sf = 2730/L, realised as a dilated window (r = 1).
+  const double sf = longnet_sparsity_rule(L);
+  const Dilated1DParams dil{dilated1d_window_for_sparsity(L, 1, sf), 1};
+  const double actual_sf = sparsity_factor(dilated1d_nnz(L, dil), L);
+  std::cout << "LongNet rule: Sf = " << sf << " -> dilated window " << dil.window
+            << " (r=1), actual Sf = " << actual_sf << "\n";
+
+  Matrix<half_t> out(L, dk);
+  const auto t0 = std::chrono::steady_clock::now();
+  dilated1d_attention(q, k, v, dil, out);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  const double edges = actual_sf * static_cast<double>(L) * static_cast<double>(L);
+  std::cout << "dilated attention over " << static_cast<Size>(edges)
+            << " edges: " << secs << " s (" << edges / secs / 1e6 << " M edges/s)\n\n";
+
+  // How far does this configuration scale on the paper's hardware?
+  using namespace gpa::memmodel;
+  const ModelConfig cfg{DType::F16, dk, 1, sf};
+  std::cout << "memory-model max context for this configuration:\n";
+  for (const auto& dev :
+       {DeviceSpec::v100_32gb(), DeviceSpec::l40_48gb(), DeviceSpec::a100_80gb()}) {
+    std::cout << "  " << dev.name << ": dilated-1d "
+              << max_context_length(Algo::Dilated1D, dev, cfg) << " tokens vs dense SDP "
+              << max_context_length(Algo::SdpMasked, dev, cfg) << "\n";
+  }
+  std::cout << "\n(§VI-B: ~32 such GPUs reach the 1-billion-token genomics target.)\n";
+  return 0;
+}

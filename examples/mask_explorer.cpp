@@ -1,0 +1,54 @@
+// Mask explorer: renders every pattern from Figure 2 as ASCII art,
+// reports NNZ / sparsity factor / degree statistics, and demonstrates
+// the window-size-from-sparsity solvers the benchmarks use.
+//
+//   $ ./mask_explorer [L]   (L <= 64 recommended for readable output)
+
+#include <iostream>
+
+#include "graph/degree.hpp"
+#include "sparse/build.hpp"
+#include "sparse/nnz.hpp"
+#include "sparse/presets.hpp"
+
+namespace {
+
+using namespace gpa;
+
+void render(const char* title, const Csr<float>& mask) {
+  const auto stats = degree_stats(csr_degrees(mask));
+  std::cout << "\n" << title << "  (nnz " << mask.nnz() << ", Sf "
+            << sparsity_factor(mask.nnz(), mask.rows) << ", max/mean degree "
+            << stats.max_degree << "/" << stats.mean << ")\n";
+  const auto dense = csr_to_dense(mask);
+  for (Index i = 0; i < dense.rows(); ++i) {
+    std::cout << "  ";
+    for (Index j = 0; j < dense.cols(); ++j) std::cout << (dense(i, j) ? '#' : '.');
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Index L = argc > 1 ? std::stoll(argv[1]) : 32;
+
+  render("local window (w=4)", build_csr_local(L, make_local(4)));
+  render("1D dilated (w=8, r=1)", build_csr_dilated1d(L, make_dilated1d(8, 1)));
+  render("2D dilated (b=8, r=1)", build_csr_dilated2d(make_dilated2d(L, 8, 1)));
+  render("global tokens {0, L/2}", build_csr_global(L, make_global({0, L / 2}, L)));
+  render("uniform random (Sf=0.1)", build_csr_random(L, RandomParams{0.1, 42}));
+
+  const auto longformer = make_longformer(L, 3, 2);
+  render("Longformer = local + global (Fig. 2 left)", longformer.fused);
+  const auto bigbird = make_bigbird(L, 2, 2, 0.05);
+  render("BigBird = local + global + random (Fig. 2 right)", bigbird.fused);
+
+  std::cout << "\nwindow-from-sparsity solver:\n";
+  for (const double sf : {0.5, 0.1, 0.05}) {
+    const Index w = local_window_for_sparsity(L, sf);
+    std::cout << "  target Sf " << sf << " -> local window " << w << " (actual Sf "
+              << sparsity_factor(local_nnz(L, LocalParams{w}), L) << ")\n";
+  }
+  return 0;
+}

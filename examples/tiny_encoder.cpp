@@ -1,0 +1,84 @@
+// A tiny sparse-attention transformer encoder: a stack of
+// TransformerLayer blocks over a synthetic token sequence, showing the
+// "integrate into an existing LLM" path end to end — embedding, N
+// encoder layers with a BigBird mask, and a pooled classification
+// readout.
+//
+//   $ ./tiny_encoder [L] [layers]
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/transformer_layer.hpp"
+#include "sparse/nnz.hpp"
+#include "sparse/presets.hpp"
+#include "tensor/tensor_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpa;
+  using namespace gpa::nn;
+  const Index L = argc > 1 ? std::stoll(argv[1]) : 1024;
+  const int num_layers = argc > 2 ? std::stoi(argv[2]) : 4;
+  const Index d = 64;
+
+  const auto preset = make_bigbird(L, /*reach=*/8, /*num_global=*/2, /*random_sf=*/0.004);
+  std::cout << "Tiny encoder: L=" << L << ", " << num_layers << " layers, embed " << d
+            << ", BigBird mask Sf = " << preset.sparsity() << "\n";
+
+  TransformerLayerConfig cfg;
+  cfg.embed_dim = d;
+  cfg.num_heads = 4;
+  cfg.ffn_dim = 4 * d;
+
+  Rng rng(1234);
+  std::vector<TransformerLayer> layers;
+  Size params = 0;
+  for (int l = 0; l < num_layers; ++l) {
+    layers.emplace_back(cfg, preset.fused);
+    layers.back().init(rng);
+    params += layers.back().parameter_count();
+  }
+  std::cout << "parameters: " << params << "\n";
+
+  // Synthetic token embeddings (a vocabulary of 16 random vectors).
+  Matrix<float> vocab(16, d);
+  fill_uniform(vocab, rng);
+  Matrix<float> x(L, d);
+  for (Index i = 0; i < L; ++i) {
+    const Index tok = rng.next_index(0, 16);
+    for (Index p = 0; p < d; ++p) {
+      x(i, p) = vocab(tok, p) + 0.02f * std::sin(0.01f * static_cast<float>(i * (p + 1)));
+    }
+  }
+
+  Matrix<float> y(L, d);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& layer : layers) {
+    layer.forward(x, y);
+    std::swap(x, y);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "forward through " << num_layers << " layers: "
+            << std::chrono::duration<double>(t1 - t0).count() << " s\n";
+
+  // Pooled readout over the global token (position 0 is global in the
+  // preset — the classification-token pattern).
+  float norm = 0.0f;
+  for (Index p = 0; p < d; ++p) norm += x(0, p) * x(0, p);
+  std::cout << "pooled [CLS] representation L2 = " << std::sqrt(norm) << "\n";
+
+  bool finite = true;
+  for (Index i = 0; i < L && finite; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      if (!std::isfinite(x(i, p))) {
+        finite = false;
+        break;
+      }
+    }
+  }
+  std::cout << "all activations finite: " << (finite ? "yes" : "NO") << "\n";
+  return finite ? 0 : 1;
+}

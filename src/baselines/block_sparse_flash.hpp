@@ -1,0 +1,38 @@
+#pragma once
+// Block-sparse FlashAttention — the related-work comparator ([21], [22]
+// in the paper): partition the mask into B×B blocks and run the flash
+// inner loop only over blocks containing at least one non-zero. Inside a
+// visited block every entry is still computed and masked, so each zero
+// entry in a non-empty block costs O(d) wasted work — the gap between
+// "block sparsity" and the paper's "true sparsity".
+
+#include "common/half.hpp"
+#include "core/attention_options.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::baselines {
+
+struct BlockSparseConfig {
+  Index block = 64;  ///< square mask-block edge
+};
+
+/// Block occupancy summary for a mask (which blocks are non-empty, and
+/// the fraction of in-block entries that are real non-zeros — the
+/// efficiency the paper's §III critique is about).
+struct BlockOccupancy {
+  Index block = 0;
+  Index grid = 0;                   ///< blocks per side
+  std::vector<std::uint8_t> live;   ///< row-major grid occupancy
+  Size live_blocks = 0;
+  double in_block_density = 0.0;    ///< nnz / (live_blocks · block²)
+};
+BlockOccupancy analyze_blocks(const Csr<float>& mask, Index block);
+
+template <typename T>
+void block_sparse_flash_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                  const Csr<float>& mask, Matrix<T>& out,
+                                  const AttentionOptions& opts = {},
+                                  const BlockSparseConfig& cfg = {});
+
+}  // namespace gpa::baselines

@@ -1,0 +1,25 @@
+#pragma once
+// FlashAttention-style dense attention: tiled single pass with online
+// softmax, never materialising the L×L score matrix. This is the
+// baseline of Table III and Fig. 5 — asymptotically O(L²·d) work but
+// only O(L) extra memory (two statistics vectors), so its context length
+// matches the implicit graph kernels in Fig. 4 / Table II.
+
+#include "common/half.hpp"
+#include "core/attention_options.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::baselines {
+
+struct FlashConfig {
+  /// Key/value tile width (Bc). Row tiling comes from the exec policy's
+  /// row parallelism; each row keeps O(1) statistics.
+  Index tile_cols = 128;
+};
+
+template <typename T>
+void flash_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                     Matrix<T>& out, const AttentionOptions& opts = {},
+                     const FlashConfig& cfg = {});
+
+}  // namespace gpa::baselines

@@ -1,0 +1,95 @@
+#include "baselines/reference_attention.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sparse/build.hpp"
+
+namespace gpa::baselines {
+
+namespace {
+
+float resolve(float scale, Index d) {
+  return scale >= 0.0f ? scale : 1.0f / std::sqrt(static_cast<float>(d));
+}
+
+}  // namespace
+
+void reference_attention(const Matrix<float>& q, const Matrix<float>& k,
+                         const Matrix<float>& v, const Matrix<std::uint8_t>& mask,
+                         Matrix<float>& out, float scale) {
+  const Index L = q.rows();
+  const Index d = q.cols();
+  GPA_CHECK(k.rows() == L && v.rows() == L, "reference: sequence length mismatch");
+  GPA_CHECK(k.cols() == d && v.cols() == d, "reference: head dimension mismatch");
+  GPA_CHECK(mask.rows() == L && mask.cols() == L, "reference: mask must be L×L");
+  GPA_CHECK(out.rows() == L && out.cols() == d, "reference: output shape mismatch");
+  const float s = resolve(scale, d);
+
+  std::vector<double> probs(static_cast<std::size_t>(L));
+  for (Index i = 0; i < L; ++i) {
+    const float* qi = q.row(i);
+    const std::uint8_t* mrow = mask.row(i);
+
+    // Pass 1: scores and row max.
+    double row_max = -std::numeric_limits<double>::infinity();
+    for (Index j = 0; j < L; ++j) {
+      if (mrow[j] == 0) {
+        probs[static_cast<std::size_t>(j)] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
+      const float* kj = k.row(j);
+      double w = 0.0;
+      for (Index p = 0; p < d; ++p) {
+        w += static_cast<double>(qi[p]) * static_cast<double>(kj[p]);
+      }
+      w *= s;
+      probs[static_cast<std::size_t>(j)] = w;
+      row_max = std::max(row_max, w);
+    }
+
+    float* oi = out.row(i);
+    if (row_max == -std::numeric_limits<double>::infinity()) {
+      for (Index p = 0; p < d; ++p) oi[p] = 0.0f;  // fully-masked row
+      continue;
+    }
+
+    // Pass 2: exponentiate + normalise.
+    double l = 0.0;
+    for (Index j = 0; j < L; ++j) {
+      auto& pj = probs[static_cast<std::size_t>(j)];
+      pj = std::exp(pj - row_max);  // exp(-inf) == 0 for masked entries
+      l += pj;
+    }
+
+    // Weighted sum of V rows in double precision.
+    for (Index p = 0; p < d; ++p) oi[p] = 0.0f;
+    std::vector<double> acc(static_cast<std::size_t>(d), 0.0);
+    for (Index j = 0; j < L; ++j) {
+      const double pj = probs[static_cast<std::size_t>(j)];
+      if (pj == 0.0) continue;
+      const float* vj = v.row(j);
+      for (Index p = 0; p < d; ++p) acc[static_cast<std::size_t>(p)] += pj * vj[p];
+    }
+    for (Index p = 0; p < d; ++p) {
+      oi[p] = static_cast<float>(acc[static_cast<std::size_t>(p)] / l);
+    }
+  }
+}
+
+void reference_attention(const Matrix<float>& q, const Matrix<float>& k,
+                         const Matrix<float>& v, const Csr<float>& mask, Matrix<float>& out,
+                         float scale) {
+  reference_attention(q, k, v, csr_to_dense(mask), out, scale);
+}
+
+void reference_attention_dense(const Matrix<float>& q, const Matrix<float>& k,
+                               const Matrix<float>& v, Matrix<float>& out, float scale) {
+  Matrix<std::uint8_t> ones(q.rows(), q.rows());
+  ones.fill(1);
+  reference_attention(q, k, v, ones, out, scale);
+}
+
+}  // namespace gpa::baselines

@@ -1,0 +1,54 @@
+#include "baselines/sdp_masked.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/kernel_common.hpp"
+#include "sparse/build.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/softmax.hpp"
+
+namespace gpa::baselines {
+
+void sdp_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                          const Matrix<float>& v, const Matrix<std::uint8_t>& mask,
+                          Matrix<float>& out, const AttentionOptions& opts) {
+  const Index L = q.rows();
+  GPA_CHECK(mask.rows() == L && mask.cols() == L, "SDP: mask must be L×L");
+  GPA_CHECK(out.rows() == L && out.cols() == v.cols(), "SDP: output shape mismatch");
+  const float scale = gpa::detail::resolve_scale(opts.scale, q.cols());
+
+  // Phase 1: full dense score matrix (this is the O(L²·d) + O(L²) memory
+  // cost the graph kernels avoid).
+  Matrix<float> scores(L, L);
+  gemm_nt(q, k, scores, opts.policy);
+
+  // Phase 2: scale + invalidate masked entries (and the upper triangle
+  // under causal attention — after the full dense multiply, like the
+  // PyTorch flow).
+  for (Index i = 0; i < L; ++i) {
+    float* srow = scores.row(i);
+    const std::uint8_t* mrow = mask.row(i);
+    const Index live_end = opts.causal ? i + 1 : L;
+    for (Index j = 0; j < live_end; ++j) {
+      srow[j] = mrow[j] != 0 ? srow[j] * scale : -std::numeric_limits<float>::infinity();
+    }
+    for (Index j = live_end; j < L; ++j) {
+      srow[j] = -std::numeric_limits<float>::infinity();
+    }
+  }
+
+  // Phase 3: row softmax (fully-masked rows -> zero rows).
+  softmax_rows(scores);
+
+  // Phase 4: dense PV product.
+  gemm_nn(scores, v, out, opts.policy);
+}
+
+void sdp_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                          const Matrix<float>& v, const Csr<float>& mask, Matrix<float>& out,
+                          const AttentionOptions& opts) {
+  sdp_masked_attention(q, k, v, csr_to_dense(mask), out, opts);
+}
+
+}  // namespace gpa::baselines

@@ -1,0 +1,27 @@
+#pragma once
+// Masked scaled-dot-product attention the way PyTorch's math backend
+// runs it (§III of the paper): dense GEMM QKᵀ over *all* L² pairs,
+// additive -inf masking, dense row softmax, dense GEMM PV. Work is
+// O(L²·d) independent of mask sparsity — the flat line in Fig. 3/6 —
+// and memory includes the materialised L×L score matrix, which is what
+// caps its context length in Fig. 4 / Table II.
+
+#include "core/attention_options.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::baselines {
+
+/// Dense-compute masked attention. The mask is a dense 0/1 byte matrix
+/// (what PyTorch receives as attn_mask).
+void sdp_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                          const Matrix<float>& v, const Matrix<std::uint8_t>& mask,
+                          Matrix<float>& out, const AttentionOptions& opts = {});
+
+/// CSR-mask convenience (densifies the mask first, as the PyTorch flow
+/// would materialise it).
+void sdp_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
+                          const Matrix<float>& v, const Csr<float>& mask, Matrix<float>& out,
+                          const AttentionOptions& opts = {});
+
+}  // namespace gpa::baselines

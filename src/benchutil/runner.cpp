@@ -1,0 +1,51 @@
+#include "benchutil/runner.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gpa::benchutil {
+
+Stats run_benchmark(const std::function<void()>& fn, const RunConfig& cfg) {
+  for (int i = 0; i < cfg.warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(cfg.iterations));
+  for (int i = 0; i < cfg.iterations; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  return compute_stats(std::move(samples));
+}
+
+BenchArgs parse_bench_args(int argc, char** argv, int default_warmup, int default_iters) {
+  BenchArgs args;
+  args.run.warmup = default_warmup;
+  args.run.iterations = default_iters;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      GPA_CHECK(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    if (a == "--paper-scale") {
+      args.paper_scale = true;
+      // The paper's measurement protocol comes with its scale.
+      args.run.warmup = 10;
+      args.run.iterations = 15;
+    } else if (a == "--csv") {
+      args.csv_path = next_value("--csv");
+    } else if (a == "--warmup") {
+      args.run.warmup = std::stoi(next_value("--warmup"));
+    } else if (a == "--iters") {
+      args.run.iterations = std::stoi(next_value("--iters"));
+    }
+    // Unknown flags are left for the binary's own parser.
+  }
+  return args;
+}
+
+}  // namespace gpa::benchutil

@@ -1,0 +1,19 @@
+#pragma once
+// Benchmark timing statistics.
+
+#include <vector>
+
+namespace gpa::benchutil {
+
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t samples = 0;
+};
+
+Stats compute_stats(std::vector<double> samples);
+
+}  // namespace gpa::benchutil

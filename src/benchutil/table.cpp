@@ -1,0 +1,68 @@
+#include "benchutil/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gpa::benchutil {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GPA_CHECK(cells.size() == headers_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    std::cout << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += std::string(widths[c] + 2, '-');
+  std::cout << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+void Table::write_csv(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  GPA_CHECK(out.good(), "cannot open CSV path: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string Table::fmt_seconds(double s) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(3) << s;
+  return os.str();
+}
+
+std::string Table::fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace gpa::benchutil

@@ -1,0 +1,30 @@
+#pragma once
+// Aligned console tables + CSV output for the bench binaries.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gpa::benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to stdout with aligned columns.
+  void print() const;
+
+  /// Append as CSV to `path` (with header); no-op when path is empty.
+  void write_csv(const std::string& path) const;
+
+  static std::string fmt_seconds(double s);
+  static std::string fmt_double(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gpa::benchutil

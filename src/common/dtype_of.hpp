@@ -1,0 +1,25 @@
+#pragma once
+// Compile-time mapping from a storage type to its runtime DType tag.
+
+#include "common/half.hpp"
+#include "common/types.hpp"
+
+namespace gpa {
+
+template <typename T>
+struct dtype_of;
+
+template <>
+struct dtype_of<float> {
+  static constexpr DType value = DType::F32;
+};
+
+template <>
+struct dtype_of<half_t> {
+  static constexpr DType value = DType::F16;
+};
+
+template <typename T>
+inline constexpr DType dtype_of_v = dtype_of<T>::value;
+
+}  // namespace gpa

@@ -1,0 +1,113 @@
+#pragma once
+// IEEE 754 binary16 storage type. The paper's FP16 experiments are about
+// *storage* (context-length limits scale with bytes per element; see
+// Fig. 4 / Table II); arithmetic is always performed in float after
+// widening, exactly like CUDA kernels that load __half and compute in
+// fp32 accumulators.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace gpa {
+
+namespace detail {
+
+/// Round-to-nearest-even float -> binary16 bit conversion.
+constexpr std::uint16_t f32_to_f16_bits(float f) noexcept {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {             // inf / NaN
+    const std::uint32_t mant = abs > 0x7f800000u ? 0x0200u : 0u;  // quiet NaN keeps a payload bit
+    return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
+  }
+  if (abs >= 0x477ff000u) {             // overflows f16 range -> inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x33000001u) {              // underflows to zero (below half of min subnormal)
+    return static_cast<std::uint16_t>(sign);
+  }
+  if (abs < 0x38800000u) {              // subnormal f16
+    // value = mant_impl · 2^(e-150); f16 subnormal payload is
+    // value · 2^24 = mant_impl >> (126 - e), with e in [102, 112] here
+    // so the shift stays in [14, 24].
+    const std::uint32_t shift = 126u - (abs >> 23);
+    std::uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint32_t lost = mant & ((1u << shift) - 1u);
+    mant >>= shift;
+    const std::uint32_t half = 1u << (shift - 1u);
+    if (lost > half || (lost == half && (mant & 1u))) ++mant;
+    return static_cast<std::uint16_t>(sign | mant);
+  }
+  // Normal range: re-bias exponent, round mantissa to 10 bits.
+  std::uint32_t mant = abs & 0x007fffffu;
+  const std::uint32_t exp = (abs >> 23) - 112u;
+  std::uint32_t out = (exp << 10) | (mant >> 13);
+  const std::uint32_t lost = mant & 0x1fffu;
+  if (lost > 0x1000u || (lost == 0x1000u && (out & 1u))) ++out;  // may carry into exponent: correct
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+/// binary16 bits -> float (exact).
+constexpr float f16_bits_to_f32(std::uint16_t h) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  std::uint32_t out = 0;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +/- 0
+    } else {       // subnormal: normalise
+      std::uint32_t m = mant;
+      std::uint32_t e = 113;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        --e;
+      }
+      out = sign | (e << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+}  // namespace detail
+
+/// Half-precision storage element. Implicit widening to float, explicit
+/// narrowing from float, trivially copyable, 2 bytes.
+class half_t {
+ public:
+  constexpr half_t() noexcept = default;
+  constexpr explicit half_t(float f) noexcept : bits_(detail::f32_to_f16_bits(f)) {}
+
+  constexpr operator float() const noexcept { return detail::f16_bits_to_f32(bits_); }
+
+  static constexpr half_t from_bits(std::uint16_t b) noexcept {
+    half_t h;
+    h.bits_ = b;
+    return h;
+  }
+  constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  half_t& operator+=(float f) noexcept {
+    *this = half_t(static_cast<float>(*this) + f);
+    return *this;
+  }
+
+  friend constexpr bool operator==(half_t a, half_t b) noexcept {
+    return static_cast<float>(a) == static_cast<float>(b);
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(half_t) == 2);
+
+}  // namespace gpa

@@ -1,0 +1,57 @@
+#include "common/rng.hpp"
+
+namespace gpa {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace gpa

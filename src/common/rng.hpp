@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic, seedable random number generation. Benchmarks and tests
+// must be reproducible run-to-run, so everything that needs randomness
+// takes an explicit Rng (no global state, no std::random_device).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace gpa {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, and (unlike
+/// std::mt19937) identical across standard library implementations.
+/// Seeded via splitmix64 so any 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform float in [0, 1). Matches the paper's input distribution
+  /// (torch.rand: uniform [0,1)).
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform Index in [lo, hi).
+  Index next_index(Index lo, Index hi) noexcept {
+    return lo + static_cast<Index>(next_below(static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Split off an independent stream (for per-thread generators).
+  Rng split() noexcept { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace gpa

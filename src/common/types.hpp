@@ -1,0 +1,54 @@
+#pragma once
+// Fundamental scalar and index types shared by every gpa subsystem.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define GPA_RESTRICT __restrict__
+#else
+#define GPA_RESTRICT
+#endif
+
+namespace gpa {
+
+/// Sequence positions and matrix extents. Context lengths in the paper
+/// reach 160 million (beyond int32 once squared), so a 64-bit signed
+/// index is used throughout. Signed per the Core Guidelines (ES.100-107)
+/// so that subtraction in window arithmetic behaves.
+using Index = std::int64_t;
+
+/// Element counts / byte counts.
+using Size = std::uint64_t;
+
+/// Storage data types recognised by the kernels and the memory model.
+/// The paper evaluates FP32 and FP16 (Fig. 4, Tables II/III).
+enum class DType : std::uint8_t {
+  F32,
+  F16,
+};
+
+/// Bytes occupied by one element of `dt`.
+constexpr Size dtype_size(DType dt) noexcept {
+  switch (dt) {
+    case DType::F32: return 4;
+    case DType::F16: return 2;
+  }
+  return 0;  // unreachable for valid enum values
+}
+
+constexpr std::string_view dtype_name(DType dt) noexcept {
+  switch (dt) {
+    case DType::F32: return "fp32";
+    case DType::F16: return "fp16";
+  }
+  return "?";
+}
+
+/// Index width used by the explicit sparse formats (CSR/COO). The
+/// reference CUDA artifact uses 32-bit indices; the memory model follows
+/// suit (see memmodel/memory_model.hpp).
+inline constexpr Size kSparseIndexBytes = 4;
+
+}  // namespace gpa

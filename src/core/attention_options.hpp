@@ -1,0 +1,28 @@
+#pragma once
+// Options shared by every attention entry point.
+
+#include "parallel/exec_policy.hpp"
+
+namespace gpa {
+
+/// How the COO kernel locates its row inside the coordinate arrays.
+/// Linear is the paper's kernel (§V-C documents its cost); Binary is the
+/// repaired variant kept for the ablation benchmark.
+enum class CooSearch : std::uint8_t { Linear, Binary };
+
+struct AttentionOptions {
+  /// Score scale; < 0 selects the PyTorch SDPA default 1/sqrt(dk) the
+  /// paper verified against.
+  float scale = -1.0f;
+  ExecPolicy policy{};
+  /// Explicit-mask kernels only: multiply each score by the stored mask
+  /// value (weighted-graph extension; the paper's masks are 0/1).
+  bool use_mask_values = false;
+  CooSearch coo_search = CooSearch::Linear;
+  /// Intersect the mask with the causal (lower-triangular) pattern.
+  /// Each kernel restricts its neighbor enumeration to j <= i, so the
+  /// causal path stays work-optimal (no enumerate-then-discard).
+  bool causal = false;
+};
+
+}  // namespace gpa

@@ -1,0 +1,68 @@
+#pragma once
+// Training support: backward pass for masked attention, touching only
+// the mask's edges in both directions (the work-optimality argument of
+// §IV-B applies verbatim to the gradient computation — each of dQ, dK,
+// dV needs exactly one fused multiply-add per mask edge per channel).
+//
+// Like FlashAttention's backward, nothing quadratic is stored: the
+// forward pass saves the per-row online-softmax statistics (m, l) and
+// the output O, and the backward pass *recomputes* the attention
+// probabilities edge-by-edge from them:
+//
+//   P_ij  = exp(scale·q_i·k_j − m_i) / l_i
+//   D_i   = dO_i · O_i
+//   dS_ij = P_ij · (dO_i · v_j − D_i)
+//   dQ_i  = scale · Σ_j dS_ij k_j          (row-parallel over i)
+//   dK_j  = scale · Σ_i dS_ij q_i          (row-parallel over j via Aᵀ)
+//   dV_j  = Σ_i P_ij dO_i
+//
+// dK/dV accumulate along mask columns; the CSR path walks a transposed
+// copy of the mask, and the implicit patterns (local / dilated / global)
+// exploit their structural symmetry instead — no transpose, no extra
+// memory. §VI-B's training-workflow estimate ("only 25% of memory
+// available for attention") is exactly the regime this enables.
+
+#include "core/attention_options.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// Forward artifacts the backward pass needs.
+struct AttentionCache {
+  Matrix<float> out;       ///< O, L×d
+  std::vector<float> m;    ///< per-row max statistic
+  std::vector<float> l;    ///< per-row normaliser
+
+  void reset(Index seq_len, Index head_dim);
+};
+
+struct AttentionGrads {
+  Matrix<float> dq, dk, dv;
+
+  void reset(Index seq_len, Index head_dim);
+};
+
+/// Forward passes that also fill the cache. Numerically identical to the
+/// inference kernels.
+void csr_attention_forward(const Matrix<float>& q, const Matrix<float>& k,
+                           const Matrix<float>& v, const Csr<float>& mask,
+                           AttentionCache& cache, const AttentionOptions& opts = {});
+void local_attention_forward(const Matrix<float>& q, const Matrix<float>& k,
+                             const Matrix<float>& v, const LocalParams& p,
+                             AttentionCache& cache, const AttentionOptions& opts = {});
+
+/// Backward passes. `dout` is dL/dO. Supports opts.causal (edges above
+/// the diagonal contribute nothing on either side). use_mask_values is
+/// not supported in training (throws).
+void csr_attention_backward(const Matrix<float>& q, const Matrix<float>& k,
+                            const Matrix<float>& v, const Csr<float>& mask,
+                            const AttentionCache& cache, const Matrix<float>& dout,
+                            AttentionGrads& grads, const AttentionOptions& opts = {});
+void local_attention_backward(const Matrix<float>& q, const Matrix<float>& k,
+                              const Matrix<float>& v, const LocalParams& p,
+                              const AttentionCache& cache, const Matrix<float>& dout,
+                              AttentionGrads& grads, const AttentionOptions& opts = {});
+
+}  // namespace gpa

@@ -1,0 +1,66 @@
+#include "core/batched.hpp"
+
+#include "common/error.hpp"
+#include "core/graph_attention.hpp"
+
+namespace gpa {
+
+template <typename T>
+void batched_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                       const HeadKernel<T>& kernel, Batch<T>& out,
+                       const AttentionOptions& opts) {
+  GPA_CHECK(q.size() == k.size() && q.size() == v.size(), "batch sizes must match");
+  out.resize(q.size());
+  for (std::size_t b = 0; b < q.size(); ++b) {
+    GPA_CHECK(q[b].same_shape(q[0]) && q[b].same_shape(k[b]) && q[b].same_shape(v[b]),
+              "all batch items must share one shape");
+    if (!out[b].same_shape(q[b])) out[b] = Matrix<T>(q[b].rows(), q[b].cols());
+    kernel(q[b], k[b], v[b], out[b], opts);
+  }
+}
+
+template <typename T>
+void batched_csr_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                           const Csr<float>& mask, Batch<T>& out,
+                           const AttentionOptions& opts) {
+  HeadKernel<T> kernel = [&mask](const Matrix<T>& qb, const Matrix<T>& kb, const Matrix<T>& vb,
+                                 Matrix<T>& ob, const AttentionOptions& o) {
+    csr_attention(qb, kb, vb, mask, ob, o);
+  };
+  batched_attention(q, k, v, kernel, out, opts);
+}
+
+template <typename T>
+void batched_multihead_csr_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                                     const MultiHeadDims& dims, const Csr<float>& mask,
+                                     Batch<T>& out, const AttentionOptions& opts) {
+  HeadKernel<T> kernel = [&mask, &dims](const Matrix<T>& qb, const Matrix<T>& kb,
+                                        const Matrix<T>& vb, Matrix<T>& ob,
+                                        const AttentionOptions& o) {
+    multihead_csr_attention(qb, kb, vb, dims, mask, ob, o);
+  };
+  batched_attention(q, k, v, kernel, out, opts);
+}
+
+template void batched_attention(const Batch<float>&, const Batch<float>&, const Batch<float>&,
+                                const HeadKernel<float>&, Batch<float>&,
+                                const AttentionOptions&);
+template void batched_attention(const Batch<half_t>&, const Batch<half_t>&,
+                                const Batch<half_t>&, const HeadKernel<half_t>&,
+                                Batch<half_t>&, const AttentionOptions&);
+template void batched_csr_attention(const Batch<float>&, const Batch<float>&,
+                                    const Batch<float>&, const Csr<float>&, Batch<float>&,
+                                    const AttentionOptions&);
+template void batched_csr_attention(const Batch<half_t>&, const Batch<half_t>&,
+                                    const Batch<half_t>&, const Csr<float>&, Batch<half_t>&,
+                                    const AttentionOptions&);
+template void batched_multihead_csr_attention(const Batch<float>&, const Batch<float>&,
+                                              const Batch<float>&, const MultiHeadDims&,
+                                              const Csr<float>&, Batch<float>&,
+                                              const AttentionOptions&);
+template void batched_multihead_csr_attention(const Batch<half_t>&, const Batch<half_t>&,
+                                              const Batch<half_t>&, const MultiHeadDims&,
+                                              const Csr<float>&, Batch<half_t>&,
+                                              const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,43 @@
+#pragma once
+// Batched attention — the second of the paper's two "trivial" scaling
+// axes (§IV-B: "Both algorithms are single-batch and single-headed...
+// though it is trivial to scale"). Every sequence in the batch shares
+// one mask (how sparse transformers deploy: the pattern is architecture,
+// not data) and runs through the same kernel.
+
+#include <functional>
+#include <vector>
+
+#include "core/attention_options.hpp"
+#include "core/multihead.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// One batch of equally-shaped sequences.
+template <typename T>
+using Batch = std::vector<Matrix<T>>;
+
+/// Runs `kernel` on every (q, k, v) triple of the batch. Outputs are
+/// resized to match. The batch items are independent, so any internal
+/// row-parallelism of the kernel composes with looping here.
+template <typename T>
+void batched_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                       const HeadKernel<T>& kernel, Batch<T>& out,
+                       const AttentionOptions& opts = {});
+
+/// Convenience: batched single-head CSR attention over a shared mask.
+template <typename T>
+void batched_csr_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                           const Csr<float>& mask, Batch<T>& out,
+                           const AttentionOptions& opts = {});
+
+/// Convenience: batched multi-head CSR attention over a shared mask.
+template <typename T>
+void batched_multihead_csr_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                                     const MultiHeadDims& dims, const Csr<float>& mask,
+                                     Batch<T>& out, const AttentionOptions& opts = {});
+
+}  // namespace gpa

@@ -1,0 +1,61 @@
+#include "core/composed.hpp"
+
+#include "common/error.hpp"
+#include "core/graph_attention.hpp"
+
+namespace gpa {
+
+template <typename T>
+void composed_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                        const ComposedMask& mask, Matrix<T>& out,
+                        const AttentionOptions& opts) {
+  GPA_CHECK(mask.seq_len == q.rows(), "composed mask length mismatch");
+  SoftmaxState state(q.rows(), v.cols());
+  for (const MaskComponent& c : mask.components) {
+    switch (c.kind) {
+      case MaskComponent::Kind::Local:
+        local_attention_accumulate(q, k, v, c.local, state, opts);
+        break;
+      case MaskComponent::Kind::Dilated1D:
+        dilated1d_attention_accumulate(q, k, v, c.dilated, state, opts);
+        break;
+      case MaskComponent::Kind::GlobalMinusLocal:
+        // The dilated-Longformer preset subtracts a non-window component
+        // from the global mask, which the implicit kernel cannot express;
+        // those components carry their exact edges in c.csr instead.
+        if (c.global.local.window > 1) {
+          global_attention_accumulate(q, k, v, c.global, state, opts);
+        } else {
+          csr_attention_accumulate(q, k, v, c.csr, state, opts);
+        }
+        break;
+      case MaskComponent::Kind::RandomCsr:
+        csr_attention_accumulate(q, k, v, c.csr, state, opts);
+        break;
+    }
+  }
+  state.finalize_into(out);
+}
+
+template <typename T>
+void fused_csr_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const ComposedMask& mask, Matrix<T>& out,
+                         const AttentionOptions& opts) {
+  GPA_CHECK(mask.seq_len == q.rows(), "composed mask length mismatch");
+  csr_attention(q, k, v, mask.fused, out, opts);
+}
+
+template void composed_attention(const Matrix<float>&, const Matrix<float>&,
+                                 const Matrix<float>&, const ComposedMask&, Matrix<float>&,
+                                 const AttentionOptions&);
+template void composed_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                 const Matrix<half_t>&, const ComposedMask&, Matrix<half_t>&,
+                                 const AttentionOptions&);
+template void fused_csr_attention(const Matrix<float>&, const Matrix<float>&,
+                                  const Matrix<float>&, const ComposedMask&, Matrix<float>&,
+                                  const AttentionOptions&);
+template void fused_csr_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                  const Matrix<half_t>&, const ComposedMask&, Matrix<half_t>&,
+                                  const AttentionOptions&);
+
+}  // namespace gpa

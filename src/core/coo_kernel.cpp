@@ -1,0 +1,47 @@
+#include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "graph/neighbors.hpp"
+
+namespace gpa {
+
+template <typename T>
+void coo_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                              const Coo<float>& mask, SoftmaxState& state,
+                              const AttentionOptions& opts) {
+  GPA_CHECK(mask.rows == q.rows() && mask.cols == k.rows(), "COO mask shape mismatch");
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    // Each row first locates its extent within the coordinate arrays.
+    // The paper's kernel does this with a scan from index zero, which is
+    // exactly the cost §V-C blames for COO's poor microbenchmark
+    // performance; Binary is the ablation repair.
+    const CooRowBounds b = opts.coo_search == CooSearch::Linear
+                               ? coo_row_bounds_linear(mask, i)
+                               : coo_row_bounds_binary(mask, i);
+    for (Index kk = b.first; kk < b.last; ++kk) {
+      const Index j = mask.col_idx[static_cast<std::size_t>(kk)];
+      if (opts.causal && j > i) break;  // columns sorted within the row
+      edge(j, mask.values[static_cast<std::size_t>(kk)]);
+    }
+  });
+}
+
+template <typename T>
+void coo_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                   const Coo<float>& mask, Matrix<T>& out, const AttentionOptions& opts) {
+  SoftmaxState state(q.rows(), v.cols());
+  coo_attention_accumulate(q, k, v, mask, state, opts);
+  state.finalize_into(out);
+}
+
+template void coo_attention_accumulate(const Matrix<float>&, const Matrix<float>&,
+                                       const Matrix<float>&, const Coo<float>&, SoftmaxState&,
+                                       const AttentionOptions&);
+template void coo_attention_accumulate(const Matrix<half_t>&, const Matrix<half_t>&,
+                                       const Matrix<half_t>&, const Coo<float>&, SoftmaxState&,
+                                       const AttentionOptions&);
+template void coo_attention(const Matrix<float>&, const Matrix<float>&, const Matrix<float>&,
+                            const Coo<float>&, Matrix<float>&, const AttentionOptions&);
+template void coo_attention(const Matrix<half_t>&, const Matrix<half_t>&, const Matrix<half_t>&,
+                            const Coo<float>&, Matrix<half_t>&, const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,51 @@
+#include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "graph/neighbors.hpp"
+
+namespace gpa {
+
+template <typename T>
+void dilated2d_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                    const Dilated2DParams& p, SoftmaxState& state,
+                                    const AttentionOptions& opts) {
+  GPA_CHECK(p.seq_len == q.rows(), "Dilated2DParams.seq_len must equal the input length");
+  GPA_CHECK(p.block >= 1 && p.seq_len % p.block == 0, "bad dilated-2D parameters");
+  if (opts.causal) {
+    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+      if ((i % p.block) % (p.dilation + 1) != 0) return;
+      const Index g = p.group_size();
+      const Index lo = (i / g) * g;
+      for (Index j = lo; j <= i; ++j) {  // group columns never exceed i+... stop at i
+        if ((j % p.block) % (p.dilation + 1) == 0) edge(j, 1.0f);
+      }
+    });
+    return;
+  }
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    dilated2d_neighbors(i, p, [&](Index j) { edge(j, 1.0f); });
+  });
+}
+
+template <typename T>
+void dilated2d_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const Dilated2DParams& p, Matrix<T>& out,
+                         const AttentionOptions& opts) {
+  SoftmaxState state(q.rows(), v.cols());
+  dilated2d_attention_accumulate(q, k, v, p, state, opts);
+  state.finalize_into(out);
+}
+
+template void dilated2d_attention_accumulate(const Matrix<float>&, const Matrix<float>&,
+                                             const Matrix<float>&, const Dilated2DParams&,
+                                             SoftmaxState&, const AttentionOptions&);
+template void dilated2d_attention_accumulate(const Matrix<half_t>&, const Matrix<half_t>&,
+                                             const Matrix<half_t>&, const Dilated2DParams&,
+                                             SoftmaxState&, const AttentionOptions&);
+template void dilated2d_attention(const Matrix<float>&, const Matrix<float>&,
+                                  const Matrix<float>&, const Dilated2DParams&, Matrix<float>&,
+                                  const AttentionOptions&);
+template void dilated2d_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                  const Matrix<half_t>&, const Dilated2DParams&,
+                                  Matrix<half_t>&, const AttentionOptions&);
+
+}  // namespace gpa

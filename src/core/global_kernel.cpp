@@ -1,0 +1,51 @@
+#include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "graph/neighbors.hpp"
+
+namespace gpa {
+
+template <typename T>
+void global_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                 const GlobalMinusLocalParams& p, SoftmaxState& state,
+                                 const AttentionOptions& opts) {
+  GPA_CHECK(p.local.window >= 1, "global kernel's subtracted window must be >= 1");
+  const Index seq_len = q.rows();
+  for (const Index t : p.global.tokens) {
+    GPA_CHECK(t >= 0 && t < seq_len, "global token index out of range");
+  }
+  if (opts.causal) {
+    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+      global_minus_local_neighbors(i, seq_len, p, [&](Index j) {
+        if (j <= i) edge(j, 1.0f);
+      });
+    });
+    return;
+  }
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    global_minus_local_neighbors(i, seq_len, p, [&](Index j) { edge(j, 1.0f); });
+  });
+}
+
+template <typename T>
+void global_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                      const GlobalMinusLocalParams& p, Matrix<T>& out,
+                      const AttentionOptions& opts) {
+  SoftmaxState state(q.rows(), v.cols());
+  global_attention_accumulate(q, k, v, p, state, opts);
+  state.finalize_into(out);
+}
+
+template void global_attention_accumulate(const Matrix<float>&, const Matrix<float>&,
+                                          const Matrix<float>&, const GlobalMinusLocalParams&,
+                                          SoftmaxState&, const AttentionOptions&);
+template void global_attention_accumulate(const Matrix<half_t>&, const Matrix<half_t>&,
+                                          const Matrix<half_t>&, const GlobalMinusLocalParams&,
+                                          SoftmaxState&, const AttentionOptions&);
+template void global_attention(const Matrix<float>&, const Matrix<float>&,
+                               const Matrix<float>&, const GlobalMinusLocalParams&,
+                               Matrix<float>&, const AttentionOptions&);
+template void global_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                               const Matrix<half_t>&, const GlobalMinusLocalParams&,
+                               Matrix<half_t>&, const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,92 @@
+#pragma once
+// Public API: the paper's six graph-processing attention algorithms
+// (§IV-B), for fp32 and fp16 storage.
+//
+// Every kernel computes masked scaled-dot-product attention
+//     O = softmax_rows(scale · QKᵀ restricted to the mask) · V
+// visiting *only* the mask's non-zero entries (true sparsity / work
+// optimality). Explicit-mask kernels take a COO or CSR mask; implicit
+// kernels compute their neighbor sets from pattern parameters.
+//
+// Two call styles:
+//  * one-shot:    `csr_attention(Q, K, V, mask, O)` — fresh state,
+//                 normalised output.
+//  * accumulate:  `csr_attention_accumulate(Q, K, V, mask, state)` —
+//                 folds edges into a persistent SoftmaxState so kernels
+//                 can be chained over disjoint edge sets (Longformer =
+//                 local ∘ global, BigBird = local ∘ global ∘ random);
+//                 call `state.finalize_into(O)` once at the end.
+
+#include "core/attention_options.hpp"
+#include "core/state.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+// --- Explicit masks -------------------------------------------------
+
+/// CSR mask: O(1) row location + sorted columns. The paper's preferred
+/// explicit format (best explicit-mask speedups in Fig. 3).
+template <typename T>
+void csr_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                              const Csr<float>& mask, SoftmaxState& state,
+                              const AttentionOptions& opts = {});
+template <typename T>
+void csr_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                   const Csr<float>& mask, Matrix<T>& out, const AttentionOptions& opts = {});
+
+/// COO mask: each row must first locate its bounds in the coordinate
+/// arrays. opts.coo_search selects the paper's linear scan or the
+/// binary-search repair (ablation).
+template <typename T>
+void coo_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                              const Coo<float>& mask, SoftmaxState& state,
+                              const AttentionOptions& opts = {});
+template <typename T>
+void coo_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                   const Coo<float>& mask, Matrix<T>& out, const AttentionOptions& opts = {});
+
+// --- Implicit masks (ordered sparsity) -------------------------------
+
+template <typename T>
+void local_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                const LocalParams& p, SoftmaxState& state,
+                                const AttentionOptions& opts = {});
+template <typename T>
+void local_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                     const LocalParams& p, Matrix<T>& out, const AttentionOptions& opts = {});
+
+template <typename T>
+void dilated1d_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                    const Dilated1DParams& p, SoftmaxState& state,
+                                    const AttentionOptions& opts = {});
+template <typename T>
+void dilated1d_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const Dilated1DParams& p, Matrix<T>& out,
+                         const AttentionOptions& opts = {});
+
+template <typename T>
+void dilated2d_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                    const Dilated2DParams& p, SoftmaxState& state,
+                                    const AttentionOptions& opts = {});
+template <typename T>
+void dilated2d_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const Dilated2DParams& p, Matrix<T>& out,
+                         const AttentionOptions& opts = {});
+
+/// Global (non-local): the edge set is (global rows ∪ global columns)
+/// minus the given local window, so it chains after local_attention
+/// without double-counting (§IV-B).
+template <typename T>
+void global_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                 const GlobalMinusLocalParams& p, SoftmaxState& state,
+                                 const AttentionOptions& opts = {});
+template <typename T>
+void global_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                      const GlobalMinusLocalParams& p, Matrix<T>& out,
+                      const AttentionOptions& opts = {});
+
+}  // namespace gpa

@@ -1,0 +1,97 @@
+#pragma once
+// Shared implementation of Algorithm 1 (Graph Processing Attention).
+//
+// Every kernel is the same row-parallel fold; they differ only in the
+// neighbor enumeration (`Get_Neighbors`). The fold below is the paper's
+// inner loop with one algebraic change documented in DESIGN.md §4: the
+// accumulator stays unnormalised (U = l·O) and is divided by l once at
+// finalisation, instead of renormalising on every edge. Per edge:
+//
+//   w      = scale · (Q_i · K_j)          (optionally · mask value)
+//   m_new  = max(m, w)
+//   alpha  = exp(m − m_new), beta = exp(w − m_new)
+//   l      = l·alpha + beta
+//   U_i    = U_i·alpha + beta·V_j
+//
+// which is exactly the paper's update after multiplying through by l.
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/attention_options.hpp"
+#include "core/state.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/softmax.hpp"
+
+namespace gpa::detail {
+
+/// Resolve the score scale (< 0 means 1/sqrt(dk)).
+inline float resolve_scale(float requested, Index head_dim) {
+  if (requested >= 0.0f) return requested;
+  GPA_CHECK(head_dim > 0, "cannot derive 1/sqrt(dk) scale for empty head dimension");
+  return 1.0f / std::sqrt(static_cast<float>(head_dim));
+}
+
+/// Validate the Q/K/V/state shapes shared by all kernels.
+template <typename T>
+void check_inputs(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                  const SoftmaxState& state) {
+  GPA_CHECK(q.rows() == k.rows() && q.rows() == v.rows(),
+            "Q, K, V must share the sequence length");
+  GPA_CHECK(q.cols() == k.cols(), "Q and K must share the head dimension");
+  GPA_CHECK(v.cols() == q.cols(), "this implementation assumes dv == dk, like the paper's");
+  GPA_CHECK(state.seq_len() == q.rows() && state.head_dim() == v.cols(),
+            "softmax state shape mismatch — reset(seq_len, head_dim) first");
+}
+
+/// Fold one (row, neighbor) edge into the row's online-softmax state.
+/// `qi` is the query row, `acc` the unnormalised accumulator.
+template <typename T>
+inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Matrix<T>& v_mat,
+                      Index j, Index head_dim, float scale, float gate, bool use_gate,
+                      OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc) {
+  const T* kj = k_mat.row(j);
+  float w = 0.0f;
+  for (Index p = 0; p < head_dim; ++p) {
+    w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+  }
+  w *= scale;
+  if (use_gate) w *= gate;
+
+  const auto [alpha, beta] = osr.push(w);
+  const T* vj = v_mat.row(j);
+  if (alpha == 1.0f) {  // running max unchanged — skip the rescale multiply
+    for (Index p = 0; p < head_dim; ++p) acc[p] += beta * static_cast<float>(vj[p]);
+  } else {
+    for (Index p = 0; p < head_dim; ++p) {
+      acc[p] = acc[p] * alpha + beta * static_cast<float>(vj[p]);
+    }
+  }
+}
+
+/// The row-parallel driver. `row_enum(i, edge)` must call
+/// `edge(j, gate)` for every neighbor j of row i (gate is the mask value
+/// for explicit formats, 1.0f otherwise).
+template <typename T, typename RowEnum>
+void run_rows(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+              const AttentionOptions& opts, SoftmaxState& state, RowEnum&& row_enum) {
+  check_inputs(q, k, v, state);
+  const Index seq_len = q.rows();
+  const Index head_dim = q.cols();
+  const float scale = resolve_scale(opts.scale, head_dim);
+  const bool use_gate = opts.use_mask_values;
+
+  parallel_for(0, seq_len, opts.policy, [&](Index i) {
+    const T* qi = q.row(i);
+    float* acc = state.acc_row(i);
+    OnlineSoftmaxRow osr{state.m(i), state.l(i)};
+    row_enum(i, [&](Index j, float gate) {
+      fold_edge(qi, k, v, j, head_dim, scale, gate, use_gate, osr, acc);
+    });
+    state.m(i) = osr.m;
+    state.l(i) = osr.l;
+  });
+}
+
+}  // namespace gpa::detail

@@ -1,0 +1,47 @@
+#include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "graph/neighbors.hpp"
+
+namespace gpa {
+
+template <typename T>
+void local_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                                const LocalParams& p, SoftmaxState& state,
+                                const AttentionOptions& opts) {
+  GPA_CHECK(p.window >= 1, "local window must be >= 1");
+  const Index seq_len = q.rows();
+  if (opts.causal) {
+    // Sliding-window causal attention: clamp the forward half of the
+    // window instead of enumerating and discarding.
+    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+      const Index lo = std::max<Index>(0, i - (p.window - 1));
+      for (Index j = lo; j <= i; ++j) edge(j, 1.0f);
+    });
+    return;
+  }
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    local_neighbors(i, seq_len, p, [&](Index j) { edge(j, 1.0f); });
+  });
+}
+
+template <typename T>
+void local_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                     const LocalParams& p, Matrix<T>& out, const AttentionOptions& opts) {
+  SoftmaxState state(q.rows(), v.cols());
+  local_attention_accumulate(q, k, v, p, state, opts);
+  state.finalize_into(out);
+}
+
+template void local_attention_accumulate(const Matrix<float>&, const Matrix<float>&,
+                                         const Matrix<float>&, const LocalParams&,
+                                         SoftmaxState&, const AttentionOptions&);
+template void local_attention_accumulate(const Matrix<half_t>&, const Matrix<half_t>&,
+                                         const Matrix<half_t>&, const LocalParams&,
+                                         SoftmaxState&, const AttentionOptions&);
+template void local_attention(const Matrix<float>&, const Matrix<float>&, const Matrix<float>&,
+                              const LocalParams&, Matrix<float>&, const AttentionOptions&);
+template void local_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                              const Matrix<half_t>&, const LocalParams&, Matrix<half_t>&,
+                              const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,101 @@
+#include "core/multihead.hpp"
+
+#include "common/error.hpp"
+#include "core/graph_attention.hpp"
+
+namespace gpa {
+
+namespace {
+
+template <typename T>
+void slice_head(const Matrix<T>& packed, Index head, Index head_dim, Matrix<T>& out) {
+  const Index off = head * head_dim;
+  for (Index i = 0; i < packed.rows(); ++i) {
+    const T* src = packed.row(i) + off;
+    T* dst = out.row(i);
+    for (Index j = 0; j < head_dim; ++j) dst[j] = src[j];
+  }
+}
+
+template <typename T>
+void unslice_head(const Matrix<T>& head_out, Index head, Index head_dim, Matrix<T>& packed) {
+  const Index off = head * head_dim;
+  for (Index i = 0; i < head_out.rows(); ++i) {
+    const T* src = head_out.row(i);
+    T* dst = packed.row(i) + off;
+    for (Index j = 0; j < head_dim; ++j) dst[j] = src[j];
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void multihead_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const MultiHeadDims& dims, const HeadKernel<T>& kernel,
+                         Matrix<T>& out, const AttentionOptions& opts) {
+  GPA_CHECK(dims.num_heads >= 1 && dims.head_dim >= 1, "bad multi-head dimensions");
+  const Index packed = dims.num_heads * dims.head_dim;
+  GPA_CHECK(q.cols() == packed && k.cols() == packed && v.cols() == packed,
+            "packed width must equal num_heads * head_dim");
+  GPA_CHECK(out.rows() == q.rows() && out.cols() == packed, "output shape mismatch");
+
+  const Index seq_len = q.rows();
+  Matrix<T> qh(seq_len, dims.head_dim), kh(seq_len, dims.head_dim), vh(seq_len, dims.head_dim);
+  Matrix<T> oh(seq_len, dims.head_dim);
+  for (Index h = 0; h < dims.num_heads; ++h) {
+    slice_head(q, h, dims.head_dim, qh);
+    slice_head(k, h, dims.head_dim, kh);
+    slice_head(v, h, dims.head_dim, vh);
+    kernel(qh, kh, vh, oh, opts);
+    unslice_head(oh, h, dims.head_dim, out);
+  }
+}
+
+template <typename T>
+void multihead_csr_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                             const MultiHeadDims& dims, const Csr<float>& mask, Matrix<T>& out,
+                             const AttentionOptions& opts) {
+  multihead_attention<T>(
+      q, k, v, dims,
+      [&mask](const Matrix<T>& qh, const Matrix<T>& kh, const Matrix<T>& vh, Matrix<T>& oh,
+              const AttentionOptions& o) { csr_attention(qh, kh, vh, mask, oh, o); },
+      out, opts);
+}
+
+template <typename T>
+void multihead_local_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                               const MultiHeadDims& dims, const LocalParams& p, Matrix<T>& out,
+                               const AttentionOptions& opts) {
+  multihead_attention<T>(
+      q, k, v, dims,
+      [&p](const Matrix<T>& qh, const Matrix<T>& kh, const Matrix<T>& vh, Matrix<T>& oh,
+           const AttentionOptions& o) { local_attention(qh, kh, vh, p, oh, o); },
+      out, opts);
+}
+
+template void multihead_attention(const Matrix<float>&, const Matrix<float>&,
+                                  const Matrix<float>&, const MultiHeadDims&,
+                                  const HeadKernel<float>&, Matrix<float>&,
+                                  const AttentionOptions&);
+template void multihead_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                  const Matrix<half_t>&, const MultiHeadDims&,
+                                  const HeadKernel<half_t>&, Matrix<half_t>&,
+                                  const AttentionOptions&);
+template void multihead_csr_attention(const Matrix<float>&, const Matrix<float>&,
+                                      const Matrix<float>&, const MultiHeadDims&,
+                                      const Csr<float>&, Matrix<float>&,
+                                      const AttentionOptions&);
+template void multihead_csr_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                      const Matrix<half_t>&, const MultiHeadDims&,
+                                      const Csr<float>&, Matrix<half_t>&,
+                                      const AttentionOptions&);
+template void multihead_local_attention(const Matrix<float>&, const Matrix<float>&,
+                                        const Matrix<float>&, const MultiHeadDims&,
+                                        const LocalParams&, Matrix<float>&,
+                                        const AttentionOptions&);
+template void multihead_local_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                                        const Matrix<half_t>&, const MultiHeadDims&,
+                                        const LocalParams&, Matrix<half_t>&,
+                                        const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,47 @@
+#pragma once
+// Multi-head attention wrapper — the paper's algorithms are single-
+// headed "to facilitate focus on the experiments, though it is trivial
+// to scale them to a multi-headed approach" (§IV-B). This wrapper is
+// that trivial extension: the packed L×(H·dh) projections are sliced per
+// head, each head runs any of the graph kernels (sharing one mask, as
+// sparse-transformer implementations do), and outputs are re-packed.
+
+#include <functional>
+
+#include "core/attention_options.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+struct MultiHeadDims {
+  Index num_heads = 1;
+  Index head_dim = 0;  ///< dh; packed width is num_heads * head_dim
+};
+
+/// Per-head kernel: receives the head's L×dh Q/K/V slices and writes the
+/// head's L×dh output.
+template <typename T>
+using HeadKernel = std::function<void(const Matrix<T>&, const Matrix<T>&, const Matrix<T>&,
+                                      Matrix<T>&, const AttentionOptions&)>;
+
+/// Runs `kernel` independently for every head of the packed inputs.
+template <typename T>
+void multihead_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                         const MultiHeadDims& dims, const HeadKernel<T>& kernel,
+                         Matrix<T>& out, const AttentionOptions& opts = {});
+
+/// Convenience: multi-head over a shared CSR mask.
+template <typename T>
+void multihead_csr_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                             const MultiHeadDims& dims, const Csr<float>& mask, Matrix<T>& out,
+                             const AttentionOptions& opts = {});
+
+/// Convenience: multi-head local attention.
+template <typename T>
+void multihead_local_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                               const MultiHeadDims& dims, const LocalParams& p, Matrix<T>& out,
+                               const AttentionOptions& opts = {});
+
+}  // namespace gpa

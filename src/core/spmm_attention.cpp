@@ -1,0 +1,101 @@
+#include "core/spmm_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/kernel_common.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gpa {
+
+template <typename T>
+Csr<float> sddmm(const Matrix<T>& q, const Matrix<T>& k, const Csr<float>& mask, float scale,
+                 const ExecPolicy& policy) {
+  GPA_CHECK(mask.rows == q.rows() && mask.cols == k.rows(), "SDDMM mask shape mismatch");
+  GPA_CHECK(q.cols() == k.cols(), "SDDMM head dimension mismatch");
+  Csr<float> s;
+  s.rows = mask.rows;
+  s.cols = mask.cols;
+  s.row_offsets = mask.row_offsets;
+  s.col_idx = mask.col_idx;
+  s.values.resize(mask.nnz());
+  const Index d = q.cols();
+
+  parallel_for(0, mask.rows, policy, [&](Index i) {
+    const T* qi = q.row(i);
+    const Index e = mask.row_end(i);
+    for (Index kk = mask.row_begin(i); kk < e; ++kk) {
+      const T* kj = k.row(mask.col_idx[static_cast<std::size_t>(kk)]);
+      float w = 0.0f;
+      for (Index p = 0; p < d; ++p) {
+        w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+      }
+      s.values[static_cast<std::size_t>(kk)] = w * scale;
+    }
+  });
+  return s;
+}
+
+void csr_row_softmax(Csr<float>& scores, const ExecPolicy& policy) {
+  parallel_for(0, scores.rows, policy, [&](Index i) {
+    const Index b = scores.row_begin(i);
+    const Index e = scores.row_end(i);
+    if (b == e) return;
+    float m = -std::numeric_limits<float>::infinity();
+    for (Index k = b; k < e; ++k) m = std::max(m, scores.values[static_cast<std::size_t>(k)]);
+    float l = 0.0f;
+    for (Index k = b; k < e; ++k) {
+      auto& v = scores.values[static_cast<std::size_t>(k)];
+      v = std::exp(v - m);
+      l += v;
+    }
+    const float inv = 1.0f / l;
+    for (Index k = b; k < e; ++k) scores.values[static_cast<std::size_t>(k)] *= inv;
+  });
+}
+
+template <typename T>
+void spmm(const Csr<float>& s, const Matrix<T>& v, Matrix<T>& out, const ExecPolicy& policy) {
+  GPA_CHECK(s.cols == v.rows(), "SpMM inner dimension mismatch");
+  GPA_CHECK(out.rows() == s.rows && out.cols() == v.cols(), "SpMM output shape mismatch");
+  const Index d = v.cols();
+  parallel_for(0, s.rows, policy, [&](Index i) {
+    // Accumulate in float even for half storage.
+    std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
+    const Index e = s.row_end(i);
+    for (Index k = s.row_begin(i); k < e; ++k) {
+      const float w = s.values[static_cast<std::size_t>(k)];
+      const T* vr = v.row(s.col_idx[static_cast<std::size_t>(k)]);
+      for (Index p = 0; p < d; ++p) acc[static_cast<std::size_t>(p)] += w * static_cast<float>(vr[p]);
+    }
+    T* o = out.row(i);
+    for (Index p = 0; p < d; ++p) o[p] = T(acc[static_cast<std::size_t>(p)]);
+  });
+}
+
+template <typename T>
+void spmm_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                    const Csr<float>& mask, Matrix<T>& out, const AttentionOptions& opts) {
+  const float scale = detail::resolve_scale(opts.scale, q.cols());
+  Csr<float> s = sddmm(q, k, mask, scale, opts.policy);
+  csr_row_softmax(s, opts.policy);
+  spmm(s, v, out, opts.policy);
+}
+
+template Csr<float> sddmm(const Matrix<float>&, const Matrix<float>&, const Csr<float>&, float,
+                          const ExecPolicy&);
+template Csr<float> sddmm(const Matrix<half_t>&, const Matrix<half_t>&, const Csr<float>&,
+                          float, const ExecPolicy&);
+template void spmm(const Csr<float>&, const Matrix<float>&, Matrix<float>&, const ExecPolicy&);
+template void spmm(const Csr<float>&, const Matrix<half_t>&, Matrix<half_t>&,
+                   const ExecPolicy&);
+template void spmm_attention(const Matrix<float>&, const Matrix<float>&, const Matrix<float>&,
+                             const Csr<float>&, Matrix<float>&, const AttentionOptions&);
+template void spmm_attention(const Matrix<half_t>&, const Matrix<half_t>&,
+                             const Matrix<half_t>&, const Csr<float>&, Matrix<half_t>&,
+                             const AttentionOptions&);
+
+}  // namespace gpa

@@ -1,0 +1,41 @@
+#pragma once
+// Two-phase sparse attention in the style of graph-BLAS pipelines — the
+// alternative the paper names in §VI-A ("representation of our
+// algorithms using performant functions from graph processing libraries
+// like GraphBLAS and cuSPARSE"). Pipeline:
+//
+//   1. masked SDDMM:   S = mask ⊙ (scale · QKᵀ)   (CSR values)
+//   2. CSR row softmax (two-pass, stable)
+//   3. SpMM:           O = S · V
+//
+// Same O(Sf·L²·d) work as the fused kernels but it materialises the
+// score matrix (O(Sf·L²) extra memory) and reads V twice — the ablation
+// bench quantifies that trade.
+
+#include "core/attention_options.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// Masked sampled dense-dense product: values[k] = scale·(Q_i · K_j) for
+/// each stored (i, j). Returns a CSR sharing the mask's structure.
+template <typename T>
+Csr<float> sddmm(const Matrix<T>& q, const Matrix<T>& k, const Csr<float>& mask, float scale,
+                 const ExecPolicy& policy = {});
+
+/// In-place numerically stable softmax over each CSR row (empty rows
+/// stay empty == all-zero output rows).
+void csr_row_softmax(Csr<float>& scores, const ExecPolicy& policy = {});
+
+/// O = S · V over the CSR structure.
+template <typename T>
+void spmm(const Csr<float>& s, const Matrix<T>& v, Matrix<T>& out,
+          const ExecPolicy& policy = {});
+
+/// The full two-phase pipeline.
+template <typename T>
+void spmm_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+                    const Csr<float>& mask, Matrix<T>& out, const AttentionOptions& opts = {});
+
+}  // namespace gpa

@@ -1,0 +1,46 @@
+#pragma once
+// Persistent online-softmax state: the (O, l, m) triple of Algorithm 1.
+//
+// Keeping the accumulator *unnormalised* between kernel calls is what
+// makes sequential composition work: the paper evaluates Longformer as
+// "a double kernel call of our local and global" and BigBird as
+// "local; global; CSR" (§V-F) — each call folds more edges into the same
+// state, and one final normalisation yields attention over the union of
+// the (disjoint) edge sets.
+
+#include <vector>
+
+#include "common/half.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+class SoftmaxState {
+ public:
+  SoftmaxState() = default;
+  SoftmaxState(Index seq_len, Index head_dim) { reset(seq_len, head_dim); }
+
+  /// Zero accumulator, l = 0, m = -inf for every row.
+  void reset(Index seq_len, Index head_dim);
+
+  Index seq_len() const noexcept { return acc_.rows(); }
+  Index head_dim() const noexcept { return acc_.cols(); }
+
+  float* acc_row(Index i) noexcept { return acc_.row(i); }
+  const float* acc_row(Index i) const noexcept { return acc_.row(i); }
+  float& m(Index i) noexcept { return m_[static_cast<std::size_t>(i)]; }
+  float& l(Index i) noexcept { return l_[static_cast<std::size_t>(i)]; }
+  float m(Index i) const noexcept { return m_[static_cast<std::size_t>(i)]; }
+  float l(Index i) const noexcept { return l_[static_cast<std::size_t>(i)]; }
+
+  /// O[i] = acc[i] / l[i] (zero rows where l == 0: fully-masked rows).
+  void finalize_into(Matrix<float>& out) const;
+  void finalize_into(Matrix<half_t>& out) const;
+
+ private:
+  Matrix<float> acc_;
+  std::vector<float> m_;
+  std::vector<float> l_;
+};
+
+}  // namespace gpa

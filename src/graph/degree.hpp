@@ -1,0 +1,34 @@
+#pragma once
+// Per-row degree statistics. §V-C explains the global kernel's slow
+// scaling via work imbalance across rows ("the algorithm can only be as
+// fast as its slowest block"); these statistics quantify that skew and
+// feed the NNZ-balanced sequence partitioner (seqpar/).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+
+namespace gpa {
+
+struct DegreeStats {
+  Size total = 0;       ///< sum of degrees (graph edge count)
+  Index min_degree = 0;
+  Index max_degree = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// max/mean — 1.0 means perfectly balanced rows; the paper's global
+  /// mask drives this toward L/g.
+  double imbalance = 0.0;
+};
+
+DegreeStats degree_stats(const std::vector<Index>& degrees);
+
+std::vector<Index> csr_degrees(const Csr<float>& mask);
+std::vector<Index> local_degrees(Index seq_len, const LocalParams& p);
+std::vector<Index> dilated1d_degrees(Index seq_len, const Dilated1DParams& p);
+std::vector<Index> dilated2d_degrees(const Dilated2DParams& p);
+std::vector<Index> global_minus_local_degrees(Index seq_len, const GlobalMinusLocalParams& p);
+
+}  // namespace gpa

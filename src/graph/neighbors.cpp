@@ -1,0 +1,46 @@
+#include "graph/neighbors.hpp"
+
+namespace gpa {
+
+CooRowBounds coo_row_bounds_linear(const Coo<float>& mask, Index i) {
+  const Index n = static_cast<Index>(mask.nnz());
+  Index k = 0;
+  while (k < n && mask.row_idx[static_cast<std::size_t>(k)] < i) ++k;
+  Index last = k;
+  while (last < n && mask.row_idx[static_cast<std::size_t>(last)] == i) ++last;
+  return {k, last};
+}
+
+CooRowBounds coo_row_bounds_binary(const Coo<float>& mask, Index i) {
+  const auto first = std::lower_bound(mask.row_idx.begin(), mask.row_idx.end(), i);
+  const auto last = std::upper_bound(first, mask.row_idx.end(), i);
+  return {static_cast<Index>(first - mask.row_idx.begin()),
+          static_cast<Index>(last - mask.row_idx.begin())};
+}
+
+std::vector<Index> collect_local(Index i, Index seq_len, const LocalParams& p) {
+  std::vector<Index> out;
+  local_neighbors(i, seq_len, p, [&](Index j) { out.push_back(j); });
+  return out;
+}
+
+std::vector<Index> collect_dilated1d(Index i, Index seq_len, const Dilated1DParams& p) {
+  std::vector<Index> out;
+  dilated1d_neighbors(i, seq_len, p, [&](Index j) { out.push_back(j); });
+  return out;
+}
+
+std::vector<Index> collect_dilated2d(Index i, const Dilated2DParams& p) {
+  std::vector<Index> out;
+  dilated2d_neighbors(i, p, [&](Index j) { out.push_back(j); });
+  return out;
+}
+
+std::vector<Index> collect_global_minus_local(Index i, Index seq_len,
+                                              const GlobalMinusLocalParams& p) {
+  std::vector<Index> out;
+  global_minus_local_neighbors(i, seq_len, p, [&](Index j) { out.push_back(j); });
+  return out;
+}
+
+}  // namespace gpa

@@ -1,0 +1,121 @@
+#include "memmodel/memory_model.hpp"
+
+#include <cmath>
+#include <iterator>
+
+#include "common/error.hpp"
+
+namespace gpa::memmodel {
+
+std::string_view algo_name(Algo a) {
+  switch (a) {
+    case Algo::SdpMasked: return "sdp-masked";
+    case Algo::Csr: return "csr";
+    case Algo::Coo: return "coo";
+    case Algo::FlashDense: return "flash-dense";
+    case Algo::Local: return "local";
+    case Algo::Dilated1D: return "dilated-1d";
+    case Algo::Dilated2D: return "dilated-2d";
+    case Algo::Global: return "global";
+    case Algo::SpmmTwoPhase: return "spmm-two-phase";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All arithmetic in long double: exact for every quantity below 2^64 at
+/// the magnitudes involved (worst relative error ~1e-18 of the budget).
+long double nnz_of(long double L, double sf) { return sf * L * L; }
+
+long double bytes_ld(Algo algo, long double L, const ModelConfig& cfg) {
+  const auto s = static_cast<long double>(dtype_size(cfg.dtype));
+  const auto D = static_cast<long double>(cfg.embed_dim);
+  const auto H = static_cast<long double>(cfg.heads);
+  constexpr long double idx = kSparseIndexBytes;
+
+  const long double qkvo = 4.0L * L * D * s;
+  const long double stats = 2.0L * L * H * s;
+  const long double nnz = nnz_of(L, cfg.sparsity);
+
+  switch (algo) {
+    case Algo::SdpMasked:
+      return qkvo + H * L * L * s;
+    case Algo::Csr:
+      return qkvo + stats + H * ((L + 1) * idx + nnz * (idx + s));
+    case Algo::Coo:
+      return qkvo + stats + H * nnz * (2 * idx + s);
+    case Algo::FlashDense:
+    case Algo::Local:
+    case Algo::Dilated1D:
+    case Algo::Dilated2D:
+      return qkvo + stats;
+    case Algo::Global:
+      return qkvo + stats + idx * std::llround(static_cast<double>(cfg.sparsity) *
+                                               static_cast<double>(L));
+    case Algo::SpmmTwoPhase:
+      // Mask structure + fp32 score values alongside QKVO and stats.
+      return qkvo + stats + H * ((L + 1) * idx + nnz * idx + nnz * s + nnz * 4.0L);
+  }
+  return 0.0L;
+}
+
+}  // namespace
+
+Size bytes_required(Algo algo, Index seq_len, const ModelConfig& cfg) {
+  GPA_CHECK(seq_len >= 0, "context length must be non-negative");
+  GPA_CHECK(cfg.embed_dim >= 1 && cfg.heads >= 1, "bad model config");
+  GPA_CHECK(cfg.sparsity >= 0.0 && cfg.sparsity <= 1.0, "Sf must be in [0,1]");
+  const long double b = bytes_ld(algo, static_cast<long double>(seq_len), cfg);
+  return static_cast<Size>(b);
+}
+
+Index max_context_length(Algo algo, const DeviceSpec& device, const ModelConfig& cfg) {
+  const auto budget = static_cast<long double>(device.memory_bytes);
+  if (bytes_ld(algo, 1.0L, cfg) > budget) return 0;
+  // Exponential bracket, then bisection (bytes_ld is monotone in L).
+  Index lo = 1;
+  Index hi = 2;
+  while (bytes_ld(algo, static_cast<long double>(hi), cfg) <= budget) {
+    lo = hi;
+    GPA_CHECK(hi < (Index{1} << 60), "context length bracket overflow");
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const Index mid = lo + (hi - lo) / 2;
+    if (bytes_ld(algo, static_cast<long double>(mid), cfg) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<SparsityTableEntry> longnet_sparsity_table() {
+  const Index lengths[] = {16'384,      32'768,      1'000'000,  10'000'000,
+                           100'000'000, 160'000'000, 1'000'000'000};
+  std::vector<SparsityTableEntry> out;
+  out.reserve(std::size(lengths));
+  for (const Index L : lengths) {
+    out.push_back({L, 2730.0 / static_cast<double>(L)});
+  }
+  return out;
+}
+
+Table2Row table2_row(const DeviceSpec& device, const ModelConfig& cfg) {
+  Table2Row row;
+  row.cfg = cfg;
+  row.sdp = max_context_length(Algo::SdpMasked, device, cfg);
+  row.csr = max_context_length(Algo::Csr, device, cfg);
+  row.coo = max_context_length(Algo::Coo, device, cfg);
+  row.flash = cfg.dtype == DType::F16 ? max_context_length(Algo::FlashDense, device, cfg)
+                                      : Index{-1};  // "FlashAttention does not operate on FP32"
+  row.local = max_context_length(Algo::Local, device, cfg);
+  row.global = max_context_length(Algo::Global, device, cfg);
+  row.dilated1d = max_context_length(Algo::Dilated1D, device, cfg);
+  row.dilated2d = max_context_length(Algo::Dilated2D, device, cfg);
+  return row;
+}
+
+}  // namespace gpa::memmodel

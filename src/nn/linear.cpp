@@ -1,0 +1,76 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpa::nn {
+
+Linear::Linear(Index in_features, Index out_features)
+    : weight_(out_features, in_features), bias_(static_cast<std::size_t>(out_features), 0.0f) {
+  GPA_CHECK(in_features >= 1 && out_features >= 1, "linear layer needs positive extents");
+}
+
+void Linear::init(Rng& rng) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(weight_.rows() + weight_.cols()));
+  for (Index i = 0; i < weight_.rows(); ++i) {
+    float* row = weight_.row(i);
+    for (Index j = 0; j < weight_.cols(); ++j) {
+      row[j] = (2.0f * rng.next_float() - 1.0f) * bound;
+    }
+  }
+  for (auto& b : bias_) b = 0.0f;
+}
+
+void Linear::apply(const Matrix<float>& x, Matrix<float>& y) const {
+  GPA_CHECK(x.cols() == weight_.cols(), "linear: input feature mismatch");
+  GPA_CHECK(y.rows() == x.rows() && y.cols() == weight_.rows(), "linear: output shape mismatch");
+  for (Index i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    float* yi = y.row(i);
+    for (Index o = 0; o < weight_.rows(); ++o) {
+      const float* w = weight_.row(o);
+      float acc = bias_[static_cast<std::size_t>(o)];
+      for (Index p = 0; p < weight_.cols(); ++p) acc += xi[p] * w[p];
+      yi[o] = acc;
+    }
+  }
+}
+
+LayerNorm::LayerNorm(Index features, float eps)
+    : gamma_(static_cast<std::size_t>(features), 1.0f),
+      beta_(static_cast<std::size_t>(features), 0.0f),
+      eps_(eps) {
+  GPA_CHECK(features >= 1, "layer norm needs positive width");
+}
+
+void LayerNorm::apply(const Matrix<float>& x, Matrix<float>& y) const {
+  GPA_CHECK(x.cols() == features(), "layer norm: width mismatch");
+  GPA_CHECK(y.rows() == x.rows() && y.cols() == x.cols(), "layer norm: output shape mismatch");
+  const Index d = x.cols();
+  for (Index i = 0; i < x.rows(); ++i) {
+    const float* xi = x.row(i);
+    float mean = 0.0f;
+    for (Index p = 0; p < d; ++p) mean += xi[p];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (Index p = 0; p < d; ++p) var += (xi[p] - mean) * (xi[p] - mean);
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + eps_);
+    float* yi = y.row(i);
+    for (Index p = 0; p < d; ++p) {
+      yi[p] = (xi[p] - mean) * inv * gamma_[static_cast<std::size_t>(p)] +
+              beta_[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+void gelu_inplace(Matrix<float>& x) {
+  float* p = x.data();
+  const std::size_t n = static_cast<std::size_t>(x.rows()) * static_cast<std::size_t>(x.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = 0.5f * p[i] * (1.0f + std::erf(p[i] * 0.70710678f));
+  }
+}
+
+}  // namespace gpa::nn

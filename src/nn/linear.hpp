@@ -1,0 +1,53 @@
+#pragma once
+// Minimal dense layers for the transformer-layer integration demo. The
+// paper ships its kernels as a PyTorch extension so they can drop into
+// existing LLMs; this module is the C++ analogue — just enough model
+// plumbing (linear, layer norm, GELU MLP) to host the attention kernels
+// inside a real encoder layer.
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::nn {
+
+/// y = x · Wᵀ + b  (x: L×in, W: out×in, b: out).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(Index in_features, Index out_features);
+
+  /// Xavier-uniform init, deterministic per rng stream.
+  void init(Rng& rng);
+
+  void apply(const Matrix<float>& x, Matrix<float>& y) const;
+
+  Index in_features() const noexcept { return weight_.cols(); }
+  Index out_features() const noexcept { return weight_.rows(); }
+  Matrix<float>& weight() noexcept { return weight_; }
+  std::vector<float>& bias() noexcept { return bias_; }
+
+ private:
+  Matrix<float> weight_;
+  std::vector<float> bias_;
+};
+
+/// Row-wise layer normalisation with learnable gain/offset.
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  explicit LayerNorm(Index features, float eps = 1e-5f);
+
+  void apply(const Matrix<float>& x, Matrix<float>& y) const;
+
+  Index features() const noexcept { return static_cast<Index>(gamma_.size()); }
+
+ private:
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  float eps_ = 1e-5f;
+};
+
+/// Exact GELU, applied element-wise in place.
+void gelu_inplace(Matrix<float>& x);
+
+}  // namespace gpa::nn

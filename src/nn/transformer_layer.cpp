@@ -1,0 +1,84 @@
+#include "nn/transformer_layer.hpp"
+
+#include "common/error.hpp"
+#include "core/graph_attention.hpp"
+
+namespace gpa::nn {
+
+TransformerLayer::TransformerLayer(TransformerLayerConfig cfg, Csr<float> mask)
+    : cfg_(cfg),
+      mask_(std::move(mask)),
+      wq_(cfg.embed_dim, cfg.embed_dim),
+      wk_(cfg.embed_dim, cfg.embed_dim),
+      wv_(cfg.embed_dim, cfg.embed_dim),
+      wo_(cfg.embed_dim, cfg.embed_dim),
+      ffn1_(cfg.embed_dim, cfg.ffn_dim),
+      ffn2_(cfg.ffn_dim, cfg.embed_dim),
+      ln1_(cfg.embed_dim),
+      ln2_(cfg.embed_dim) {
+  GPA_CHECK(cfg.embed_dim % cfg.num_heads == 0, "embed_dim must divide into heads");
+  GPA_CHECK(mask_.rows == mask_.cols, "attention masks are square");
+}
+
+void TransformerLayer::init(Rng& rng) {
+  wq_.init(rng);
+  wk_.init(rng);
+  wv_.init(rng);
+  wo_.init(rng);
+  ffn1_.init(rng);
+  ffn2_.init(rng);
+}
+
+void TransformerLayer::forward(const Matrix<float>& x, Matrix<float>& y) const {
+  const Index L = x.rows();
+  const Index d = cfg_.embed_dim;
+  GPA_CHECK(x.cols() == d, "transformer layer: input width mismatch");
+  GPA_CHECK(mask_.rows == L, "transformer layer: mask built for a different sequence length");
+  GPA_CHECK(y.rows() == L && y.cols() == d, "transformer layer: output shape mismatch");
+
+  // --- Attention block (pre-norm) ---
+  Matrix<float> normed(L, d);
+  ln1_.apply(x, normed);
+  Matrix<float> q(L, d), k(L, d), v(L, d);
+  wq_.apply(normed, q);
+  wk_.apply(normed, k);
+  wv_.apply(normed, v);
+
+  Matrix<float> attn(L, d);
+  multihead_csr_attention(q, k, v, MultiHeadDims{cfg_.num_heads, d / cfg_.num_heads}, mask_,
+                          attn, cfg_.attention);
+
+  Matrix<float> projected(L, d);
+  wo_.apply(attn, projected);
+  Matrix<float> h(L, d);
+  for (Index i = 0; i < L; ++i) {
+    const float* xi = x.row(i);
+    const float* pi = projected.row(i);
+    float* hi = h.row(i);
+    for (Index p = 0; p < d; ++p) hi[p] = xi[p] + pi[p];  // residual
+  }
+
+  // --- Feed-forward block (pre-norm) ---
+  Matrix<float> normed2(L, d);
+  ln2_.apply(h, normed2);
+  Matrix<float> mid(L, cfg_.ffn_dim);
+  ffn1_.apply(normed2, mid);
+  gelu_inplace(mid);
+  Matrix<float> ffn_out(L, d);
+  ffn2_.apply(mid, ffn_out);
+  for (Index i = 0; i < L; ++i) {
+    const float* hi = h.row(i);
+    const float* fi = ffn_out.row(i);
+    float* yi = y.row(i);
+    for (Index p = 0; p < d; ++p) yi[p] = hi[p] + fi[p];  // residual
+  }
+}
+
+Size TransformerLayer::parameter_count() const noexcept {
+  const Size d = static_cast<Size>(cfg_.embed_dim);
+  const Size f = static_cast<Size>(cfg_.ffn_dim);
+  // 4 projections (d² + d each), 2 FFN matrices, 2 layer norms (2d each).
+  return 4 * (d * d + d) + (d * f + f) + (f * d + d) + 2 * (2 * d);
+}
+
+}  // namespace gpa::nn

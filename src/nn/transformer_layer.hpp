@@ -1,0 +1,56 @@
+#pragma once
+// A complete pre-norm transformer encoder layer hosting the graph-
+// processing attention kernels — the "seamless integration into existing
+// LLMs" deliverable, in C++:
+//
+//   h = x + W_O · MultiHeadGraphAttention(LN1(x))
+//   y = h + W2 · GELU(W1 · LN2(h))
+//
+// The attention mask is part of the layer configuration (a ComposedMask
+// preset or any CSR mask), exactly how Longformer/BigBird wire their
+// sparse patterns into each layer.
+
+#include <memory>
+
+#include "core/attention_options.hpp"
+#include "core/multihead.hpp"
+#include "nn/linear.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::nn {
+
+struct TransformerLayerConfig {
+  Index embed_dim = 64;
+  Index num_heads = 4;
+  Index ffn_dim = 256;
+  AttentionOptions attention;
+};
+
+class TransformerLayer {
+ public:
+  /// The mask is shared across heads and batch items; it must be L×L for
+  /// every sequence passed to forward.
+  TransformerLayer(TransformerLayerConfig cfg, Csr<float> mask);
+
+  /// Deterministic parameter initialisation.
+  void init(Rng& rng);
+
+  /// x: L×embed_dim -> y: L×embed_dim.
+  void forward(const Matrix<float>& x, Matrix<float>& y) const;
+
+  const TransformerLayerConfig& config() const noexcept { return cfg_; }
+  const Csr<float>& mask() const noexcept { return mask_; }
+
+  /// Total learnable parameter count.
+  Size parameter_count() const noexcept;
+
+ private:
+  TransformerLayerConfig cfg_;
+  Csr<float> mask_;
+  Linear wq_, wk_, wv_, wo_;
+  Linear ffn1_, ffn2_;
+  LayerNorm ln1_, ln2_;
+};
+
+}  // namespace gpa::nn

@@ -1,0 +1,32 @@
+#pragma once
+// Execution policy for the row-parallel kernels.
+//
+// The paper parallelises every algorithm "along the L dimension,
+// simultaneously operating on rows of the attention matrix" with one
+// CUDA block per row. This substrate reproduces that execution model on
+// shared-memory CPUs: a parallel_for over row indices, with the
+// scheduling discipline made explicit because it is load-bearing for the
+// paper's analysis (§V-C: the global mask creates a skewed per-row work
+// distribution, and "the algorithm can only be as fast as its slowest
+// block" — visible under static scheduling, mitigated by dynamic).
+
+#include <cstdint>
+
+namespace gpa {
+
+enum class Schedule : std::uint8_t {
+  Static,   ///< contiguous row ranges per worker (CUDA grid-stride analogue)
+  Dynamic,  ///< workers steal chunks of `grain` rows (load-balancing)
+};
+
+struct ExecPolicy {
+  /// 0 = use all hardware threads.
+  int num_threads = 0;
+  /// Rows handed out per scheduling decision under Dynamic.
+  std::int64_t grain = 64;
+  Schedule schedule = Schedule::Static;
+
+  static ExecPolicy serial() { return {1, 1, Schedule::Static}; }
+};
+
+}  // namespace gpa

@@ -1,0 +1,30 @@
+#include "parallel/memory_tracker.hpp"
+
+#include <sstream>
+
+namespace gpa {
+
+void MemoryTracker::allocate(Size bytes) {
+  Size prev = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const Size next = prev + bytes;
+    if (next > spec_.memory_bytes || next < prev) {  // exceeded or overflowed
+      std::ostringstream os;
+      os << spec_.name << ": out of device memory — requested " << bytes << " B with " << prev
+         << " B in use of " << spec_.memory_bytes << " B";
+      throw OutOfDeviceMemory(os.str());
+    }
+    if (used_.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
+      Size seen = peak_.load(std::memory_order_relaxed);
+      while (seen < next && !peak_.compare_exchange_weak(seen, next, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+  }
+}
+
+void MemoryTracker::release(Size bytes) noexcept {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace gpa

@@ -1,0 +1,65 @@
+#pragma once
+// Byte-budget allocator that emulates a device memory capacity.
+//
+// The paper's Table II is derived "by solving inequalities that relate
+// the total GPU memory to the amount of memory occupied by tensors
+// during runtime". The analytic side lives in memmodel/; this tracker is
+// the empirical side: allocations registered against it fail with
+// OutOfDeviceMemory once the budget is exceeded, letting tests observe
+// the same feasibility boundary the formulas predict.
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "parallel/device_spec.hpp"
+
+namespace gpa {
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  /// Reserve `bytes`; throws OutOfDeviceMemory if the budget would be
+  /// exceeded. Thread-safe.
+  void allocate(Size bytes);
+
+  /// Release `bytes` previously allocated.
+  void release(Size bytes) noexcept;
+
+  Size in_use() const noexcept { return used_.load(std::memory_order_relaxed); }
+  Size peak() const noexcept { return peak_.load(std::memory_order_relaxed); }
+  Size capacity() const noexcept { return spec_.memory_bytes; }
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+  std::atomic<Size> used_{0};
+  std::atomic<Size> peak_{0};
+};
+
+/// RAII lease on tracked bytes.
+class MemoryLease {
+ public:
+  MemoryLease(MemoryTracker& tracker, Size bytes) : tracker_(&tracker), bytes_(bytes) {
+    tracker_->allocate(bytes_);
+  }
+  ~MemoryLease() {
+    if (tracker_ != nullptr) tracker_->release(bytes_);
+  }
+  MemoryLease(MemoryLease&& other) noexcept : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+  }
+  MemoryLease& operator=(MemoryLease&&) = delete;
+  MemoryLease(const MemoryLease&) = delete;
+  MemoryLease& operator=(const MemoryLease&) = delete;
+
+  Size bytes() const noexcept { return bytes_; }
+
+ private:
+  MemoryTracker* tracker_;
+  Size bytes_;
+};
+
+}  // namespace gpa

@@ -1,0 +1,141 @@
+#include "parallel/parallel_for.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+int resolved_threads(const ExecPolicy& policy) noexcept {
+  if (policy.num_threads > 0) return policy.num_threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+#if !defined(GPA_HAVE_OPENMP)
+/// Shared fork/join driver. Under Static each worker owns one contiguous
+/// slice; under Dynamic workers pull `grain`-sized chunks from a shared
+/// counter (work stealing by atomic fetch-add).
+void run_workers(Index begin, Index end, const ExecPolicy& policy,
+                 const std::function<void(Index, Index)>& chunk_body) {
+  const Index n = end - begin;
+  if (n <= 0) return;
+  const int threads = resolved_threads(policy);
+
+  if (threads == 1) {
+    chunk_body(begin, end);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+
+  auto guarded = [&](Index lo, Index hi) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    try {
+      chunk_body(lo, hi);
+    } catch (...) {
+      bool expected = false;
+      if (failed.compare_exchange_strong(expected, true)) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+
+  if (policy.schedule == Schedule::Static) {
+    const Index per = (n + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const Index lo = begin + static_cast<Index>(t) * per;
+      const Index hi = lo + per < end ? lo + per : end;
+      if (lo >= hi) break;
+      pool.emplace_back(guarded, lo, hi);
+    }
+  } else {
+    const Index grain = policy.grain > 0 ? policy.grain : 1;
+    auto next = std::make_shared<std::atomic<Index>>(begin);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, next] {
+        for (;;) {
+          const Index lo = next->fetch_add(grain, std::memory_order_relaxed);
+          if (lo >= end) return;
+          const Index hi = lo + grain < end ? lo + grain : end;
+          guarded(lo, hi);
+          if (failed.load(std::memory_order_relaxed)) return;
+        }
+      });
+    }
+  }
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+#endif  // !GPA_HAVE_OPENMP
+
+}  // namespace
+
+void parallel_for_chunks(Index begin, Index end, const ExecPolicy& policy,
+                         const std::function<void(Index, Index)>& body) {
+#if defined(GPA_HAVE_OPENMP)
+  const Index n = end - begin;
+  if (n <= 0) return;
+  const int threads = resolved_threads(policy);
+  if (threads == 1) {
+    body(begin, end);
+    return;
+  }
+  const Index grain = policy.grain > 0 ? policy.grain : 1;
+  const Index chunks = (n + grain - 1) / grain;
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  if (policy.schedule == Schedule::Static) {
+#pragma omp parallel for num_threads(threads) schedule(static)
+    for (Index c = 0; c < chunks; ++c) {
+      if (failed.load(std::memory_order_relaxed)) continue;
+      try {
+        const Index lo = begin + c * grain;
+        const Index hi = lo + grain < end ? lo + grain : end;
+        body(lo, hi);
+      } catch (...) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) first_error = std::current_exception();
+      }
+    }
+  } else {
+#pragma omp parallel for num_threads(threads) schedule(dynamic, 1)
+    for (Index c = 0; c < chunks; ++c) {
+      if (failed.load(std::memory_order_relaxed)) continue;
+      try {
+        const Index lo = begin + c * grain;
+        const Index hi = lo + grain < end ? lo + grain : end;
+        body(lo, hi);
+      } catch (...) {
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true)) first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+#else
+  run_workers(begin, end, policy, body);
+#endif
+}
+
+void parallel_for(Index begin, Index end, const ExecPolicy& policy,
+                  const std::function<void(Index)>& body) {
+  parallel_for_chunks(begin, end, policy, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace gpa

@@ -1,0 +1,27 @@
+#pragma once
+// Row-parallel loop: the CPU analogue of launching one CUDA block per
+// attention row. Dispatches to OpenMP when available, otherwise to a
+// std::thread fork/join implementation with the same semantics.
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "parallel/exec_policy.hpp"
+
+namespace gpa {
+
+/// Invokes `body(i)` for every i in [begin, end), in parallel according
+/// to `policy`. `body` must be safe to run concurrently for distinct i.
+/// Exceptions thrown by `body` propagate to the caller (first one wins).
+void parallel_for(Index begin, Index end, const ExecPolicy& policy,
+                  const std::function<void(Index)>& body);
+
+/// Range-chunked variant: `body(lo, hi)` over disjoint sub-ranges.
+/// Used by kernels that keep per-chunk scratch buffers.
+void parallel_for_chunks(Index begin, Index end, const ExecPolicy& policy,
+                         const std::function<void(Index, Index)>& body);
+
+/// Number of workers the policy resolves to on this machine.
+int resolved_threads(const ExecPolicy& policy) noexcept;
+
+}  // namespace gpa

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal persistent thread pool used when OpenMP is disabled and by the
+// sequence-parallel cluster simulator (which needs long-lived "nodes"
+// rather than fork/join loops).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpa {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::int64_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace gpa

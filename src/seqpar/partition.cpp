@@ -1,0 +1,80 @@
+#include "seqpar/partition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/degree.hpp"
+
+namespace gpa::seqpar {
+
+double Partition::imbalance() const {
+  if (work.empty()) return 0.0;
+  Size total = 0;
+  Size max_w = 0;
+  for (const Size w : work) {
+    total += w;
+    max_w = std::max(max_w, w);
+  }
+  if (total == 0) return 1.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(work.size());
+  return static_cast<double>(max_w) / mean;
+}
+
+namespace {
+
+Partition from_boundaries(std::vector<Index> boundaries, const std::vector<Index>& degrees) {
+  Partition part;
+  part.boundaries = std::move(boundaries);
+  part.work.resize(part.boundaries.size() - 1, 0);
+  for (std::size_t p = 0; p + 1 < part.boundaries.size(); ++p) {
+    Size w = 0;
+    for (Index i = part.boundaries[p]; i < part.boundaries[p + 1]; ++i) {
+      w += static_cast<Size>(degrees[static_cast<std::size_t>(i)]);
+    }
+    part.work[p] = w;
+  }
+  return part;
+}
+
+}  // namespace
+
+Partition partition_uniform_rows(Index seq_len, Index parts,
+                                 const std::vector<Index>& degrees) {
+  GPA_CHECK(parts >= 1, "need at least one part");
+  GPA_CHECK(static_cast<Index>(degrees.size()) == seq_len, "degree vector length mismatch");
+  std::vector<Index> b(static_cast<std::size_t>(parts) + 1);
+  for (Index p = 0; p <= parts; ++p) {
+    b[static_cast<std::size_t>(p)] = seq_len * p / parts;
+  }
+  return from_boundaries(std::move(b), degrees);
+}
+
+Partition partition_balanced_nnz(Index seq_len, Index parts,
+                                 const std::vector<Index>& degrees) {
+  GPA_CHECK(parts >= 1, "need at least one part");
+  GPA_CHECK(static_cast<Index>(degrees.size()) == seq_len, "degree vector length mismatch");
+
+  // Prefix sums, then place each boundary at the first row whose prefix
+  // reaches p/parts of the total.
+  std::vector<Size> prefix(static_cast<std::size_t>(seq_len) + 1, 0);
+  for (Index i = 0; i < seq_len; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + static_cast<Size>(degrees[static_cast<std::size_t>(i)]);
+  }
+  const Size total = prefix.back();
+
+  std::vector<Index> b(static_cast<std::size_t>(parts) + 1, 0);
+  b[static_cast<std::size_t>(parts)] = seq_len;
+  for (Index p = 1; p < parts; ++p) {
+    const Size target = total * static_cast<Size>(p) / static_cast<Size>(parts);
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    Index row = static_cast<Index>(it - prefix.begin());
+    row = std::clamp<Index>(row, b[static_cast<std::size_t>(p) - 1], seq_len);
+    b[static_cast<std::size_t>(p)] = row;
+  }
+  return from_boundaries(std::move(b), degrees);
+}
+
+std::vector<Index> degrees_of(const Csr<float>& mask) { return csr_degrees(mask); }
+
+}  // namespace gpa::seqpar

@@ -1,0 +1,41 @@
+#pragma once
+// Sequence partitioning for distributed execution — §VI-A future work:
+// "to support distributed training across multiple nodes, we will
+// implement distributed memory versions of the algorithms ... along with
+// graph partitioning techniques to load balance work across the nodes."
+//
+// Rows (tokens) are assigned to P nodes. Work per row is its degree
+// (edges = dot products), so a contiguous equal-*rows* split is balanced
+// only for uniform masks; a global mask concentrates work in a few rows.
+// The NNZ-balanced partitioner splits by prefix sums of degree instead.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace gpa::seqpar {
+
+struct Partition {
+  /// boundaries[p] .. boundaries[p+1] is node p's contiguous row range.
+  std::vector<Index> boundaries;  ///< size parts+1, boundaries[0] == 0
+  std::vector<Size> work;         ///< edges owned by each part
+
+  Index parts() const noexcept { return static_cast<Index>(work.size()); }
+  /// max(work) / mean(work); 1.0 is perfect balance.
+  double imbalance() const;
+};
+
+/// Equal row count per node (the naive split).
+Partition partition_uniform_rows(Index seq_len, Index parts,
+                                 const std::vector<Index>& degrees);
+
+/// Contiguous ranges with (greedily) equalised edge counts via prefix
+/// sums of `degrees`.
+Partition partition_balanced_nnz(Index seq_len, Index parts,
+                                 const std::vector<Index>& degrees);
+
+/// Degrees for a CSR mask (convenience shim over graph/degree).
+std::vector<Index> degrees_of(const Csr<float>& mask);
+
+}  // namespace gpa::seqpar

@@ -1,0 +1,41 @@
+#pragma once
+// Ring-attention-style sequence parallelism (related work §III: "Ring
+// attention achieves sequence parallelism for block sparse attention
+// masks"). Unlike the all-gather cluster in sim_cluster.hpp — where
+// every node receives the full K/V — each node here owns only its own
+// K/V *shard*, and shards rotate around a ring for P steps. At step s,
+// node p processes exactly the mask edges whose columns fall inside the
+// shard it currently holds, folding them into its rows' persistent
+// online-softmax state (the same SoftmaxState mechanism that powers
+// sequential mask composition). After P steps every edge has been
+// visited once and one finalisation yields the exact attention output.
+//
+// Peak per-node memory is O((L/P)·d) for K/V instead of O(L·d) — the
+// property that lets ring attention reach "near-infinite" context — and
+// the per-step communication volume is one shard.
+
+#include "core/attention_options.hpp"
+#include "seqpar/partition.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::seqpar {
+
+struct RingReport {
+  Index nodes = 0;
+  Index steps = 0;               ///< == nodes
+  Size comm_bytes_per_step = 0;  ///< one K/V shard
+  Size total_comm_bytes = 0;     ///< (P-1) rotations × shard
+  Size peak_node_kv_bytes = 0;   ///< largest shard held at once
+  std::vector<Size> edges_per_step;  ///< work processed per rotation (summed over nodes)
+};
+
+/// Exact CSR attention computed ring-style over `partition` (which
+/// defines both the row ownership and the K/V shards). The result in
+/// `out` equals the single-node kernel up to online-softmax rounding.
+RingReport ring_csr_attention(const Matrix<float>& q, const Matrix<float>& k,
+                              const Matrix<float>& v, const Csr<float>& mask,
+                              const Partition& partition, Matrix<float>& out,
+                              const AttentionOptions& opts = {});
+
+}  // namespace gpa::seqpar

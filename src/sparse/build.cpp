@@ -1,0 +1,190 @@
+#include "sparse/build.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+namespace {
+
+Csr<float> csr_from_rows(Index seq_len,
+                         const std::function<void(Index, std::vector<Index>&)>& row_cols) {
+  Csr<float> csr;
+  csr.rows = seq_len;
+  csr.cols = seq_len;
+  csr.row_offsets.resize(static_cast<std::size_t>(seq_len) + 1, 0);
+  std::vector<Index> cols;
+  for (Index i = 0; i < seq_len; ++i) {
+    cols.clear();
+    row_cols(i, cols);
+    csr.row_offsets[static_cast<std::size_t>(i) + 1] =
+        csr.row_offsets[static_cast<std::size_t>(i)] + static_cast<Index>(cols.size());
+    csr.col_idx.insert(csr.col_idx.end(), cols.begin(), cols.end());
+  }
+  csr.values.assign(csr.col_idx.size(), 1.0f);
+  return csr;
+}
+
+}  // namespace
+
+Csr<float> build_csr_from_predicate(Index seq_len,
+                                    const std::function<bool(Index, Index)>& pred) {
+  GPA_CHECK(seq_len >= 0, "sequence length must be non-negative");
+  return csr_from_rows(seq_len, [&](Index i, std::vector<Index>& cols) {
+    for (Index j = 0; j < seq_len; ++j) {
+      if (pred(i, j)) cols.push_back(j);
+    }
+  });
+}
+
+Coo<float> build_coo_from_predicate(Index seq_len,
+                                    const std::function<bool(Index, Index)>& pred) {
+  return csr_to_coo(build_csr_from_predicate(seq_len, pred));
+}
+
+Csr<float> build_csr_local(Index seq_len, const LocalParams& p) {
+  GPA_CHECK(p.window >= 1, "local window must be >= 1");
+  return csr_from_rows(seq_len, [&](Index i, std::vector<Index>& cols) {
+    const Index lo = std::max<Index>(0, i - (p.window - 1));
+    const Index hi = std::min<Index>(seq_len - 1, i + (p.window - 1));
+    for (Index j = lo; j <= hi; ++j) cols.push_back(j);
+  });
+}
+
+Csr<float> build_csr_dilated1d(Index seq_len, const Dilated1DParams& p) {
+  GPA_CHECK(p.window >= 1 && p.dilation >= 0, "bad dilated-1D parameters");
+  const Index step = p.dilation + 1;
+  return csr_from_rows(seq_len, [&](Index i, std::vector<Index>& cols) {
+    // Admissible distances are multiples of (r+1) below w; walk them in
+    // column order.
+    const Index max_d = p.window - 1;
+    for (Index d = (max_d / step) * step; d >= step; d -= step) {
+      if (i - d >= 0) cols.push_back(i - d);
+    }
+    cols.push_back(i);
+    for (Index d = step; d <= max_d; d += step) {
+      if (i + d < seq_len) cols.push_back(i + d);
+    }
+    // The backward walk appended in descending distance = ascending
+    // column order already; nothing to sort.
+  });
+}
+
+Csr<float> build_csr_dilated2d(const Dilated2DParams& p) {
+  const Index L = p.seq_len;
+  const Index g = p.group_size();
+  GPA_CHECK(g >= 1 && L % p.block == 0, "bad dilated-2D parameters");
+  return csr_from_rows(L, [&](Index i, std::vector<Index>& cols) {
+    if ((i % p.block) % (p.dilation + 1) != 0) return;
+    const Index group = i / g;
+    const Index lo = group * g;
+    for (Index j = lo; j < lo + g; ++j) {
+      if ((j % p.block) % (p.dilation + 1) == 0) cols.push_back(j);
+    }
+  });
+}
+
+Csr<float> build_csr_global(Index seq_len, const GlobalParams& p) {
+  return csr_from_rows(seq_len, [&](Index i, std::vector<Index>& cols) {
+    if (p.is_global(i)) {
+      for (Index j = 0; j < seq_len; ++j) cols.push_back(j);
+    } else {
+      for (const Index j : p.tokens) cols.push_back(j);
+    }
+  });
+}
+
+Csr<float> build_csr_random(Index seq_len, const RandomParams& p) {
+  GPA_CHECK(p.sparsity >= 0.0 && p.sparsity <= 1.0, "random sparsity must be in [0,1]");
+  Rng rng(p.seed);
+  if (p.sparsity <= 0.0) {
+    Csr<float> empty;
+    empty.rows = empty.cols = seq_len;
+    empty.row_offsets.assign(static_cast<std::size_t>(seq_len) + 1, 0);
+    return empty;
+  }
+  // Geometric gap sampling over the flattened L² index space: expected
+  // cost O(Sf·L²) instead of O(L²) Bernoulli trials.
+  const double q = 1.0 - p.sparsity;
+  const double log_q = std::log(q);
+  Csr<float> csr;
+  csr.rows = csr.cols = seq_len;
+  csr.row_offsets.assign(static_cast<std::size_t>(seq_len) + 1, 0);
+  const double total = static_cast<double>(seq_len) * static_cast<double>(seq_len);
+  double pos = -1.0;
+  std::vector<Index> rows_tmp;
+  for (;;) {
+    const double u = std::max(rng.next_double(), 1e-300);  // avoid log(0)
+    const double gap = p.sparsity < 1.0 ? std::floor(std::log(u) / log_q) : 0.0;
+    pos += 1.0 + gap;
+    if (pos >= total) break;
+    const auto flat = static_cast<Size>(pos);
+    const Index i = static_cast<Index>(flat / static_cast<Size>(seq_len));
+    const Index j = static_cast<Index>(flat % static_cast<Size>(seq_len));
+    rows_tmp.push_back(i);
+    csr.col_idx.push_back(j);
+  }
+  // Flattened order is already (row, col) sorted; build offsets by count.
+  for (const Index r : rows_tmp) ++csr.row_offsets[static_cast<std::size_t>(r) + 1];
+  for (Index i = 0; i < seq_len; ++i) {
+    csr.row_offsets[static_cast<std::size_t>(i) + 1] +=
+        csr.row_offsets[static_cast<std::size_t>(i)];
+  }
+  csr.values.assign(csr.col_idx.size(), 1.0f);
+  return csr;
+}
+
+Csr<float> dense_to_csr(const Matrix<std::uint8_t>& mask) {
+  GPA_CHECK(mask.rows() == mask.cols(), "attention masks are square");
+  return csr_from_rows(mask.rows(), [&](Index i, std::vector<Index>& cols) {
+    const std::uint8_t* row = mask.row(i);
+    for (Index j = 0; j < mask.cols(); ++j) {
+      if (row[j] != 0) cols.push_back(j);
+    }
+  });
+}
+
+Matrix<std::uint8_t> csr_to_dense(const Csr<float>& csr) {
+  Matrix<std::uint8_t> mask(csr.rows, csr.cols);
+  mask.zero();
+  for (Index i = 0; i < csr.rows; ++i) {
+    for (Index k = csr.row_begin(i); k < csr.row_end(i); ++k) {
+      mask(i, csr.col_idx[static_cast<std::size_t>(k)]) = 1;
+    }
+  }
+  return mask;
+}
+
+Coo<float> csr_to_coo(const Csr<float>& csr) {
+  Coo<float> coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.row_idx.reserve(csr.nnz());
+  for (Index i = 0; i < csr.rows; ++i) {
+    for (Index k = csr.row_begin(i); k < csr.row_end(i); ++k) {
+      coo.row_idx.push_back(i);
+    }
+  }
+  coo.col_idx = csr.col_idx;
+  coo.values = csr.values;
+  return coo;
+}
+
+Csr<float> coo_to_csr(const Coo<float>& coo) {
+  Csr<float> csr;
+  csr.rows = coo.rows;
+  csr.cols = coo.cols;
+  csr.row_offsets.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+  for (const Index r : coo.row_idx) ++csr.row_offsets[static_cast<std::size_t>(r) + 1];
+  for (Index i = 0; i < coo.rows; ++i) {
+    csr.row_offsets[static_cast<std::size_t>(i) + 1] +=
+        csr.row_offsets[static_cast<std::size_t>(i)];
+  }
+  csr.col_idx = coo.col_idx;
+  csr.values = coo.values;
+  return csr;
+}
+
+}  // namespace gpa

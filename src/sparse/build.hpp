@@ -1,0 +1,42 @@
+#pragma once
+// Mask construction: from pattern predicates, from dense 0/1 matrices,
+// and from random sampling, into COO/CSR. The paper's verification flow
+// is "create a mask as a tensor and convert it into the desired sparse
+// matrix representation" (§V-A); these builders are that flow.
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// Arbitrary-predicate builders. `pred(i, j)` is evaluated over the full
+/// L×L index space, so cost is O(L²) — intended for tests and mask
+/// preparation, not kernels (the implicit kernels never materialise).
+Csr<float> build_csr_from_predicate(Index seq_len,
+                                    const std::function<bool(Index, Index)>& pred);
+Coo<float> build_coo_from_predicate(Index seq_len,
+                                    const std::function<bool(Index, Index)>& pred);
+
+/// Pattern-specific builders that enumerate only the non-zeros, so cost
+/// is O(NNZ) — usable at benchmark scale.
+Csr<float> build_csr_local(Index seq_len, const LocalParams& p);
+Csr<float> build_csr_dilated1d(Index seq_len, const Dilated1DParams& p);
+Csr<float> build_csr_dilated2d(const Dilated2DParams& p);
+Csr<float> build_csr_global(Index seq_len, const GlobalParams& p);
+
+/// Uniform random mask with expected sparsity `p.sparsity`
+/// (deterministic given p.seed). O(NNZ) via geometric gap sampling.
+Csr<float> build_csr_random(Index seq_len, const RandomParams& p);
+
+/// Dense 0/1 mask (row-major bytes) -> sparse, and back.
+Csr<float> dense_to_csr(const Matrix<std::uint8_t>& mask);
+Matrix<std::uint8_t> csr_to_dense(const Csr<float>& csr);
+Coo<float> csr_to_coo(const Csr<float>& csr);
+Csr<float> coo_to_csr(const Coo<float>& coo);
+
+}  // namespace gpa

@@ -1,0 +1,78 @@
+#include "sparse/compose.hpp"
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+namespace {
+
+enum class SetOp { Union, Subtract, Intersect };
+
+Csr<float> merge(const Csr<float>& a, const Csr<float>& b, SetOp op) {
+  GPA_CHECK(a.rows == b.rows && a.cols == b.cols, "mask shapes must match");
+  Csr<float> out;
+  out.rows = a.rows;
+  out.cols = a.cols;
+  out.row_offsets.assign(static_cast<std::size_t>(a.rows) + 1, 0);
+
+  for (Index i = 0; i < a.rows; ++i) {
+    Index ka = a.row_begin(i);
+    Index kb = b.row_begin(i);
+    const Index ea = a.row_end(i);
+    const Index eb = b.row_end(i);
+    // Sorted two-pointer sweep over both rows.
+    while (ka < ea || kb < eb) {
+      const Index ca = ka < ea ? a.col_idx[static_cast<std::size_t>(ka)] : -1;
+      const Index cb = kb < eb ? b.col_idx[static_cast<std::size_t>(kb)] : -1;
+      if (kb >= eb || (ka < ea && ca < cb)) {
+        if (op != SetOp::Intersect) {
+          out.col_idx.push_back(ca);
+          out.values.push_back(a.values[static_cast<std::size_t>(ka)]);
+        }
+        ++ka;
+      } else if (ka >= ea || cb < ca) {
+        if (op == SetOp::Union) {
+          out.col_idx.push_back(cb);
+          out.values.push_back(b.values[static_cast<std::size_t>(kb)]);
+        }
+        ++kb;
+      } else {  // ca == cb, present in both
+        if (op == SetOp::Union || op == SetOp::Intersect) {
+          out.col_idx.push_back(ca);
+          out.values.push_back(a.values[static_cast<std::size_t>(ka)]);
+        }
+        ++ka;
+        ++kb;
+      }
+    }
+    out.row_offsets[static_cast<std::size_t>(i) + 1] = static_cast<Index>(out.col_idx.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+Csr<float> mask_union(const Csr<float>& a, const Csr<float>& b) {
+  return merge(a, b, SetOp::Union);
+}
+
+Csr<float> mask_subtract(const Csr<float>& a, const Csr<float>& b) {
+  return merge(a, b, SetOp::Subtract);
+}
+
+Csr<float> mask_intersect(const Csr<float>& a, const Csr<float>& b) {
+  return merge(a, b, SetOp::Intersect);
+}
+
+Csr<float> mask_union_all(const std::vector<Csr<float>>& parts) {
+  GPA_CHECK(!parts.empty(), "mask_union_all needs at least one mask");
+  Csr<float> acc = parts.front();
+  for (std::size_t p = 1; p < parts.size(); ++p) acc = mask_union(acc, parts[p]);
+  return acc;
+}
+
+bool masks_disjoint(const Csr<float>& a, const Csr<float>& b) {
+  return mask_intersect(a, b).nnz() == 0;
+}
+
+}  // namespace gpa

@@ -1,0 +1,29 @@
+#pragma once
+// Mask set-algebra. Figure 2's Longformer and BigBird masks are unions
+// of primitive patterns; the paper evaluates them both as one fused CSR
+// mask and as sequential kernel calls over disjoint components. Union /
+// subtract / intersect here produce canonical CSR results and are what
+// the presets and the disjointness tests build on.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gpa {
+
+/// Union of two masks (values of overlapping entries taken from `a`).
+Csr<float> mask_union(const Csr<float>& a, const Csr<float>& b);
+
+/// Entries of `a` not present in `b`.
+Csr<float> mask_subtract(const Csr<float>& a, const Csr<float>& b);
+
+/// Entries present in both.
+Csr<float> mask_intersect(const Csr<float>& a, const Csr<float>& b);
+
+/// Union of any number of masks.
+Csr<float> mask_union_all(const std::vector<Csr<float>>& parts);
+
+/// True iff the masks share no entry (safe to chain kernels over them).
+bool masks_disjoint(const Csr<float>& a, const Csr<float>& b);
+
+}  // namespace gpa

@@ -1,0 +1,33 @@
+#include "sparse/coo.hpp"
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace gpa {
+
+template <typename T>
+bool Coo<T>::is_canonical() const {
+  if (row_idx.size() != col_idx.size() || row_idx.size() != values.size()) return false;
+  for (std::size_t k = 0; k < row_idx.size(); ++k) {
+    if (row_idx[k] < 0 || row_idx[k] >= rows) return false;
+    if (col_idx[k] < 0 || col_idx[k] >= cols) return false;
+    if (k > 0) {
+      const bool ordered = row_idx[k - 1] < row_idx[k] ||
+                           (row_idx[k - 1] == row_idx[k] && col_idx[k - 1] < col_idx[k]);
+      if (!ordered) return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void validate(const Coo<T>& coo) {
+  GPA_CHECK(coo.is_canonical(), "COO mask is not canonical (sorted, unique, in-range)");
+}
+
+template struct Coo<float>;
+template struct Coo<half_t>;
+template void validate(const Coo<float>&);
+template void validate(const Coo<half_t>&);
+
+}  // namespace gpa

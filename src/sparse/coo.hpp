@@ -1,0 +1,38 @@
+#pragma once
+// COO (coordinate) sparse mask format — the first of the paper's two
+// explicit-mask representations. Entries are stored with "grouped rows
+// and sorted columns" (§V-C), i.e. sorted lexicographically by (row,
+// col), which is what forces the COO kernel to *search* for its row's
+// extent.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpa {
+
+template <typename T = float>
+struct Coo {
+  Index rows = 0;
+  Index cols = 0;
+  std::vector<Index> row_idx;
+  std::vector<Index> col_idx;
+  std::vector<T> values;
+
+  Size nnz() const noexcept { return row_idx.size(); }
+
+  /// Storage bytes under the paper's accounting (32-bit indices).
+  Size storage_bytes() const noexcept {
+    return nnz() * (2 * kSparseIndexBytes + sizeof(T));
+  }
+
+  /// True if entries are sorted by (row, col) with no duplicates and all
+  /// coordinates in range — the invariant every kernel assumes.
+  bool is_canonical() const;
+};
+
+/// Throws InvalidArgument unless `is_canonical()`.
+template <typename T>
+void validate(const Coo<T>& coo);
+
+}  // namespace gpa

@@ -1,0 +1,38 @@
+#include "sparse/csr.hpp"
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace gpa {
+
+template <typename T>
+bool Csr<T>::is_canonical() const {
+  if (rows < 0 || cols < 0) return false;
+  if (row_offsets.size() != static_cast<std::size_t>(rows) + 1) return false;
+  if (row_offsets.front() != 0) return false;
+  if (row_offsets.back() != static_cast<Index>(col_idx.size())) return false;
+  if (col_idx.size() != values.size()) return false;
+  for (Index i = 0; i < rows; ++i) {
+    const Index b = row_begin(i);
+    const Index e = row_end(i);
+    if (b > e) return false;
+    for (Index k = b; k < e; ++k) {
+      const Index c = col_idx[static_cast<std::size_t>(k)];
+      if (c < 0 || c >= cols) return false;
+      if (k > b && col_idx[static_cast<std::size_t>(k) - 1] >= c) return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void validate(const Csr<T>& csr) {
+  GPA_CHECK(csr.is_canonical(), "CSR mask is not canonical (monotone offsets, sorted unique cols)");
+}
+
+template struct Csr<float>;
+template struct Csr<half_t>;
+template void validate(const Csr<float>&);
+template void validate(const Csr<half_t>&);
+
+}  // namespace gpa

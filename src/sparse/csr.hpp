@@ -1,0 +1,40 @@
+#pragma once
+// CSR (compressed sparse row) mask format — the paper's preferred
+// explicit representation: one O(L) row-offset vector plus O(Sf·L²)
+// column/value vectors (§V-D explains why this beats COO on achievable
+// context length).
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpa {
+
+template <typename T = float>
+struct Csr {
+  Index rows = 0;
+  Index cols = 0;
+  std::vector<Index> row_offsets;  ///< size rows+1
+  std::vector<Index> col_idx;      ///< size nnz
+  std::vector<T> values;           ///< size nnz
+
+  Size nnz() const noexcept { return col_idx.size(); }
+
+  Index row_begin(Index i) const noexcept { return row_offsets[static_cast<std::size_t>(i)]; }
+  Index row_end(Index i) const noexcept { return row_offsets[static_cast<std::size_t>(i) + 1]; }
+  Index row_degree(Index i) const noexcept { return row_end(i) - row_begin(i); }
+
+  /// Storage bytes under the paper's accounting (32-bit indices).
+  Size storage_bytes() const noexcept {
+    return (static_cast<Size>(rows) + 1) * kSparseIndexBytes +
+           nnz() * (kSparseIndexBytes + sizeof(T));
+  }
+
+  /// Offsets monotone, columns sorted & unique per row, all in range.
+  bool is_canonical() const;
+};
+
+template <typename T>
+void validate(const Csr<T>& csr);
+
+}  // namespace gpa

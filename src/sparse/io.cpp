@@ -1,0 +1,63 @@
+#include "sparse/io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+namespace {
+constexpr char kMagic[8] = {'G', 'P', 'A', 'C', 'S', 'R', '1', '\0'};
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+void read_vec(std::ifstream& in, std::vector<T>& v, std::size_t n) {
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+}
+}  // namespace
+
+void save_csr(const Csr<float>& mask, const std::string& path) {
+  GPA_CHECK(mask.is_canonical(), "refusing to serialise a non-canonical mask");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  GPA_CHECK(out.good(), "cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t header[3] = {static_cast<std::uint64_t>(mask.rows),
+                                   static_cast<std::uint64_t>(mask.cols), mask.nnz()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  write_vec(out, mask.row_offsets);
+  write_vec(out, mask.col_idx);
+  write_vec(out, mask.values);
+  GPA_CHECK(out.good(), "short write while serialising: " + path);
+}
+
+Csr<float> load_csr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GPA_CHECK(in.good(), "cannot open for reading: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  GPA_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+            "not a GPA CSR file: " + path);
+  std::uint64_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  GPA_CHECK(in.good(), "truncated header: " + path);
+
+  Csr<float> mask;
+  mask.rows = static_cast<Index>(header[0]);
+  mask.cols = static_cast<Index>(header[1]);
+  const auto nnz = static_cast<std::size_t>(header[2]);
+  read_vec(in, mask.row_offsets, static_cast<std::size_t>(mask.rows) + 1);
+  read_vec(in, mask.col_idx, nnz);
+  read_vec(in, mask.values, nnz);
+  GPA_CHECK(in.good(), "truncated payload: " + path);
+  GPA_CHECK(mask.is_canonical(), "corrupt mask payload: " + path);
+  return mask;
+}
+
+}  // namespace gpa

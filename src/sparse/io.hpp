@@ -1,0 +1,18 @@
+#pragma once
+// Binary serialization for CSR masks. Long-context masks are expensive
+// to rebuild (BigBird's random component must also be *identical* across
+// training runs), so production pipelines persist them.
+//
+// Format (little-endian): magic "GPACSR1\0", rows, cols, nnz as u64,
+// then row_offsets (i64), col_idx (i64), values (f32).
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace gpa {
+
+void save_csr(const Csr<float>& mask, const std::string& path);
+Csr<float> load_csr(const std::string& path);
+
+}  // namespace gpa

@@ -1,0 +1,156 @@
+#include "sparse/nnz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+Size local_nnz(Index seq_len, const LocalParams& p) {
+  // Row i holds min(i, w-1) + min(L-1-i, w-1) + 1 entries. Summing the
+  // clamped triangular parts gives a closed form.
+  const Index L = seq_len;
+  const Index w = std::min<Index>(p.window, L);  // windows beyond L saturate
+  // Full interior rows: 2w-1 entries each; the first and last (w-1) rows
+  // lose a triangle of (w-1-i) entries on one side.
+  const Size full = static_cast<Size>(L) * static_cast<Size>(2 * w - 1);
+  const Size lost = static_cast<Size>(w) * static_cast<Size>(w - 1);  // 2 * sum_{i<w-1}(w-1-i)
+  return full - lost;
+}
+
+Size dilated1d_nnz(Index seq_len, const Dilated1DParams& p) {
+  // Entries at distance d where d < w and d % (r+1) == 0. For each
+  // admissible d > 0 there are 2*(L-d) positions; d = 0 contributes L.
+  const Index L = seq_len;
+  const Index step = p.dilation + 1;
+  const Index max_d = std::min<Index>(p.window - 1, L - 1);
+  const Index k = max_d / step;  // admissible distances: step, 2*step, ..., k*step
+  // sum_{t=1..k} 2*(L - t*step) = 2kL - step*k(k+1)
+  const Size sum = 2 * static_cast<Size>(k) * static_cast<Size>(L) -
+                   static_cast<Size>(step) * static_cast<Size>(k) * static_cast<Size>(k + 1);
+  return static_cast<Size>(L) + sum;
+}
+
+Size dilated2d_nnz(const Dilated2DParams& p) {
+  // Per group of size g = L/b: rows i with (i % b) % (r+1) == 0 attend
+  // to all such columns in the group -> count² per group, b groups. The
+  // count of admissible offsets within a group depends only on the
+  // residues the group spans; since groups tile [0, L) contiguously and
+  // the admissibility test uses i % b, count admissible i per group
+  // directly.
+  const Index L = p.seq_len;
+  const Index g = p.group_size();
+  Size total = 0;
+  for (Index group = 0; group < p.block; ++group) {
+    const Index lo = group * g;
+    Size count = 0;
+    for (Index i = lo; i < lo + g; ++i) {
+      if ((i % p.block) % (p.dilation + 1) == 0) ++count;
+    }
+    total += count * count;
+  }
+  (void)L;
+  return total;
+}
+
+Size global_nnz(Index seq_len, const GlobalParams& p) {
+  // |rows ∪ cols| for g global tokens: 2gL - g² (inclusion-exclusion).
+  const Size g = p.tokens.size();
+  const Size L = static_cast<Size>(seq_len);
+  return 2 * g * L - g * g;
+}
+
+Size global_minus_local_nnz(Index seq_len, const GlobalMinusLocalParams& p) {
+  // Count global edges, minus those already inside the local window.
+  // Overlap: for each global token t, the local entries on row t and
+  // column t, counting the intersection cell (t, t') for global pairs
+  // carefully. Computed by direct summation over global tokens — the
+  // token lists are tiny.
+  Size overlap = 0;
+  const Index L = seq_len;
+  auto local_row_count = [&](Index t) {
+    const Index w = p.local.window;
+    const Index lo = t - (w - 1) > 0 ? t - (w - 1) : 0;
+    const Index hi = t + (w - 1) < L - 1 ? t + (w - 1) : L - 1;
+    return static_cast<Size>(hi - lo + 1);
+  };
+  // Edges in (global ∩ local) = |{(i,j) local : i global or j global}|.
+  // = sum_t row_t + sum_t col_t − |{(i,j) local : i and j both global}|.
+  Size both = 0;
+  for (const Index a : p.global.tokens) {
+    for (const Index b : p.global.tokens) {
+      if (p.local.contains(a, b)) ++both;
+    }
+  }
+  for (const Index t : p.global.tokens) overlap += 2 * local_row_count(t);
+  overlap -= both;
+  return global_nnz(seq_len, p.global) - overlap;
+}
+
+double sparsity_factor(Size nnz, Index seq_len) {
+  GPA_CHECK(seq_len > 0, "sparsity factor needs L > 0");
+  return static_cast<double>(nnz) /
+         (static_cast<double>(seq_len) * static_cast<double>(seq_len));
+}
+
+Index local_window_for_sparsity(Index seq_len, double target_sf) {
+  GPA_CHECK(target_sf > 0.0, "target sparsity factor must be positive");
+  Index lo = 1, hi = seq_len;
+  // Monotone in w: binary search for the smallest w reaching the target.
+  while (lo < hi) {
+    const Index mid = lo + (hi - lo) / 2;
+    const double sf = sparsity_factor(local_nnz(seq_len, LocalParams{mid}), seq_len);
+    if (sf >= target_sf) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Index dilated1d_window_for_sparsity(Index seq_len, Index dilation, double target_sf) {
+  GPA_CHECK(target_sf > 0.0, "target sparsity factor must be positive");
+  Index lo = 1, hi = seq_len;
+  while (lo < hi) {
+    const Index mid = lo + (hi - lo) / 2;
+    const double sf =
+        sparsity_factor(dilated1d_nnz(seq_len, Dilated1DParams{mid, dilation}), seq_len);
+    if (sf >= target_sf) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+Index dilated2d_block_for_sparsity(Index seq_len, Index dilation, double target_sf) {
+  GPA_CHECK(target_sf > 0.0, "target sparsity factor must be positive");
+  // Sf grows as the group size L/b grows, i.e. shrinks with more blocks.
+  // Scan divisors of L from most blocks (sparsest) to fewest and pick
+  // the densest one still under/at the target; prefer the closest match.
+  Index best = seq_len;  // b = L -> groups of size 1 (diagonal-ish, sparsest)
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (Index b = 1; b <= seq_len; ++b) {
+    if (seq_len % b != 0) continue;
+    const double sf =
+        sparsity_factor(dilated2d_nnz(Dilated2DParams{seq_len, b, dilation}), seq_len);
+    const double gap = std::abs(sf - target_sf);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = b;
+    }
+  }
+  return best;
+}
+
+double longnet_sparsity_rule(Index seq_len, double constant) {
+  GPA_CHECK(seq_len > 0, "LongNet rule needs L > 0");
+  const double sf = constant / static_cast<double>(seq_len);
+  return sf < 1.0 ? sf : 1.0;
+}
+
+}  // namespace gpa

@@ -1,0 +1,42 @@
+#pragma once
+// Analytic non-zero counts, sparsity factors (Eq. 2 of the paper:
+// Sf = NNZ / TE), and the inverse solvers the benchmarks need
+// ("window/block size calculated to fit the associated sparsity factor",
+// §V-C). Everything here is exact integer combinatorics — no masks are
+// materialised, which is what lets Fig. 4 reason about L in the hundreds
+// of millions.
+
+#include "common/types.hpp"
+#include "sparse/patterns.hpp"
+
+namespace gpa {
+
+/// Exact NNZ of each pattern on an L×L mask.
+Size local_nnz(Index seq_len, const LocalParams& p);
+Size dilated1d_nnz(Index seq_len, const Dilated1DParams& p);
+Size dilated2d_nnz(const Dilated2DParams& p);
+Size global_nnz(Index seq_len, const GlobalParams& p);
+Size global_minus_local_nnz(Index seq_len, const GlobalMinusLocalParams& p);
+
+/// Sf = NNZ / L².
+double sparsity_factor(Size nnz, Index seq_len);
+
+/// Smallest window w such that local attention's Sf >= target (clamped
+/// to [1, L]). The benchmarks use this to hit requested sparsity levels.
+Index local_window_for_sparsity(Index seq_len, double target_sf);
+
+/// Smallest window w (with fixed dilation r) such that 1D-dilated Sf >=
+/// target.
+Index dilated1d_window_for_sparsity(Index seq_len, Index dilation, double target_sf);
+
+/// Largest block b (b | L, fixed dilation r) whose 2D-dilated Sf does
+/// not exceed target; falls back to the smallest divisor if every
+/// divisor overshoots.
+Index dilated2d_block_for_sparsity(Index seq_len, Index dilation, double target_sf);
+
+/// LongNet-derived sparsity rule from §II-D: the paper shows the number
+/// of dot products is (2α/(α−1))·w₀·L, i.e. Sf = C / L with
+/// C = 2730 for α = 2, w₀ = 2048. `constant` defaults to the paper's C.
+double longnet_sparsity_rule(Index seq_len, double constant = 2730.0);
+
+}  // namespace gpa

@@ -1,0 +1,35 @@
+#include "sparse/patterns.hpp"
+
+#include <algorithm>
+
+namespace gpa {
+
+LocalParams make_local(Index window) {
+  GPA_CHECK(window >= 1, "local window must be >= 1");
+  return LocalParams{window};
+}
+
+Dilated1DParams make_dilated1d(Index window, Index dilation) {
+  GPA_CHECK(window >= 1, "dilated window must be >= 1");
+  GPA_CHECK(dilation >= 0, "dilation factor must be >= 0");
+  return Dilated1DParams{window, dilation};
+}
+
+Dilated2DParams make_dilated2d(Index seq_len, Index block, Index dilation) {
+  GPA_CHECK(seq_len >= 1, "sequence length must be >= 1");
+  GPA_CHECK(block >= 1 && block <= seq_len, "block size must be in [1, L]");
+  GPA_CHECK(seq_len % block == 0, "paper's 2D predicate requires b to divide L");
+  GPA_CHECK(dilation >= 0, "dilation factor must be >= 0");
+  return Dilated2DParams{seq_len, block, dilation};
+}
+
+GlobalParams make_global(std::vector<Index> tokens, Index seq_len) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  for (const Index t : tokens) {
+    GPA_CHECK(t >= 0 && t < seq_len, "global token index out of range");
+  }
+  return GlobalParams{std::move(tokens)};
+}
+
+}  // namespace gpa

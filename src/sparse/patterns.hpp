@@ -1,0 +1,131 @@
+#pragma once
+// Attention mask patterns (§II-C of the paper).
+//
+// Each pattern is a cheap (i, j) predicate plus a parameter struct. The
+// predicates for 1D and 2D dilation transcribe the paper's pseudocode
+// verbatim (including the 2D code's grouping quirk — see Dilated2D
+// below) so that the implicit kernels, the mask builders, and the tests
+// all agree on a single definition.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace gpa {
+
+/// Local / windowed attention: token i attends to j iff |i-j| < window.
+/// `window` is the parameter `w` in the paper's 1D pseudocode; a token
+/// sees `window-1` tokens behind and ahead of itself plus itself.
+struct LocalParams {
+  Index window = 1;
+
+  bool contains(Index i, Index j) const noexcept {
+    const Index d = i > j ? i - j : j - i;
+    return d < window;
+  }
+};
+
+/// 1D dilated windowed attention (paper pseudocode):
+///   (|i-j| < w) && (|i-j| % (r+1) == 0)
+struct Dilated1DParams {
+  Index window = 1;    ///< w
+  Index dilation = 0;  ///< r; r = 0 degenerates to LocalParams
+
+  bool contains(Index i, Index j) const noexcept {
+    const Index d = i > j ? i - j : j - i;
+    return d < window && d % (dilation + 1) == 0;
+  }
+};
+
+/// 2D dilated (blockwise) attention, transcribed from the paper:
+///   if (floor(i/(L/b)) == floor(j/(L/b))) {
+///     i_b = i % b; j_b = j % b;
+///     return (i_b % (r+1) == 0) && (j_b % (r+1) == 0);
+///   } else return 0;
+/// Note the quirk inherited from the paper: the *group* extent is L/b
+/// (there are b groups), while the intra-block coordinates are taken
+/// modulo b. The predicate is kept verbatim because the implicit kernel,
+/// the builders and the verification all share it; L must be divisible
+/// by b for the grouping to tile the sequence exactly.
+struct Dilated2DParams {
+  Index seq_len = 0;   ///< L (the predicate needs it for the group size)
+  Index block = 1;     ///< b
+  Index dilation = 0;  ///< r
+
+  Index group_size() const noexcept { return seq_len / block; }
+
+  bool contains(Index i, Index j) const noexcept {
+    const Index g = group_size();
+    if (g == 0 || i / g != j / g) return false;
+    return (i % block) % (dilation + 1) == 0 && (j % block) % (dilation + 1) == 0;
+  }
+};
+
+/// Global attention: every token in `tokens` attends to all tokens and
+/// is attended to by all tokens (full row + full column per global
+/// token). The paper's "global (non-local)" kernel additionally
+/// *subtracts* a local window so it can be chained after a local pass
+/// without double-counting; that subtraction belongs to the kernel
+/// (GlobalMinusLocal below), not to the mask definition.
+struct GlobalParams {
+  std::vector<Index> tokens;  ///< sorted, unique global token indices
+
+  bool is_global(Index t) const noexcept {
+    // Token lists are tiny (BigBird/Longformer use a handful), linear scan.
+    for (const Index g : tokens) {
+      if (g == t) return true;
+      if (g > t) return false;
+    }
+    return false;
+  }
+  bool contains(Index i, Index j) const noexcept { return is_global(i) || is_global(j); }
+};
+
+/// Global minus a local window: the edge set the paper's global kernel
+/// actually visits ("the local mask is subtracted from the global").
+struct GlobalMinusLocalParams {
+  GlobalParams global;
+  LocalParams local;
+
+  bool contains(Index i, Index j) const noexcept {
+    return global.contains(i, j) && !local.contains(i, j);
+  }
+};
+
+/// Uniform random attention (BigBird's third component). Materialised by
+/// the builders with a seeded Rng; the predicate form is not available
+/// (membership is defined by the sample), so this carries parameters
+/// only.
+struct RandomParams {
+  double sparsity = 0.0;       ///< target Sf for the random component
+  std::uint64_t seed = 12345;  ///< deterministic sampling
+};
+
+/// Block-sparse pattern (related-work §III): dense blocks of size
+/// `block` on a coarse grid where `grid(i/block, j/block)` is set. Used
+/// by the block-sparse flash baseline's tests.
+struct BlockParams {
+  Index block = 1;
+  Index grid_rows = 0;
+  std::vector<std::uint8_t> grid;  ///< row-major grid occupancy
+
+  bool contains(Index i, Index j) const noexcept {
+    const Index bi = i / block;
+    const Index bj = j / block;
+    return grid[static_cast<std::size_t>(bi * grid_rows + bj)] != 0;
+  }
+};
+
+/// Causal restriction (j <= i), composable with any of the above.
+struct CausalParams {
+  bool contains(Index i, Index j) const noexcept { return j <= i; }
+};
+
+/// Validated parameter constructors (throw InvalidArgument on nonsense).
+LocalParams make_local(Index window);
+Dilated1DParams make_dilated1d(Index window, Index dilation);
+Dilated2DParams make_dilated2d(Index seq_len, Index block, Index dilation);
+GlobalParams make_global(std::vector<Index> tokens, Index seq_len);
+
+}  // namespace gpa

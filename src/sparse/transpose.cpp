@@ -1,0 +1,43 @@
+#include "sparse/transpose.hpp"
+
+#include "common/error.hpp"
+
+namespace gpa {
+
+TransposedCsr transpose_csr(const Csr<float>& a) {
+  TransposedCsr out;
+  out.t.rows = a.cols;
+  out.t.cols = a.rows;
+  out.t.row_offsets.assign(static_cast<std::size_t>(a.cols) + 1, 0);
+  out.t.col_idx.resize(a.nnz());
+  out.t.values.resize(a.nnz());
+  out.entry_map.resize(a.nnz());
+
+  // Counting sort by column: count, prefix-sum, scatter.
+  for (const Index c : a.col_idx) ++out.t.row_offsets[static_cast<std::size_t>(c) + 1];
+  for (Index i = 0; i < a.cols; ++i) {
+    out.t.row_offsets[static_cast<std::size_t>(i) + 1] +=
+        out.t.row_offsets[static_cast<std::size_t>(i)];
+  }
+  std::vector<Index> cursor(out.t.row_offsets.begin(), out.t.row_offsets.end() - 1);
+  for (Index i = 0; i < a.rows; ++i) {
+    for (Index k = a.row_begin(i); k < a.row_end(i); ++k) {
+      const Index c = a.col_idx[static_cast<std::size_t>(k)];
+      const Index slot = cursor[static_cast<std::size_t>(c)]++;
+      out.t.col_idx[static_cast<std::size_t>(slot)] = i;
+      out.t.values[static_cast<std::size_t>(slot)] = a.values[static_cast<std::size_t>(k)];
+      out.entry_map[static_cast<std::size_t>(slot)] = k;
+    }
+  }
+  // Rows were visited in ascending order, so each transpose row is
+  // already sorted — the result is canonical by construction.
+  return out;
+}
+
+bool is_structurally_symmetric(const Csr<float>& a) {
+  if (a.rows != a.cols) return false;
+  const auto t = transpose_csr(a);
+  return t.t.row_offsets == a.row_offsets && t.t.col_idx == a.col_idx;
+}
+
+}  // namespace gpa

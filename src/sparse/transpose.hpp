@@ -1,0 +1,25 @@
+#pragma once
+// CSR transpose. The backward pass accumulates into dK/dV along mask
+// *columns*; transposing the mask once turns that into a row-parallel
+// pass with no write conflicts. Every implicit pattern in the paper is
+// symmetric (local, dilated, global), so only explicit and causal masks
+// need this.
+
+#include "sparse/csr.hpp"
+
+namespace gpa {
+
+/// Returns Aᵀ in canonical CSR form. `entry_map[t]` gives, for each
+/// entry t of the transpose, the index of the corresponding entry in
+/// the input — the backward pass uses it to read per-edge values
+/// computed during the forward traversal.
+struct TransposedCsr {
+  Csr<float> t;
+  std::vector<Index> entry_map;
+};
+TransposedCsr transpose_csr(const Csr<float>& a);
+
+/// True iff the mask's edge set is symmetric (A == Aᵀ structurally).
+bool is_structurally_symmetric(const Csr<float>& a);
+
+}  // namespace gpa

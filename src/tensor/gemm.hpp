@@ -1,0 +1,22 @@
+#pragma once
+// Dense matrix multiplication for the baselines. The masked-SDP baseline
+// (PyTorch analogue) does two full dense GEMMs per attention call; this
+// blocked implementation stands in for cuBLAS. It is deliberately a
+// straightforward cache-blocked kernel — the baselines' defining cost is
+// the O(L²·d) operation count, which no amount of tuning removes.
+
+#include "parallel/exec_policy.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// C = A · Bᵀ  (A: m×k, B: n×k, C: m×n). B is passed row-major and
+/// logically transposed, which is exactly the Q·Kᵀ layout.
+void gemm_nt(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
+             const ExecPolicy& policy = {});
+
+/// C = A · B  (A: m×k, B: k×n, C: m×n) — the P·V product.
+void gemm_nn(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
+             const ExecPolicy& policy = {});
+
+}  // namespace gpa

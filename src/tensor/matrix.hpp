@@ -1,0 +1,59 @@
+#pragma once
+// Row-major dense matrix. This is the only tensor type the library
+// needs: Q, K, V, O are all L×d row-major matrices (one row per token),
+// matching how the kernels walk memory (a neighbor pull reads one
+// contiguous K/V row).
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace gpa {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols) : rows_(rows), cols_(cols) {
+    GPA_CHECK(rows >= 0 && cols >= 0, "matrix extents must be non-negative");
+    data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
+
+  Index rows() const noexcept { return rows_; }
+  Index cols() const noexcept { return cols_; }
+  Size size_bytes() const noexcept { return data_.size() * sizeof(T); }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Pointer to the start of row i (unchecked in release builds).
+  T* row(Index i) noexcept { return data_.data() + static_cast<std::size_t>(i) * cols_; }
+  const T* row(Index i) const noexcept {
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+
+  T& operator()(Index i, Index j) noexcept { return row(i)[j]; }
+  const T& operator()(Index i, Index j) const noexcept { return row(i)[j]; }
+
+  T& at(Index i, Index j) {
+    GPA_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    return row(i)[j];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { fill(T{}); }
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace gpa

@@ -1,0 +1,38 @@
+#include "tensor/softmax.hpp"
+
+namespace gpa {
+
+void softmax_rows(Matrix<float>& scores) {
+  const Index rows = scores.rows();
+  const Index cols = scores.cols();
+  for (Index i = 0; i < rows; ++i) {
+    float* row = scores.row(i);
+    float m = -std::numeric_limits<float>::infinity();
+    for (Index j = 0; j < cols; ++j) m = row[j] > m ? row[j] : m;
+    if (m == -std::numeric_limits<float>::infinity()) {
+      // Fully masked row: define the distribution as all-zero.
+      for (Index j = 0; j < cols; ++j) row[j] = 0.0f;
+      continue;
+    }
+    float l = 0.0f;
+    for (Index j = 0; j < cols; ++j) {
+      row[j] = std::exp(row[j] - m);
+      l += row[j];
+    }
+    const float inv = 1.0f / l;
+    for (Index j = 0; j < cols; ++j) row[j] *= inv;
+  }
+}
+
+MergedState merge_online_states(float m_a, float l_a, float m_b, float l_b) noexcept {
+  const float m = m_a > m_b ? m_a : m_b;
+  if (m == -std::numeric_limits<float>::infinity()) {
+    // Both sides empty.
+    return {m, 0.0f, 0.0f, 0.0f};
+  }
+  const float ca = std::exp(m_a - m);
+  const float cb = std::exp(m_b - m);
+  return {m, l_a * ca + l_b * cb, ca, cb};
+}
+
+}  // namespace gpa

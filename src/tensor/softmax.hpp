@@ -1,0 +1,66 @@
+#pragma once
+// Softmax primitives.
+//
+// Two flavours live here:
+//  * the classic two-pass numerically stable row softmax used by the
+//    masked-SDP baseline, and
+//  * the online (single-pass) normaliser of Milakov & Gimelshein that
+//    Algorithm 1 and FlashAttention build on: a running maximum `m` and
+//    running denominator `l` folded edge by edge.
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// In-place numerically stable softmax over each row. Rows whose maximum
+/// is -inf (fully masked) become all-zero rows rather than NaN — see
+/// DESIGN.md §4 for why this convention is used on both sides of every
+/// comparison.
+void softmax_rows(Matrix<float>& scores);
+
+/// Online softmax accumulator for a single output row: the (m, l, acc)
+/// triple of Algorithm 1, with the accumulator kept unnormalised until
+/// `finish` (algebraically identical to the paper's per-step division).
+struct OnlineSoftmaxRow {
+  float m = -std::numeric_limits<float>::infinity();
+  float l = 0.0f;
+
+  /// Folds one score in and returns the pair of rescaling coefficients
+  /// (alpha for the existing accumulator, beta for the incoming value
+  /// row): acc = alpha * acc + beta * V[j].
+  struct Coeffs {
+    float alpha;
+    float beta;
+  };
+  Coeffs push(float score) noexcept {
+    if (score == -std::numeric_limits<float>::infinity() &&
+        m == -std::numeric_limits<float>::infinity()) {
+      return {1.0f, 0.0f};  // avoid exp(-inf - -inf) = NaN on a still-empty row
+    }
+    const float m_new = score > m ? score : m;
+    const float alpha = std::exp(m - m_new);  // exp(-inf - m_new) == 0 handles the first edge
+    const float beta = std::exp(score - m_new);
+    l = l * alpha + beta;
+    m = m_new;
+    return {alpha, beta};
+  }
+
+  /// Normaliser to apply to the accumulator at the end (0 for an empty
+  /// row, which zeroes the output).
+  float inv_l() const noexcept { return l > 0.0f ? 1.0f / l : 0.0f; }
+};
+
+/// Merge of two online-softmax states over disjoint edge sets:
+/// returns coefficients to combine the two unnormalised accumulators.
+struct MergedState {
+  float m;
+  float l;
+  float coeff_a;  // multiply accumulator A by this
+  float coeff_b;  // multiply accumulator B by this
+};
+MergedState merge_online_states(float m_a, float l_a, float m_b, float l_b) noexcept;
+
+}  // namespace gpa

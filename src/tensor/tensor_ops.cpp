@@ -1,0 +1,63 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <cmath>
+
+namespace gpa {
+
+void fill_uniform(Matrix<float>& m, Rng& rng) {
+  float* p = m.data();
+  const std::size_t n = static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols());
+  for (std::size_t i = 0; i < n; ++i) p[i] = rng.next_float();
+}
+
+void fill_uniform(Matrix<half_t>& m, Rng& rng) {
+  half_t* p = m.data();
+  const std::size_t n = static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols());
+  for (std::size_t i = 0; i < n; ++i) p[i] = half_t(rng.next_float());
+}
+
+Matrix<float> to_f32(const Matrix<half_t>& m) {
+  Matrix<float> out(m.rows(), m.cols());
+  const half_t* src = m.data();
+  float* dst = out.data();
+  const std::size_t n = static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols());
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+  return out;
+}
+
+Matrix<half_t> to_f16(const Matrix<float>& m) {
+  Matrix<half_t> out(m.rows(), m.cols());
+  const float* src = m.data();
+  half_t* dst = out.data();
+  const std::size_t n = static_cast<std::size_t>(m.rows()) * static_cast<std::size_t>(m.cols());
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half_t(src[i]);
+  return out;
+}
+
+CloseReport allclose(const Matrix<float>& a, const Matrix<float>& b, double rtol, double atol) {
+  GPA_CHECK(a.same_shape(b), "allclose: shape mismatch");
+  CloseReport report;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const float* ra = a.row(i);
+    const float* rb = b.row(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      const double x = ra[j];
+      const double y = rb[j];
+      if (std::isnan(x) && std::isnan(y)) continue;  // equal_nan=True
+      const double diff = std::abs(x - y);
+      if (diff > report.max_abs_diff) {
+        report.max_abs_diff = diff;
+        report.worst_row = i;
+        report.worst_col = j;
+      }
+      if (!(diff <= atol + rtol * std::abs(y))) report.all_close = false;
+    }
+  }
+  return report;
+}
+
+double max_abs_diff(const Matrix<float>& a, const Matrix<float>& b) {
+  return allclose(a, b, 0.0, 0.0).max_abs_diff;
+}
+
+}  // namespace gpa

@@ -1,0 +1,39 @@
+#pragma once
+// Element-wise helpers over Matrix<T>: random fills matching the paper's
+// input protocol, dtype conversion, and the allclose comparison the
+// paper uses for verification (§V-A).
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa {
+
+/// Fill with uniform [0, 1) draws — the distribution the paper's
+/// verification harness uses for Q, K, V.
+void fill_uniform(Matrix<float>& m, Rng& rng);
+void fill_uniform(Matrix<half_t>& m, Rng& rng);
+
+/// Widen / narrow between storage types.
+Matrix<float> to_f32(const Matrix<half_t>& m);
+Matrix<half_t> to_f16(const Matrix<float>& m);
+
+/// Result of an allclose comparison, with the worst offender located for
+/// debuggability.
+struct CloseReport {
+  bool all_close = true;
+  double max_abs_diff = 0.0;
+  Index worst_row = -1;
+  Index worst_col = -1;
+};
+
+/// PyTorch-style allclose: |a-b| <= atol + rtol*|b|, NaN == NaN
+/// (equal_nan=True, as the paper sets). Defaults are the paper's
+/// verification tolerances.
+CloseReport allclose(const Matrix<float>& a, const Matrix<float>& b, double rtol = 1e-5,
+                     double atol = 1e-8);
+
+/// Max |a - b| over all elements.
+double max_abs_diff(const Matrix<float>& a, const Matrix<float>& b);
+
+}  // namespace gpa

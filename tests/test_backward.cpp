@@ -1,0 +1,297 @@
+// Tests for the training backward pass: analytic dense oracle (double
+// precision), finite-difference spot checks, sparse-vs-dense agreement,
+// causal support, and the local-kernel symmetry shortcut.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/backward.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/compose.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v, dout;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  fill_uniform(in.dout, rng);
+  return in;
+}
+
+/// Dense masked attention forward + backward, all in double precision —
+/// the oracle. Mask given densely; empty rows produce zero output and
+/// zero gradients.
+struct DenseGrads {
+  Matrix<float> dq, dk, dv;
+};
+DenseGrads dense_backward(const Inputs& in, const Matrix<std::uint8_t>& mask, float scale) {
+  const Index L = in.q.rows();
+  const Index d = in.q.cols();
+  std::vector<std::vector<double>> P(static_cast<std::size_t>(L),
+                                     std::vector<double>(static_cast<std::size_t>(L), 0.0));
+  // Forward probabilities.
+  for (Index i = 0; i < L; ++i) {
+    double mx = -1e300;
+    std::vector<double> s(static_cast<std::size_t>(L), -1e300);
+    for (Index j = 0; j < L; ++j) {
+      if (!mask(i, j)) continue;
+      double acc = 0;
+      for (Index p = 0; p < d; ++p) acc += double(in.q(i, p)) * double(in.k(j, p));
+      s[static_cast<std::size_t>(j)] = acc * scale;
+      mx = std::max(mx, s[static_cast<std::size_t>(j)]);
+    }
+    if (mx == -1e300) continue;
+    double l = 0;
+    for (Index j = 0; j < L; ++j) {
+      if (s[static_cast<std::size_t>(j)] == -1e300) continue;
+      P[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          std::exp(s[static_cast<std::size_t>(j)] - mx);
+      l += P[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+    }
+    for (Index j = 0; j < L; ++j) P[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] /= l;
+  }
+  // O and D.
+  std::vector<std::vector<double>> O(static_cast<std::size_t>(L),
+                                     std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) {
+      const double pij = P[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (pij == 0.0) continue;
+      for (Index p = 0; p < d; ++p) O[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)] += pij * in.v(j, p);
+    }
+  }
+  DenseGrads g{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  g.dq.zero();
+  g.dk.zero();
+  g.dv.zero();
+  for (Index i = 0; i < L; ++i) {
+    double Di = 0;
+    for (Index p = 0; p < d; ++p) Di += double(in.dout(i, p)) * O[static_cast<std::size_t>(i)][static_cast<std::size_t>(p)];
+    for (Index j = 0; j < L; ++j) {
+      const double pij = P[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (pij == 0.0) continue;
+      double dov = 0;
+      for (Index p = 0; p < d; ++p) dov += double(in.dout(i, p)) * double(in.v(j, p));
+      const double ds = pij * (dov - Di);
+      for (Index p = 0; p < d; ++p) {
+        g.dq(i, p) += static_cast<float>(scale * ds * in.k(j, p));
+        g.dk(j, p) += static_cast<float>(scale * ds * in.q(i, p));
+        g.dv(j, p) += static_cast<float>(pij * in.dout(i, p));
+      }
+    }
+  }
+  return g;
+}
+
+constexpr double kRtol = 1e-4;
+constexpr double kAtol = 1e-5;
+
+TEST(BackwardCsr, MatchesDenseOracleOnRandomMask) {
+  const Index L = 48, d = 12;
+  const auto in = make_inputs(L, d, 1000);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 51});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  AttentionCache cache;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache);
+  AttentionGrads grads;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, grads);
+
+  const auto oracle = dense_backward(in, csr_to_dense(mask), scale);
+  EXPECT_TRUE(allclose(grads.dq, oracle.dq, kRtol, kAtol).all_close)
+      << allclose(grads.dq, oracle.dq, 0, 0).max_abs_diff;
+  EXPECT_TRUE(allclose(grads.dk, oracle.dk, kRtol, kAtol).all_close)
+      << allclose(grads.dk, oracle.dk, 0, 0).max_abs_diff;
+  EXPECT_TRUE(allclose(grads.dv, oracle.dv, kRtol, kAtol).all_close)
+      << allclose(grads.dv, oracle.dv, 0, 0).max_abs_diff;
+}
+
+TEST(BackwardCsr, ForwardCacheMatchesInferenceKernel) {
+  const Index L = 40, d = 8;
+  const auto in = make_inputs(L, d, 1001);
+  const auto mask = build_csr_random(L, RandomParams{0.15, 52});
+  AttentionCache cache;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache);
+  Matrix<float> inference(L, d);
+  csr_attention(in.q, in.k, in.v, mask, inference);
+  EXPECT_EQ(max_abs_diff(cache.out, inference), 0.0);
+}
+
+TEST(BackwardCsr, FiniteDifferenceSpotCheck) {
+  // Central differences on a scalar loss: loss = sum(O ⊙ dout).
+  const Index L = 12, d = 4;
+  const auto in = make_inputs(L, d, 1002);
+  const auto mask = build_csr_random(L, RandomParams{0.4, 53});
+
+  AttentionCache cache;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache);
+  AttentionGrads grads;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, grads);
+
+  auto loss_of = [&](const Matrix<float>& q, const Matrix<float>& k, const Matrix<float>& v) {
+    Matrix<float> o(L, d);
+    csr_attention(q, k, v, mask, o);
+    double loss = 0;
+    for (Index i = 0; i < L; ++i) {
+      for (Index p = 0; p < d; ++p) loss += double(o(i, p)) * double(in.dout(i, p));
+    }
+    return loss;
+  };
+
+  const float eps = 3e-3f;
+  // Check a handful of coordinates in each gradient.
+  for (auto [i, p] : {std::pair<Index, Index>{0, 0}, {5, 2}, {11, 3}}) {
+    for (int which = 0; which < 3; ++which) {
+      Inputs plus = in, minus = in;
+      Matrix<float>* target_p = which == 0 ? &plus.q : which == 1 ? &plus.k : &plus.v;
+      Matrix<float>* target_m = which == 0 ? &minus.q : which == 1 ? &minus.k : &minus.v;
+      (*target_p)(i, p) += eps;
+      (*target_m)(i, p) -= eps;
+      const double fd =
+          (loss_of(plus.q, plus.k, plus.v) - loss_of(minus.q, minus.k, minus.v)) / (2.0 * eps);
+      const Matrix<float>& g = which == 0 ? grads.dq : which == 1 ? grads.dk : grads.dv;
+      EXPECT_NEAR(g(i, p), fd, std::abs(fd) * 0.02 + 2e-3)
+          << "grad " << which << " at (" << i << "," << p << ")";
+    }
+  }
+}
+
+TEST(BackwardCsr, EmptyRowsGetZeroGradients) {
+  const Index L = 16, d = 4;
+  const auto in = make_inputs(L, d, 1003);
+  // Mask where row 3 is empty and column 5 is never attended.
+  auto mask = build_csr_from_predicate(
+      L, [](Index i, Index j) { return i != 3 && j != 5 && (i + j) % 3 == 0; });
+  AttentionCache cache;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache);
+  AttentionGrads grads;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, grads);
+  for (Index p = 0; p < d; ++p) {
+    EXPECT_EQ(grads.dq(3, p), 0.0f);  // empty query row
+    EXPECT_EQ(grads.dk(5, p), 0.0f);  // never-attended key
+    EXPECT_EQ(grads.dv(5, p), 0.0f);
+  }
+}
+
+TEST(BackwardCsr, CausalMatchesIntersectedMask) {
+  const Index L = 32, d = 8;
+  const auto in = make_inputs(L, d, 1004);
+  const auto mask = build_csr_random(L, RandomParams{0.3, 54});
+  const auto tri = build_csr_from_predicate(L, [](Index i, Index j) { return j <= i; });
+  const auto intersected = mask_intersect(mask, tri);
+
+  AttentionOptions causal;
+  causal.causal = true;
+  AttentionCache cache_c;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache_c, causal);
+  AttentionGrads grads_c;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache_c, in.dout, grads_c, causal);
+
+  AttentionCache cache_i;
+  csr_attention_forward(in.q, in.k, in.v, intersected, cache_i);
+  AttentionGrads grads_i;
+  csr_attention_backward(in.q, in.k, in.v, intersected, cache_i, in.dout, grads_i);
+
+  EXPECT_TRUE(allclose(grads_c.dq, grads_i.dq, kRtol, kAtol).all_close);
+  EXPECT_TRUE(allclose(grads_c.dk, grads_i.dk, kRtol, kAtol).all_close);
+  EXPECT_TRUE(allclose(grads_c.dv, grads_i.dv, kRtol, kAtol).all_close);
+}
+
+TEST(BackwardLocal, MatchesCsrOnMaterialisedWindow) {
+  const Index L = 64, d = 16;
+  const auto in = make_inputs(L, d, 1005);
+  const LocalParams p{5};
+  const auto mask = build_csr_local(L, p);
+
+  AttentionCache cache_l, cache_c;
+  local_attention_forward(in.q, in.k, in.v, p, cache_l);
+  csr_attention_forward(in.q, in.k, in.v, mask, cache_c);
+  EXPECT_EQ(max_abs_diff(cache_l.out, cache_c.out), 0.0);
+
+  AttentionGrads gl, gc;
+  local_attention_backward(in.q, in.k, in.v, p, cache_l, in.dout, gl);
+  csr_attention_backward(in.q, in.k, in.v, mask, cache_c, in.dout, gc);
+  EXPECT_TRUE(allclose(gl.dq, gc.dq, 1e-5, 1e-6).all_close);
+  EXPECT_TRUE(allclose(gl.dk, gc.dk, 1e-5, 1e-6).all_close);
+  EXPECT_TRUE(allclose(gl.dv, gc.dv, 1e-5, 1e-6).all_close);
+}
+
+TEST(BackwardLocal, CausalWindowGradients) {
+  const Index L = 48, d = 8;
+  const auto in = make_inputs(L, d, 1006);
+  const LocalParams p{4};
+  AttentionOptions causal;
+  causal.causal = true;
+
+  AttentionCache cache;
+  local_attention_forward(in.q, in.k, in.v, p, cache, causal);
+  AttentionGrads grads;
+  local_attention_backward(in.q, in.k, in.v, p, cache, in.dout, grads, causal);
+
+  const auto tri = build_csr_from_predicate(L, [](Index i, Index j) { return j <= i; });
+  const auto mask = mask_intersect(build_csr_local(L, p), tri);
+  AttentionCache cache_c;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache_c);
+  AttentionGrads gc;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache_c, in.dout, gc);
+  EXPECT_TRUE(allclose(grads.dq, gc.dq, kRtol, kAtol).all_close);
+  EXPECT_TRUE(allclose(grads.dk, gc.dk, kRtol, kAtol).all_close);
+  EXPECT_TRUE(allclose(grads.dv, gc.dv, kRtol, kAtol).all_close);
+}
+
+TEST(BackwardValidation, WeightedMasksRejected) {
+  const Index L = 8, d = 4;
+  const auto in = make_inputs(L, d, 1007);
+  const auto mask = build_csr_local(L, LocalParams{2});
+  AttentionOptions opts;
+  opts.use_mask_values = true;
+  AttentionCache cache;
+  EXPECT_THROW(csr_attention_forward(in.q, in.k, in.v, mask, cache, opts), InvalidArgument);
+}
+
+TEST(BackwardValidation, MismatchedCacheRejected) {
+  const Index L = 8, d = 4;
+  const auto in = make_inputs(L, d, 1008);
+  const auto mask = build_csr_local(L, LocalParams{2});
+  AttentionCache cache;  // never filled
+  AttentionGrads grads;
+  EXPECT_THROW(csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, grads),
+               InvalidArgument);
+}
+
+TEST(BackwardParallelism, ThreadCountDoesNotChangeGradients) {
+  const Index L = 64, d = 8;
+  const auto in = make_inputs(L, d, 1009);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 55});
+  AttentionCache cache;
+  csr_attention_forward(in.q, in.k, in.v, mask, cache);
+
+  AttentionOptions serial;
+  serial.policy = ExecPolicy::serial();
+  AttentionGrads g1;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, g1, serial);
+
+  AttentionOptions par;
+  par.policy = ExecPolicy{4, 8, Schedule::Dynamic};
+  AttentionGrads g2;
+  csr_attention_backward(in.q, in.k, in.v, mask, cache, in.dout, g2, par);
+  EXPECT_EQ(max_abs_diff(g1.dq, g2.dq), 0.0);
+  EXPECT_EQ(max_abs_diff(g1.dk, g2.dk), 0.0);
+  EXPECT_EQ(max_abs_diff(g1.dv, g2.dv), 0.0);
+}
+
+}  // namespace
+}  // namespace gpa

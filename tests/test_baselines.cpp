@@ -1,0 +1,157 @@
+// Tests for the comparison baselines: masked SDP, FlashAttention-style
+// tiled attention, and block-sparse flash — each against the exact
+// reference, plus the structural properties the paper's analysis uses.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/block_sparse_flash.hpp"
+#include "baselines/flash_attention.hpp"
+#include "baselines/reference_attention.hpp"
+#include "baselines/sdp_masked.hpp"
+#include "common/rng.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+class SdpVsReference : public ::testing::TestWithParam<double> {};
+
+TEST_P(SdpVsReference, MatchesAtAllSparsities) {
+  const Index L = 96, d = 24;
+  const auto in = make_inputs(L, d, 400);
+  const auto mask = build_csr_random(L, RandomParams{GetParam(), 21});
+  Matrix<float> expected(L, d), got(L, d);
+  baselines::reference_attention(in.q, in.k, in.v, mask, expected);
+  baselines::sdp_masked_attention(in.q, in.k, in.v, mask, got);
+  const auto rep = allclose(got, expected, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << "Sf=" << GetParam() << " diff " << rep.max_abs_diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SdpVsReference,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0));
+
+TEST(SdpTest, FullyMaskedRowsAreZero) {
+  const Index L = 32, d = 8;
+  const auto in = make_inputs(L, d, 401);
+  Matrix<std::uint8_t> mask(L, L);
+  mask.zero();
+  for (Index j = 0; j < L; ++j) mask(0, j) = 1;  // only row 0 attends
+  Matrix<float> out(L, d);
+  baselines::sdp_masked_attention(in.q, in.k, in.v, mask, out);
+  for (Index j = 0; j < d; ++j) EXPECT_NE(out(0, j), 0.0f);
+  for (Index i = 1; i < L; ++i) {
+    for (Index j = 0; j < d; ++j) EXPECT_EQ(out(i, j), 0.0f);
+  }
+}
+
+class FlashTileSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(FlashTileSweep, MatchesDenseReferenceForAnyTileWidth) {
+  const Index L = 128, d = 32;
+  const auto in = make_inputs(L, d, 402);
+  Matrix<float> expected(L, d), got(L, d);
+  baselines::reference_attention_dense(in.q, in.k, in.v, expected);
+  baselines::FlashConfig cfg;
+  cfg.tile_cols = GetParam();
+  baselines::flash_attention(in.q, in.k, in.v, got, {}, cfg);
+  const auto rep = allclose(got, expected, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << "tile=" << GetParam() << " diff " << rep.max_abs_diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(TileWidths, FlashTileSweep,
+                         ::testing::Values<Index>(1, 16, 64, 127, 128, 200));
+
+TEST(FlashTest, HalfPrecisionStorage) {
+  const Index L = 64, d = 16;
+  const auto in = make_inputs(L, d, 403);
+  Matrix<float> expected(L, d);
+  baselines::reference_attention_dense(in.q, in.k, in.v, expected);
+  Matrix<half_t> got_h(L, d);
+  baselines::flash_attention(to_f16(in.q), to_f16(in.k), to_f16(in.v), got_h);
+  const auto rep = allclose(to_f32(got_h), expected, 5e-3, 5e-3);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST(FlashTest, AgreesWithSdpOnDenseMask) {
+  const Index L = 80, d = 16;
+  const auto in = make_inputs(L, d, 404);
+  Matrix<std::uint8_t> ones(L, L);
+  ones.fill(1);
+  Matrix<float> sdp(L, d), flash(L, d);
+  baselines::sdp_masked_attention(in.q, in.k, in.v, ones, sdp);
+  baselines::flash_attention(in.q, in.k, in.v, flash);
+  EXPECT_TRUE(allclose(flash, sdp, 1e-5, 1e-6).all_close);
+}
+
+TEST(BlockSparseFlashTest, MatchesReferenceOnStructuredMasks) {
+  const Index L = 128, d = 16;
+  const auto in = make_inputs(L, d, 405);
+  for (const double sf : {0.02, 0.1}) {
+    const auto mask = build_csr_random(L, RandomParams{sf, 31});
+    Matrix<float> expected(L, d), got(L, d);
+    baselines::reference_attention(in.q, in.k, in.v, mask, expected);
+    baselines::block_sparse_flash_attention(in.q, in.k, in.v, mask, got, {},
+                                            baselines::BlockSparseConfig{32});
+    const auto rep = allclose(got, expected, 1e-5, 1e-6);
+    EXPECT_TRUE(rep.all_close) << "Sf=" << sf << " diff " << rep.max_abs_diff;
+  }
+}
+
+TEST(BlockSparseFlashTest, LocalMaskWithVariousBlocks) {
+  const Index L = 96, d = 8;
+  const auto in = make_inputs(L, d, 406);
+  const auto mask = build_csr_local(L, LocalParams{5});
+  Matrix<float> expected(L, d);
+  baselines::reference_attention(in.q, in.k, in.v, mask, expected);
+  for (const Index block : {8, 16, 33, 96}) {
+    Matrix<float> got(L, d);
+    baselines::block_sparse_flash_attention(in.q, in.k, in.v, mask, got, {},
+                                            baselines::BlockSparseConfig{block});
+    const auto rep = allclose(got, expected, 1e-5, 1e-6);
+    EXPECT_TRUE(rep.all_close) << "block=" << block << " diff " << rep.max_abs_diff;
+  }
+}
+
+TEST(BlockOccupancyTest, CountsLiveBlocksOnDiagonalMask) {
+  // Diagonal mask, block 4 on L=16 -> only the 4 diagonal blocks live.
+  const auto mask = build_csr_local(16, LocalParams{1});
+  const auto occ = baselines::analyze_blocks(mask, 4);
+  EXPECT_EQ(occ.grid, 4);
+  EXPECT_EQ(occ.live_blocks, 4u);
+  // 16 nnz spread over 4 live blocks of 16 cells: density 1/4.
+  EXPECT_DOUBLE_EQ(occ.in_block_density, 0.25);
+}
+
+TEST(BlockOccupancyTest, DensityOneForAlignedDenseBlocks) {
+  const auto p = make_dilated2d(16, 4, 0);  // dense 4-aligned groups
+  const auto mask = build_csr_dilated2d(p);
+  const auto occ = baselines::analyze_blocks(mask, 4);
+  EXPECT_DOUBLE_EQ(occ.in_block_density, 1.0);
+}
+
+TEST(BlockOccupancyTest, QuantifiesBlockWaste) {
+  // The §III critique: low in-block density == wasted O(d) work per zero
+  // entry. A very sparse random mask in large blocks is nearly all waste.
+  const auto mask = build_csr_random(256, RandomParams{0.005, 3});
+  const auto occ = baselines::analyze_blocks(mask, 64);
+  EXPECT_LT(occ.in_block_density, 0.05);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,120 @@
+// Tests for the batched attention wrapper.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/batched.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+Batch<float> make_batch(Index b, Index L, Index d, Rng& rng) {
+  Batch<float> batch;
+  for (Index x = 0; x < b; ++x) {
+    Matrix<float> m(L, d);
+    fill_uniform(m, rng);
+    batch.push_back(std::move(m));
+  }
+  return batch;
+}
+
+TEST(BatchedTest, EachItemMatchesUnbatchedKernel) {
+  const Index B = 3, L = 32, d = 8;
+  Rng rng(1100);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 61});
+
+  Batch<float> out;
+  batched_csr_attention(q, k, v, mask, out);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(B));
+  for (Index b = 0; b < B; ++b) {
+    Matrix<float> single(L, d);
+    csr_attention(q[static_cast<std::size_t>(b)], k[static_cast<std::size_t>(b)],
+                  v[static_cast<std::size_t>(b)], mask, single);
+    EXPECT_EQ(max_abs_diff(out[static_cast<std::size_t>(b)], single), 0.0) << "batch " << b;
+  }
+}
+
+TEST(BatchedTest, MultiHeadComposition) {
+  const Index B = 2, L = 24, heads = 2, hd = 8;
+  Rng rng(1101);
+  const auto q = make_batch(B, L, heads * hd, rng);
+  const auto k = make_batch(B, L, heads * hd, rng);
+  const auto v = make_batch(B, L, heads * hd, rng);
+  const auto mask = build_csr_local(L, LocalParams{3});
+
+  Batch<float> out;
+  batched_multihead_csr_attention(q, k, v, MultiHeadDims{heads, hd}, mask, out);
+  ASSERT_EQ(out.size(), 2u);
+  Matrix<float> single(L, heads * hd);
+  multihead_csr_attention(q[1], k[1], v[1], MultiHeadDims{heads, hd}, mask, single);
+  EXPECT_EQ(max_abs_diff(out[1], single), 0.0);
+}
+
+TEST(BatchedTest, EmptyBatchIsNoOp) {
+  Batch<float> q, k, v, out;
+  const auto mask = build_csr_local(8, LocalParams{2});
+  batched_csr_attention(q, k, v, mask, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BatchedTest, MismatchedBatchSizesThrow) {
+  Rng rng(1102);
+  auto q = make_batch(2, 8, 4, rng);
+  auto k = make_batch(3, 8, 4, rng);
+  auto v = make_batch(2, 8, 4, rng);
+  const auto mask = build_csr_local(8, LocalParams{2});
+  Batch<float> out;
+  EXPECT_THROW(batched_csr_attention(q, k, v, mask, out), InvalidArgument);
+}
+
+TEST(BatchedTest, MismatchedShapesWithinBatchThrow) {
+  Rng rng(1103);
+  auto q = make_batch(2, 8, 4, rng);
+  auto k = make_batch(2, 8, 4, rng);
+  auto v = make_batch(2, 8, 4, rng);
+  q[1] = Matrix<float>(16, 4);  // different L
+  const auto mask = build_csr_local(8, LocalParams{2});
+  Batch<float> out;
+  EXPECT_THROW(batched_csr_attention(q, k, v, mask, out), InvalidArgument);
+}
+
+TEST(BatchedTest, OutputBuffersAreReused) {
+  const Index B = 2, L = 16, d = 4;
+  Rng rng(1104);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  const auto mask = build_csr_local(L, LocalParams{2});
+  Batch<float> out;
+  batched_csr_attention(q, k, v, mask, out);
+  const float* ptr = out[0].data();
+  batched_csr_attention(q, k, v, mask, out);  // second call: no realloc
+  EXPECT_EQ(out[0].data(), ptr);
+}
+
+TEST(BatchedTest, CustomKernelReceivesEveryItem) {
+  const Index B = 4, L = 8, d = 4;
+  Rng rng(1105);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  int calls = 0;
+  HeadKernel<float> kernel = [&calls](const Matrix<float>& qb, const Matrix<float>& kb,
+                                      const Matrix<float>& vb, Matrix<float>& ob,
+                                      const AttentionOptions& o) {
+    ++calls;
+    local_attention(qb, kb, vb, LocalParams{2}, ob, o);
+  };
+  Batch<float> out;
+  batched_attention(q, k, v, kernel, out);
+  EXPECT_EQ(calls, B);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,183 @@
+// Tests for causal (lower-triangular) attention across every kernel and
+// baseline: each causal kernel must equal the reference run on the
+// causally-intersected mask.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/flash_attention.hpp"
+#include "baselines/reference_attention.hpp"
+#include "baselines/sdp_masked.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/compose.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+Csr<float> causal_intersect(const Csr<float>& mask) {
+  const CausalParams c;
+  return mask_intersect(mask, build_csr_from_predicate(mask.rows, [&](Index i, Index j) {
+                          return c.contains(i, j);
+                        }));
+}
+
+constexpr double kRtol = 1e-5;
+constexpr double kAtol = 1e-6;
+
+class CausalKernels : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(CausalKernels, CsrCausalEqualsIntersectedMask) {
+  const auto [L, d] = GetParam();
+  const auto in = make_inputs(L, d, 900);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 91});
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  csr_attention(in.q, in.k, in.v, mask, got, opts);
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(mask), expected);
+  const auto rep = allclose(got, expected, kRtol, kAtol);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST_P(CausalKernels, CooCausalEqualsIntersectedMask) {
+  const auto [L, d] = GetParam();
+  const auto in = make_inputs(L, d, 901);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 92});
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  coo_attention(in.q, in.k, in.v, csr_to_coo(mask), got, opts);
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(mask), expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST_P(CausalKernels, LocalCausalIsSlidingWindowAttention) {
+  const auto [L, d] = GetParam();
+  const auto in = make_inputs(L, d, 902);
+  const LocalParams p{6};
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  local_attention(in.q, in.k, in.v, p, got, opts);
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(build_csr_local(L, p)),
+                                 expected);
+  const auto rep = allclose(got, expected, kRtol, kAtol);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST_P(CausalKernels, Dilated1DCausal) {
+  const auto [L, d] = GetParam();
+  const auto in = make_inputs(L, d, 903);
+  const Dilated1DParams p{9, 2};
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  dilated1d_attention(in.q, in.k, in.v, p, got, opts);
+  baselines::reference_attention(in.q, in.k, in.v,
+                                 causal_intersect(build_csr_dilated1d(L, p)), expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST_P(CausalKernels, Dilated2DCausal) {
+  const auto [L, d] = GetParam();
+  if (L % 8 != 0) GTEST_SKIP();
+  const auto in = make_inputs(L, d, 904);
+  const auto p = make_dilated2d(L, 8, 1);
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  dilated2d_attention(in.q, in.k, in.v, p, got, opts);
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(build_csr_dilated2d(p)),
+                                 expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST_P(CausalKernels, GlobalCausal) {
+  const auto [L, d] = GetParam();
+  const auto in = make_inputs(L, d, 905);
+  GlobalMinusLocalParams p;
+  p.global = make_global({0, L / 3}, L);
+  p.local = make_local(3);
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  global_attention(in.q, in.k, in.v, p, got, opts);
+  const auto full =
+      build_csr_from_predicate(L, [&](Index i, Index j) { return p.contains(i, j); });
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(full), expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CausalKernels,
+                         ::testing::Values(std::make_tuple<Index, Index>(32, 8),
+                                           std::make_tuple<Index, Index>(64, 16),
+                                           std::make_tuple<Index, Index>(96, 32)));
+
+TEST(CausalBaselines, FlashCausalMatchesReference) {
+  const Index L = 96, d = 16;
+  const auto in = make_inputs(L, d, 906);
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  baselines::flash_attention(in.q, in.k, in.v, got, opts);
+  Matrix<std::uint8_t> tri(L, L);
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) tri(i, j) = j <= i ? 1 : 0;
+  }
+  baselines::reference_attention(in.q, in.k, in.v, tri, expected);
+  const auto rep = allclose(got, expected, kRtol, kAtol);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST(CausalBaselines, SdpCausalMatchesReference) {
+  const Index L = 64, d = 8;
+  const auto in = make_inputs(L, d, 907);
+  const auto mask = build_csr_random(L, RandomParams{0.3, 93});
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d), expected(L, d);
+  baselines::sdp_masked_attention(in.q, in.k, in.v, mask, got, opts);
+  baselines::reference_attention(in.q, in.k, in.v, causal_intersect(mask), expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST(CausalSemantics, FirstRowAttendsOnlyToItself) {
+  const Index L = 16, d = 4;
+  const auto in = make_inputs(L, d, 908);
+  AttentionOptions opts;
+  opts.causal = true;
+  Matrix<float> got(L, d);
+  local_attention(in.q, in.k, in.v, LocalParams{8}, got, opts);
+  for (Index p = 0; p < d; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+}
+
+TEST(CausalSemantics, CausalDiffersFromBidirectional) {
+  const Index L = 32, d = 8;
+  const auto in = make_inputs(L, d, 909);
+  Matrix<float> causal(L, d), full(L, d);
+  AttentionOptions copts;
+  copts.causal = true;
+  local_attention(in.q, in.k, in.v, LocalParams{4}, causal, copts);
+  local_attention(in.q, in.k, in.v, LocalParams{4}, full);
+  EXPECT_GT(max_abs_diff(causal, full), 1e-3);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,141 @@
+// Sequential kernel chaining (§V-F): folding disjoint edge sets into one
+// SoftmaxState must equal a single kernel call over the union mask —
+// the equivalence Fig. 6 relies on ("the outputs of each approach were
+// deemed identical").
+
+#include <gtest/gtest.h>
+
+#include "baselines/reference_attention.hpp"
+#include "common/rng.hpp"
+#include "core/composed.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/compose.hpp"
+#include "sparse/presets.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+TEST(ChainingTest, LocalPlusGlobalEqualsUnionCsr) {
+  const Index L = 96, d = 16;
+  const auto in = make_inputs(L, d, 300);
+  const LocalParams local{6};
+  GlobalMinusLocalParams gml;
+  gml.global = make_global({0, 40}, L);
+  gml.local = local;
+
+  SoftmaxState state(L, d);
+  local_attention_accumulate(in.q, in.k, in.v, local, state);
+  global_attention_accumulate(in.q, in.k, in.v, gml, state);
+  Matrix<float> chained(L, d);
+  state.finalize_into(chained);
+
+  const auto union_mask = mask_union(
+      build_csr_local(L, local),
+      build_csr_from_predicate(L, [&](Index i, Index j) { return gml.contains(i, j); }));
+  Matrix<float> fused(L, d);
+  csr_attention(in.q, in.k, in.v, union_mask, fused);
+
+  const auto rep = allclose(chained, fused, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+}
+
+TEST(ChainingTest, OrderOfDisjointComponentsIsIrrelevant) {
+  const Index L = 64, d = 8;
+  const auto in = make_inputs(L, d, 301);
+  const auto a = build_csr_local(L, LocalParams{4});
+  const auto b = mask_subtract(build_csr_random(L, RandomParams{0.1, 17}), a);
+
+  SoftmaxState ab(L, d), ba(L, d);
+  csr_attention_accumulate(in.q, in.k, in.v, a, ab);
+  csr_attention_accumulate(in.q, in.k, in.v, b, ab);
+  csr_attention_accumulate(in.q, in.k, in.v, b, ba);
+  csr_attention_accumulate(in.q, in.k, in.v, a, ba);
+  Matrix<float> out_ab(L, d), out_ba(L, d);
+  ab.finalize_into(out_ab);
+  ba.finalize_into(out_ba);
+  // Online softmax is order-dependent only in rounding; results agree
+  // to float tolerance.
+  const auto rep = allclose(out_ab, out_ba, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+}
+
+TEST(ChainingTest, ThreeWayBigBirdChainMatchesReference) {
+  const Index L = 128, d = 16;
+  const auto in = make_inputs(L, d, 302);
+  const auto preset = make_bigbird(L, 3, 2, 0.02);
+
+  Matrix<float> chained(L, d);
+  composed_attention(in.q, in.k, in.v, preset, chained);
+
+  Matrix<float> expected(L, d);
+  baselines::reference_attention(in.q, in.k, in.v, preset.fused, expected);
+  const auto rep = allclose(chained, expected, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+}
+
+TEST(ChainingTest, ComposedEqualsFusedForAllPresets) {
+  const Index L = 100, d = 12;
+  const auto in = make_inputs(L, d, 303);
+  const auto presets = {make_longformer(L, 4, 2), make_longformer_dilated(L, 4, 2, 2),
+                        make_bigbird(L, 4, 2, 0.03)};
+  for (const auto& preset : presets) {
+    Matrix<float> chained(L, d), fused(L, d);
+    composed_attention(in.q, in.k, in.v, preset, chained);
+    fused_csr_attention(in.q, in.k, in.v, preset, fused);
+    const auto rep = allclose(chained, fused, 1e-5, 1e-6);
+    EXPECT_TRUE(rep.all_close) << preset.name << " max diff " << rep.max_abs_diff;
+  }
+}
+
+TEST(ChainingTest, StateReuseAfterFinalizeIsStable) {
+  // finalize_into is const: accumulating more edges afterwards must
+  // still produce the union result.
+  const Index L = 48, d = 8;
+  const auto in = make_inputs(L, d, 304);
+  const auto a = build_csr_local(L, LocalParams{3});
+  const auto b = mask_subtract(build_csr_random(L, RandomParams{0.08, 4}), a);
+
+  SoftmaxState state(L, d);
+  csr_attention_accumulate(in.q, in.k, in.v, a, state);
+  Matrix<float> partial(L, d);
+  state.finalize_into(partial);  // snapshot after first component
+  csr_attention_accumulate(in.q, in.k, in.v, b, state);
+  Matrix<float> full(L, d);
+  state.finalize_into(full);
+
+  Matrix<float> expected_partial(L, d), expected_full(L, d);
+  baselines::reference_attention(in.q, in.k, in.v, a, expected_partial);
+  baselines::reference_attention(in.q, in.k, in.v, mask_union(a, b), expected_full);
+  EXPECT_TRUE(allclose(partial, expected_partial, 1e-5, 1e-6).all_close);
+  EXPECT_TRUE(allclose(full, expected_full, 1e-5, 1e-6).all_close);
+}
+
+TEST(ChainingTest, HalfPrecisionChainingMatchesFused) {
+  const Index L = 64, d = 16;
+  const auto in = make_inputs(L, d, 305);
+  const auto preset = make_longformer(L, 5, 2);
+  const auto qh = to_f16(in.q), kh = to_f16(in.k), vh = to_f16(in.v);
+  Matrix<half_t> chained(L, d), fused(L, d);
+  composed_attention(qh, kh, vh, preset, chained);
+  fused_csr_attention(qh, kh, vh, preset, fused);
+  const auto rep = allclose(to_f32(chained), to_f32(fused), 5e-3, 5e-3);
+  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,152 @@
+// Unit tests for the common substrate: half_t storage, deterministic
+// RNG, dtype metadata, error macros.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/dtype_of.hpp"
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gpa {
+namespace {
+
+TEST(DTypeTest, SizesMatchIeee) {
+  EXPECT_EQ(dtype_size(DType::F32), 4u);
+  EXPECT_EQ(dtype_size(DType::F16), 2u);
+  EXPECT_EQ(dtype_name(DType::F32), "fp32");
+  EXPECT_EQ(dtype_name(DType::F16), "fp16");
+}
+
+TEST(DTypeTest, TraitMapsStorageTypes) {
+  EXPECT_EQ(dtype_of_v<float>, DType::F32);
+  EXPECT_EQ(dtype_of_v<half_t>, DType::F16);
+}
+
+TEST(HalfTest, ExactSmallIntegersRoundTrip) {
+  for (int i = -2048; i <= 2048; ++i) {  // all integers |x| <= 2^11 are exact in fp16
+    const half_t h(static_cast<float>(i));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(HalfTest, KnownBitPatterns) {
+  EXPECT_EQ(half_t(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half_t(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(half_t(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half_t(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(half_t(65504.0f).bits(), 0x7bffu);  // max finite fp16
+}
+
+TEST(HalfTest, OverflowBecomesInfinity) {
+  EXPECT_TRUE(std::isinf(static_cast<float>(half_t(1e6f))));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half_t(-1e6f))));
+  EXPECT_GT(static_cast<float>(half_t(1e6f)), 0.0f);
+  EXPECT_LT(static_cast<float>(half_t(-1e6f)), 0.0f);
+}
+
+TEST(HalfTest, InfinityAndNanPropagate) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(std::isinf(static_cast<float>(half_t(inf))));
+  EXPECT_TRUE(std::isnan(static_cast<float>(half_t(std::nanf("")))));
+}
+
+TEST(HalfTest, SubnormalsRoundTrip) {
+  // Smallest positive subnormal fp16 = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(static_cast<float>(half_t(tiny)), tiny);
+  // Below half the smallest subnormal flushes to zero.
+  EXPECT_EQ(static_cast<float>(half_t(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(HalfTest, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 value;
+  // round-to-even keeps 1.0.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(halfway).bits(), 0x3c00u);
+  // 1 + 3·2^-11 is halfway between the 1st and 2nd steps; rounds up to
+  // even mantissa 2.
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_t(halfway2).bits(), 0x3c02u);
+}
+
+TEST(HalfTest, ConversionErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.next_float() * 100.0f - 50.0f;
+    const float back = static_cast<float>(half_t(x));
+    // fp16 relative precision is 2^-11.
+    EXPECT_NEAR(back, x, std::abs(x) * std::ldexp(1.0f, -10) + 1e-4f);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, FloatInHalfOpenUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(RngTest, NextIndexCoversRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const Index v = rng.next_index(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    GPA_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMacroPassesSilently) {
+  EXPECT_NO_THROW(GPA_CHECK(true, "never"));
+}
+
+}  // namespace
+}  // namespace gpa

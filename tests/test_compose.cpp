@@ -1,0 +1,102 @@
+// Tests for mask set-algebra (union / subtract / intersect) — the
+// machinery behind Fig. 6's composed masks.
+
+#include <gtest/gtest.h>
+
+#include "sparse/build.hpp"
+#include "sparse/compose.hpp"
+#include "sparse/patterns.hpp"
+
+namespace gpa {
+namespace {
+
+bool contains_entry(const Csr<float>& m, Index i, Index j) {
+  for (Index k = m.row_begin(i); k < m.row_end(i); ++k) {
+    if (m.col_idx[static_cast<std::size_t>(k)] == j) return true;
+  }
+  return false;
+}
+
+class ComposeFixture : public ::testing::Test {
+ protected:
+  const Index L = 32;
+  Csr<float> local = build_csr_local(L, LocalParams{3});
+  Csr<float> global = build_csr_global(L, make_global({0, 9}, L));
+};
+
+TEST_F(ComposeFixture, UnionContainsBothOperands) {
+  const auto u = mask_union(local, global);
+  EXPECT_TRUE(u.is_canonical());
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) {
+      EXPECT_EQ(contains_entry(u, i, j), contains_entry(local, i, j) || contains_entry(global, i, j));
+    }
+  }
+}
+
+TEST_F(ComposeFixture, SubtractRemovesExactlyOverlap) {
+  const auto diff = mask_subtract(global, local);
+  EXPECT_TRUE(diff.is_canonical());
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) {
+      EXPECT_EQ(contains_entry(diff, i, j),
+                contains_entry(global, i, j) && !contains_entry(local, i, j));
+    }
+  }
+}
+
+TEST_F(ComposeFixture, IntersectKeepsOnlyShared) {
+  const auto inter = mask_intersect(global, local);
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) {
+      EXPECT_EQ(contains_entry(inter, i, j),
+                contains_entry(global, i, j) && contains_entry(local, i, j));
+    }
+  }
+}
+
+TEST_F(ComposeFixture, InclusionExclusionHolds) {
+  const auto u = mask_union(local, global);
+  const auto inter = mask_intersect(local, global);
+  EXPECT_EQ(u.nnz() + inter.nnz(), local.nnz() + global.nnz());
+}
+
+TEST_F(ComposeFixture, SubtractThenUnionRestores) {
+  const auto diff = mask_subtract(global, local);
+  const auto restored = mask_union(diff, mask_intersect(global, local));
+  EXPECT_EQ(restored.col_idx, global.col_idx);
+  EXPECT_EQ(restored.row_offsets, global.row_offsets);
+}
+
+TEST_F(ComposeFixture, DisjointnessDetection) {
+  const auto diff = mask_subtract(global, local);
+  EXPECT_TRUE(masks_disjoint(diff, local));
+  EXPECT_FALSE(masks_disjoint(global, local));  // they overlap at (0, ~0)
+}
+
+TEST_F(ComposeFixture, UnionAllFoldsLeft) {
+  const auto rnd = build_csr_random(L, RandomParams{0.05, 3});
+  const auto all = mask_union_all({local, global, rnd});
+  const auto two = mask_union(mask_union(local, global), rnd);
+  EXPECT_EQ(all.col_idx, two.col_idx);
+}
+
+TEST(ComposeEdgeCases, EmptyMaskIsIdentityForUnion) {
+  const auto a = build_csr_local(16, LocalParams{2});
+  Csr<float> empty;
+  empty.rows = empty.cols = 16;
+  empty.row_offsets.assign(17, 0);
+  const auto u = mask_union(a, empty);
+  EXPECT_EQ(u.col_idx, a.col_idx);
+  const auto diff = mask_subtract(a, empty);
+  EXPECT_EQ(diff.col_idx, a.col_idx);
+}
+
+TEST(ComposeEdgeCases, ShapeMismatchThrows) {
+  const auto a = build_csr_local(16, LocalParams{2});
+  const auto b = build_csr_local(17, LocalParams{2});
+  EXPECT_THROW(mask_union(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,193 @@
+// Boundary-condition tests across the kernel surface: degenerate
+// sequence lengths, windows exceeding the sequence, dilation beyond the
+// window, saturated global masks, and the interplay between them.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/reference_attention.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/nnz.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+constexpr double kRtol = 1e-5;
+constexpr double kAtol = 1e-6;
+
+TEST(EdgeCases, WindowLargerThanSequenceIsDense) {
+  const Index L = 12, d = 4;
+  const auto in = make_inputs(L, d, 1300);
+  Matrix<float> got(L, d), expected(L, d);
+  local_attention(in.q, in.k, in.v, LocalParams{1000}, got);
+  baselines::reference_attention_dense(in.q, in.k, in.v, expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST(EdgeCases, DilationBeyondWindowLeavesOnlyDiagonal) {
+  // window 5, dilation 9 -> only distance 0 passes (|i-j| % 10 == 0 and
+  // |i-j| < 5 forces i == j).
+  const Index L = 16, d = 4;
+  const auto in = make_inputs(L, d, 1301);
+  Matrix<float> got(L, d);
+  dilated1d_attention(in.q, in.k, in.v, Dilated1DParams{5, 9}, got);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) EXPECT_NEAR(got(i, p), in.v(i, p), 1e-6f);
+  }
+  EXPECT_EQ(dilated1d_nnz(L, Dilated1DParams{5, 9}), static_cast<Size>(L));
+}
+
+TEST(EdgeCases, EveryTokenGlobalIsDenseMinusWindowPlusWindowKernels) {
+  // All tokens global, subtract window 1 (self): chain with local(1)
+  // reconstructs dense attention.
+  const Index L = 20, d = 8;
+  const auto in = make_inputs(L, d, 1302);
+  std::vector<Index> all(L);
+  std::iota(all.begin(), all.end(), Index{0});
+  GlobalMinusLocalParams p;
+  p.global = make_global(all, L);
+  p.local = make_local(1);
+
+  SoftmaxState state(L, d);
+  local_attention_accumulate(in.q, in.k, in.v, p.local, state);
+  global_attention_accumulate(in.q, in.k, in.v, p, state);
+  Matrix<float> got(L, d), expected(L, d);
+  state.finalize_into(got);
+  baselines::reference_attention_dense(in.q, in.k, in.v, expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST(EdgeCases, NoGlobalTokensMeansEmptyGlobalKernel) {
+  const Index L = 16, d = 4;
+  const auto in = make_inputs(L, d, 1303);
+  GlobalMinusLocalParams p;
+  p.local = make_local(2);
+  Matrix<float> got(L, d);
+  got.fill(9.0f);
+  global_attention(in.q, in.k, in.v, p, got);
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < d; ++j) EXPECT_EQ(got(i, j), 0.0f);
+  }
+}
+
+TEST(EdgeCases, Dilated2DWithBlockEqualLIsOneGroupPerToken) {
+  // b == L -> group size 1: token i attends to itself iff (i % L) % (r+1) == 0.
+  const Index L = 12, d = 4;
+  const auto in = make_inputs(L, d, 1304);
+  const auto p = make_dilated2d(L, L, 1);
+  Matrix<float> got(L, d);
+  dilated2d_attention(in.q, in.k, in.v, p, got);
+  for (Index i = 0; i < L; ++i) {
+    const bool live = i % 2 == 0;
+    for (Index pp = 0; pp < d; ++pp) {
+      if (live) {
+        EXPECT_NEAR(got(i, pp), in.v(i, pp), 1e-6f);
+      } else {
+        EXPECT_EQ(got(i, pp), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, Dilated2DWithSingleBlockCoversWholeSequence) {
+  const Index L = 12, d = 4;
+  const auto in = make_inputs(L, d, 1305);
+  const auto p = make_dilated2d(L, 1, 0);  // one block spanning everything
+  Matrix<float> got(L, d), expected(L, d);
+  dilated2d_attention(in.q, in.k, in.v, p, got);
+  baselines::reference_attention_dense(in.q, in.k, in.v, expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST(EdgeCases, EveryKernelHandlesLengthOne) {
+  const auto in = make_inputs(1, 4, 1306);
+  Matrix<float> got(1, 4);
+
+  local_attention(in.q, in.k, in.v, LocalParams{3}, got);
+  for (Index p = 0; p < 4; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+
+  dilated1d_attention(in.q, in.k, in.v, Dilated1DParams{3, 1}, got);
+  for (Index p = 0; p < 4; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+
+  dilated2d_attention(in.q, in.k, in.v, make_dilated2d(1, 1, 0), got);
+  for (Index p = 0; p < 4; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+
+  const auto mask = build_csr_local(1, LocalParams{1});
+  csr_attention(in.q, in.k, in.v, mask, got);
+  for (Index p = 0; p < 4; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+
+  coo_attention(in.q, in.k, in.v, csr_to_coo(mask), got);
+  for (Index p = 0; p < 4; ++p) EXPECT_NEAR(got(0, p), in.v(0, p), 1e-6f);
+
+  GlobalMinusLocalParams gp;
+  gp.global = make_global({0}, 1);
+  gp.local = make_local(1);
+  got.fill(5.0f);
+  global_attention(in.q, in.k, in.v, gp, got);  // global minus self = empty
+  for (Index p = 0; p < 4; ++p) EXPECT_EQ(got(0, p), 0.0f);
+}
+
+TEST(EdgeCases, HeadDimensionOne) {
+  const Index L = 16;
+  const auto in = make_inputs(L, 1, 1307);
+  const auto mask = build_csr_random(L, RandomParams{0.5, 81});
+  Matrix<float> got(L, 1), expected(L, 1);
+  csr_attention(in.q, in.k, in.v, mask, got);
+  baselines::reference_attention(in.q, in.k, in.v, mask, expected);
+  EXPECT_TRUE(allclose(got, expected, kRtol, kAtol).all_close);
+}
+
+TEST(EdgeCases, ZeroLengthSequence) {
+  Matrix<float> empty(0, 4), out(0, 4);
+  Csr<float> mask;
+  mask.rows = mask.cols = 0;
+  mask.row_offsets = {0};
+  EXPECT_NO_THROW(csr_attention(empty, empty, empty, mask, out));
+}
+
+TEST(EdgeCases, SolverAtExtremeSparsityTargets) {
+  // Sf so small that only the diagonal survives.
+  const Index L = 1024;
+  const Index w = local_window_for_sparsity(L, 1.0 / (static_cast<double>(L) * L));
+  EXPECT_EQ(w, 1);
+  // Sf of exactly 1.0 -> full window.
+  EXPECT_EQ(local_window_for_sparsity(L, 1.0), L);
+}
+
+TEST(EdgeCases, ChainingWithEmptyComponentIsIdentity) {
+  const Index L = 24, d = 8;
+  const auto in = make_inputs(L, d, 1308);
+  const auto mask = build_csr_local(L, LocalParams{3});
+  Csr<float> empty;
+  empty.rows = empty.cols = L;
+  empty.row_offsets.assign(static_cast<std::size_t>(L) + 1, 0);
+
+  SoftmaxState state(L, d);
+  csr_attention_accumulate(in.q, in.k, in.v, empty, state);
+  csr_attention_accumulate(in.q, in.k, in.v, mask, state);
+  csr_attention_accumulate(in.q, in.k, in.v, empty, state);
+  Matrix<float> chained(L, d), direct(L, d);
+  state.finalize_into(chained);
+  csr_attention(in.q, in.k, in.v, mask, direct);
+  EXPECT_EQ(max_abs_diff(chained, direct), 0.0);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,88 @@
+// Exhaustive verification of the binary16 storage type: all 65,536 bit
+// patterns are checked for round-trip identity, ordering, and
+// classification — the fp16 kernels and the Table II capacity claims
+// both stand on this conversion being exact.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/half.hpp"
+
+namespace gpa {
+namespace {
+
+TEST(HalfExhaustive, AllBitPatternsRoundTripThroughFloat) {
+  int checked = 0;
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const half_t h = half_t::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    const half_t back(f);
+    if (std::isnan(f)) {
+      // NaNs must stay NaN (payloads may differ).
+      EXPECT_TRUE(std::isnan(static_cast<float>(back))) << "bits=" << bits;
+      continue;
+    }
+    EXPECT_EQ(back.bits(), bits) << "bits=" << std::hex << bits << " f=" << f;
+    ++checked;
+  }
+  EXPECT_GT(checked, 63000);  // all non-NaN patterns exercised
+}
+
+TEST(HalfExhaustive, ConversionPreservesOrderingOfFiniteValues) {
+  // Walk all positive finite patterns in bit order: float values must be
+  // strictly increasing (the fp16 encoding is monotone).
+  float prev = -1.0f;
+  for (std::uint32_t bits = 0; bits < 0x7c00u; ++bits) {  // up to +inf exclusive
+    const float f = static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits)));
+    EXPECT_GT(f, prev) << "bits=" << std::hex << bits;
+    prev = f;
+  }
+}
+
+TEST(HalfExhaustive, NegativePatternsMirrorPositive) {
+  for (std::uint32_t bits = 0; bits <= 0x7fffu; ++bits) {
+    const float pos = static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits)));
+    const float neg =
+        static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits | 0x8000u)));
+    if (std::isnan(pos)) {
+      EXPECT_TRUE(std::isnan(neg));
+    } else {
+      EXPECT_EQ(neg, -pos) << "bits=" << std::hex << bits;
+    }
+  }
+}
+
+TEST(HalfExhaustive, ClassificationBoundaries) {
+  // 0x0000..0x03ff subnormal (or zero), 0x0400..0x7bff normal,
+  // 0x7c00 inf, 0x7c01..0x7fff NaN.
+  EXPECT_EQ(static_cast<float>(half_t::from_bits(0x0000)), 0.0f);
+  for (std::uint32_t bits = 0x0001u; bits <= 0x03ffu; ++bits) {
+    const float f = static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits)));
+    EXPECT_GT(f, 0.0f);
+    EXPECT_LT(f, std::ldexp(1.0f, -14));  // below the smallest normal
+  }
+  EXPECT_EQ(static_cast<float>(half_t::from_bits(0x0400)), std::ldexp(1.0f, -14));
+  EXPECT_TRUE(std::isinf(static_cast<float>(half_t::from_bits(0x7c00))));
+  for (std::uint32_t bits = 0x7c01u; bits <= 0x7fffu; bits += 97) {
+    EXPECT_TRUE(std::isnan(static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits)))));
+  }
+}
+
+TEST(HalfExhaustive, NarrowingPicksNearestRepresentable) {
+  // For a dense sample of floats, the conversion must return one of the
+  // two bracketing fp16 values, whichever is closer (ties checked in
+  // test_common).
+  for (std::uint32_t bits = 0x0400u; bits < 0x7bffu; bits += 51) {
+    const float lo = static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits)));
+    const float hi = static_cast<float>(half_t::from_bits(static_cast<std::uint16_t>(bits + 1)));
+    const float x = lo + 0.3f * (hi - lo);  // closer to lo
+    EXPECT_EQ(half_t(x).bits(), bits) << "x=" << x;
+    const float y = lo + 0.7f * (hi - lo);  // closer to hi
+    EXPECT_EQ(half_t(y).bits(), bits + 1) << "y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace gpa

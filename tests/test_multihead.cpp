@@ -1,0 +1,121 @@
+// Tests for the multi-head wrapper (§VI-A's "trivial extension").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/reference_attention.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "core/multihead.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  return in;
+}
+
+Matrix<float> slice(const Matrix<float>& m, Index head, Index hd) {
+  Matrix<float> out(m.rows(), hd);
+  for (Index i = 0; i < m.rows(); ++i) {
+    for (Index j = 0; j < hd; ++j) out(i, j) = m(i, head * hd + j);
+  }
+  return out;
+}
+
+TEST(MultiHeadTest, EachHeadMatchesIndependentReference) {
+  const Index L = 48, heads = 4, hd = 8;
+  const auto in = make_inputs(L, heads * hd, 600);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 61});
+
+  Matrix<float> out(L, heads * hd);
+  multihead_csr_attention(in.q, in.k, in.v, MultiHeadDims{heads, hd}, mask, out);
+
+  for (Index h = 0; h < heads; ++h) {
+    Matrix<float> expected(L, hd);
+    baselines::reference_attention(slice(in.q, h, hd), slice(in.k, h, hd), slice(in.v, h, hd),
+                                   mask, expected);
+    const auto got = slice(out, h, hd);
+    const auto rep = allclose(got, expected, 1e-5, 1e-6);
+    EXPECT_TRUE(rep.all_close) << "head " << h << " diff " << rep.max_abs_diff;
+  }
+}
+
+TEST(MultiHeadTest, SingleHeadDegeneratesToPlainKernel) {
+  const Index L = 32, d = 16;
+  const auto in = make_inputs(L, d, 601);
+  const auto mask = build_csr_local(L, LocalParams{3});
+  Matrix<float> mh(L, d), plain(L, d);
+  multihead_csr_attention(in.q, in.k, in.v, MultiHeadDims{1, d}, mask, mh);
+  csr_attention(in.q, in.k, in.v, mask, plain);
+  EXPECT_EQ(max_abs_diff(mh, plain), 0.0);
+}
+
+TEST(MultiHeadTest, LocalWrapperMatchesPerHeadLocal) {
+  const Index L = 40, heads = 2, hd = 8;
+  const auto in = make_inputs(L, heads * hd, 602);
+  const LocalParams p{4};
+  Matrix<float> out(L, heads * hd);
+  multihead_local_attention(in.q, in.k, in.v, MultiHeadDims{heads, hd}, p, out);
+  for (Index h = 0; h < heads; ++h) {
+    Matrix<float> expected(L, hd);
+    local_attention(slice(in.q, h, hd), slice(in.k, h, hd), slice(in.v, h, hd), p, expected);
+    EXPECT_EQ(max_abs_diff(slice(out, h, hd), expected), 0.0) << "head " << h;
+  }
+}
+
+TEST(MultiHeadTest, ScaleUsesHeadDimensionNotPackedWidth) {
+  // 1/sqrt(dk) must resolve against the per-head dimension.
+  const Index L = 24, heads = 3, hd = 4;
+  const auto in = make_inputs(L, heads * hd, 603);
+  const auto mask = build_csr_local(L, LocalParams{2});
+  Matrix<float> out(L, heads * hd);
+  multihead_csr_attention(in.q, in.k, in.v, MultiHeadDims{heads, hd}, mask, out);
+  // Head 0 computed independently with explicit 1/sqrt(hd):
+  AttentionOptions opts;
+  opts.scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  Matrix<float> expected(L, hd);
+  csr_attention(slice(in.q, 0, hd), slice(in.k, 0, hd), slice(in.v, 0, hd), mask, expected,
+                opts);
+  EXPECT_EQ(max_abs_diff(slice(out, 0, hd), expected), 0.0);
+}
+
+TEST(MultiHeadTest, BadDimensionsThrow) {
+  const auto in = make_inputs(16, 12, 604);
+  const auto mask = build_csr_local(16, LocalParams{2});
+  Matrix<float> out(16, 12);
+  // 12 != 5 * 3
+  EXPECT_THROW(multihead_csr_attention(in.q, in.k, in.v, MultiHeadDims{5, 3}, mask, out),
+               InvalidArgument);
+}
+
+TEST(MultiHeadTest, CustomKernelInjection) {
+  // The generic wrapper accepts any per-head kernel.
+  const Index L = 20, heads = 2, hd = 4;
+  const auto in = make_inputs(L, heads * hd, 605);
+  Matrix<float> out(L, heads * hd);
+  int calls = 0;
+  HeadKernel<float> kernel = [&calls](const Matrix<float>& qh, const Matrix<float>& kh,
+                                      const Matrix<float>& vh, Matrix<float>& oh,
+                                      const AttentionOptions& o) {
+    ++calls;
+    local_attention(qh, kh, vh, LocalParams{2}, oh, o);
+  };
+  multihead_attention(in.q, in.k, in.v, MultiHeadDims{heads, hd}, kernel, out);
+  EXPECT_EQ(calls, heads);
+}
+
+}  // namespace
+}  // namespace gpa

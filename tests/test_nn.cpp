@@ -1,0 +1,213 @@
+// Tests for the nn module: linear, layer norm, GELU, and the sparse-
+// attention transformer encoder layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/transformer_layer.hpp"
+#include "sparse/build.hpp"
+#include "sparse/presets.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa::nn {
+namespace {
+
+TEST(LinearTest, IdentityWeightPassesThrough) {
+  Linear lin(4, 4);
+  for (Index i = 0; i < 4; ++i) lin.weight()(i, i) = 1.0f;
+  Matrix<float> x(3, 4), y(3, 4);
+  Rng rng(1);
+  fill_uniform(x, rng);
+  lin.apply(x, y);
+  EXPECT_EQ(max_abs_diff(x, y), 0.0);
+}
+
+TEST(LinearTest, BiasIsAdded) {
+  Linear lin(2, 3);
+  lin.bias() = {1.0f, 2.0f, 3.0f};
+  Matrix<float> x(1, 2), y(1, 3);
+  lin.apply(x, y);  // zero input -> bias only
+  EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(y(0, 2), 3.0f);
+}
+
+TEST(LinearTest, XavierInitIsBoundedAndDeterministic) {
+  Linear a(64, 32), b(64, 32);
+  Rng r1(7), r2(7);
+  a.init(r1);
+  b.init(r2);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  for (Index i = 0; i < 32; ++i) {
+    for (Index j = 0; j < 64; ++j) {
+      EXPECT_LE(std::abs(a.weight()(i, j)), bound);
+      EXPECT_EQ(a.weight()(i, j), b.weight()(i, j));
+    }
+  }
+}
+
+TEST(LinearTest, ShapeMismatchThrows) {
+  Linear lin(4, 4);
+  Matrix<float> x(3, 5), y(3, 4);
+  EXPECT_THROW(lin.apply(x, y), InvalidArgument);
+}
+
+TEST(LayerNormTest, OutputRowsAreNormalised) {
+  LayerNorm ln(16);
+  Matrix<float> x(8, 16), y(8, 16);
+  Rng rng(9);
+  fill_uniform(x, rng);
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 16; ++j) x(i, j) = x(i, j) * 10.0f - 3.0f;
+  }
+  ln.apply(x, y);
+  for (Index i = 0; i < 8; ++i) {
+    float mean = 0, var = 0;
+    for (Index j = 0; j < 16; ++j) mean += y(i, j);
+    mean /= 16;
+    for (Index j = 0; j < 16; ++j) var += (y(i, j) - mean) * (y(i, j) - mean);
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-5f);
+    EXPECT_NEAR(var, 1.0f, 1e-3f);
+  }
+}
+
+TEST(LayerNormTest, ConstantRowMapsToZeros) {
+  LayerNorm ln(8);
+  Matrix<float> x(1, 8), y(1, 8);
+  x.fill(5.0f);
+  ln.apply(x, y);
+  for (Index j = 0; j < 8; ++j) EXPECT_NEAR(y(0, j), 0.0f, 1e-3f);
+}
+
+TEST(GeluTest, KnownValues) {
+  Matrix<float> x(1, 3);
+  x(0, 0) = 0.0f;
+  x(0, 1) = 100.0f;   // passes through
+  x(0, 2) = -100.0f;  // clamps to ~0
+  gelu_inplace(x);
+  EXPECT_FLOAT_EQ(x(0, 0), 0.0f);
+  EXPECT_NEAR(x(0, 1), 100.0f, 1e-3f);
+  EXPECT_NEAR(x(0, 2), 0.0f, 1e-3f);
+}
+
+class TransformerLayerFixture : public ::testing::Test {
+ protected:
+  static constexpr Index kL = 64;
+  static constexpr Index kD = 32;
+
+  TransformerLayer make_layer(AttentionOptions attn = {}) {
+    TransformerLayerConfig cfg;
+    cfg.embed_dim = kD;
+    cfg.num_heads = 4;
+    cfg.ffn_dim = 64;
+    cfg.attention = attn;
+    TransformerLayer layer(cfg, build_csr_local(kL, LocalParams{6}));
+    Rng rng(31);
+    layer.init(rng);
+    return layer;
+  }
+
+  Matrix<float> make_input(std::uint64_t seed) {
+    Matrix<float> x(kL, kD);
+    Rng rng(seed);
+    fill_uniform(x, rng);
+    return x;
+  }
+};
+
+TEST_F(TransformerLayerFixture, ForwardProducesFiniteOutput) {
+  const auto layer = make_layer();
+  const auto x = make_input(11);
+  Matrix<float> y(kL, kD);
+  layer.forward(x, y);
+  for (Index i = 0; i < kL; ++i) {
+    for (Index j = 0; j < kD; ++j) EXPECT_TRUE(std::isfinite(y(i, j)));
+  }
+}
+
+TEST_F(TransformerLayerFixture, DeterministicAcrossRuns) {
+  const auto layer = make_layer();
+  const auto x = make_input(12);
+  Matrix<float> y1(kL, kD), y2(kL, kD);
+  layer.forward(x, y1);
+  layer.forward(x, y2);
+  EXPECT_EQ(max_abs_diff(y1, y2), 0.0);
+}
+
+TEST_F(TransformerLayerFixture, OutputDependsOnDistantTokensViaGlobal) {
+  // With a pure local mask, perturbing token L-1 cannot affect token 0
+  // (reach 5 < distance). Adding a global token makes it reachable.
+  const auto x = make_input(13);
+  auto x_perturbed = x;
+  x_perturbed(kL - 1, 0) += 1.0f;
+
+  const auto local_layer = make_layer();
+  Matrix<float> y1(kL, kD), y2(kL, kD);
+  local_layer.forward(x, y1);
+  local_layer.forward(x_perturbed, y2);
+  float row0_diff = 0;
+  for (Index j = 0; j < kD; ++j) row0_diff += std::abs(y1(0, j) - y2(0, j));
+  EXPECT_EQ(row0_diff, 0.0f);  // unreachable under the local mask
+
+  TransformerLayerConfig cfg;
+  cfg.embed_dim = kD;
+  cfg.num_heads = 4;
+  cfg.ffn_dim = 64;
+  const auto preset = make_longformer(kL, 5, 1);  // token 0 global
+  TransformerLayer global_layer(cfg, preset.fused);
+  Rng rng(31);
+  global_layer.init(rng);
+  // Token 0 is global -> attends to everything, including token L-1.
+  global_layer.forward(x, y1);
+  global_layer.forward(x_perturbed, y2);
+  row0_diff = 0;
+  for (Index j = 0; j < kD; ++j) row0_diff += std::abs(y1(0, j) - y2(0, j));
+  EXPECT_GT(row0_diff, 0.0f);
+}
+
+TEST_F(TransformerLayerFixture, CausalOptionRestrictsInformationFlow) {
+  const auto x = make_input(14);
+  auto x_perturbed = x;
+  x_perturbed(10, 0) += 1.0f;  // perturb token 10
+
+  AttentionOptions causal;
+  causal.causal = true;
+  const auto layer = make_layer(causal);
+  Matrix<float> y1(kL, kD), y2(kL, kD);
+  layer.forward(x, y1);
+  layer.forward(x_perturbed, y2);
+  // Tokens before 10 must be unaffected.
+  for (Index i = 0; i < 10; ++i) {
+    for (Index j = 0; j < kD; ++j) EXPECT_EQ(y1(i, j), y2(i, j)) << "token " << i;
+  }
+  // Token 10 itself must change.
+  float diff10 = 0;
+  for (Index j = 0; j < kD; ++j) diff10 += std::abs(y1(10, j) - y2(10, j));
+  EXPECT_GT(diff10, 0.0f);
+}
+
+TEST_F(TransformerLayerFixture, ParameterCountMatchesFormula) {
+  const auto layer = make_layer();
+  // 4·(32² + 32) + (32·64 + 64) + (64·32 + 32) + 2·64
+  EXPECT_EQ(layer.parameter_count(), 4u * (1024 + 32) + (2048 + 64) + (2048 + 32) + 128u);
+}
+
+TEST_F(TransformerLayerFixture, RejectsWrongSequenceLength) {
+  const auto layer = make_layer();
+  Matrix<float> x(kL / 2, kD), y(kL / 2, kD);
+  EXPECT_THROW(layer.forward(x, y), InvalidArgument);
+}
+
+TEST(TransformerLayerValidation, HeadDivisibilityEnforced) {
+  TransformerLayerConfig cfg;
+  cfg.embed_dim = 30;
+  cfg.num_heads = 4;  // 30 % 4 != 0
+  EXPECT_THROW(TransformerLayer(cfg, build_csr_local(8, LocalParams{2})), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpa::nn

@@ -1,0 +1,132 @@
+// Tests for the analytic NNZ counts and the window-from-sparsity solvers
+// (the benchmarks rely on these to hit the paper's Sf grid exactly).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sparse/build.hpp"
+#include "sparse/nnz.hpp"
+
+namespace gpa {
+namespace {
+
+class LocalNnzSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(LocalNnzSweep, AnalyticMatchesMaterialised) {
+  const auto [L, w] = GetParam();
+  const LocalParams p{w};
+  EXPECT_EQ(local_nnz(L, p), build_csr_local(L, p).nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LocalNnzSweep,
+                         ::testing::Combine(::testing::Values<Index>(1, 2, 17, 64, 129),
+                                            ::testing::Values<Index>(1, 2, 5, 64, 200)));
+
+class Dilated1DNnzSweep : public ::testing::TestWithParam<std::tuple<Index, Index, Index>> {};
+
+TEST_P(Dilated1DNnzSweep, AnalyticMatchesMaterialised) {
+  const auto [L, w, r] = GetParam();
+  const Dilated1DParams p{w, r};
+  EXPECT_EQ(dilated1d_nnz(L, p), build_csr_dilated1d(L, p).nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Dilated1DNnzSweep,
+                         ::testing::Combine(::testing::Values<Index>(1, 16, 65),
+                                            ::testing::Values<Index>(1, 3, 9, 80),
+                                            ::testing::Values<Index>(0, 1, 2, 4)));
+
+class Dilated2DNnzSweep : public ::testing::TestWithParam<std::tuple<Index, Index, Index>> {};
+
+TEST_P(Dilated2DNnzSweep, AnalyticMatchesMaterialised) {
+  const auto [L, b, r] = GetParam();
+  const Dilated2DParams p = make_dilated2d(L, b, r);
+  EXPECT_EQ(dilated2d_nnz(p), build_csr_dilated2d(p).nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Dilated2DNnzSweep,
+                         ::testing::Values(std::make_tuple<Index, Index, Index>(16, 4, 0),
+                                           std::make_tuple<Index, Index, Index>(16, 4, 1),
+                                           std::make_tuple<Index, Index, Index>(36, 6, 2),
+                                           std::make_tuple<Index, Index, Index>(64, 8, 1)));
+
+TEST(GlobalNnzTest, AnalyticMatchesMaterialised) {
+  for (const Index g : {0, 1, 3, 7}) {
+    std::vector<Index> tokens;
+    for (Index t = 0; t < g; ++t) tokens.push_back(t * 5);
+    const GlobalParams p = make_global(tokens, 64);
+    EXPECT_EQ(global_nnz(64, p),
+              build_csr_from_predicate(64, [&](Index i, Index j) { return p.contains(i, j); })
+                  .nnz())
+        << "g=" << g;
+  }
+}
+
+TEST(GlobalMinusLocalNnzTest, AnalyticMatchesMaterialised) {
+  GlobalMinusLocalParams p;
+  p.global = make_global({0, 10, 33}, 64);
+  p.local = make_local(5);
+  EXPECT_EQ(
+      global_minus_local_nnz(64, p),
+      build_csr_from_predicate(64, [&](Index i, Index j) { return p.contains(i, j); }).nnz());
+}
+
+TEST(SparsityFactorTest, DefinitionFromEquation2) {
+  // Sf = NNZ / TE (Eq. 2): dense mask -> 1, empty mask -> 0.
+  EXPECT_DOUBLE_EQ(sparsity_factor(64 * 64, 64), 1.0);
+  EXPECT_DOUBLE_EQ(sparsity_factor(0, 64), 0.0);
+  EXPECT_DOUBLE_EQ(sparsity_factor(2048, 64), 0.5);
+}
+
+TEST(WindowSolverTest, HitsTargetSparsityTightly) {
+  const Index L = 4096;
+  for (const double target : {0.5, 0.1, 0.01, 0.001}) {
+    const Index w = local_window_for_sparsity(L, target);
+    const double sf = sparsity_factor(local_nnz(L, LocalParams{w}), L);
+    EXPECT_GE(sf, target);
+    if (w > 1) {
+      const double sf_prev = sparsity_factor(local_nnz(L, LocalParams{w - 1}), L);
+      EXPECT_LT(sf_prev, target);  // smallest such window
+    }
+  }
+}
+
+TEST(WindowSolverTest, FullDensityNeedsFullWindow) {
+  EXPECT_EQ(local_window_for_sparsity(128, 1.0), 128);
+}
+
+TEST(WindowSolverTest, Dilated1DHitsTarget) {
+  const Index L = 2048;
+  for (const Index r : {1, 2}) {
+    const Index w = dilated1d_window_for_sparsity(L, r, 0.01);
+    const double sf = sparsity_factor(dilated1d_nnz(L, Dilated1DParams{w, r}), L);
+    EXPECT_GE(sf, 0.01);
+  }
+}
+
+TEST(BlockSolverTest, PicksClosestDivisor) {
+  const Index L = 64;
+  const Index b = dilated2d_block_for_sparsity(L, 1, 0.05);
+  EXPECT_EQ(L % b, 0);
+  const double sf = sparsity_factor(dilated2d_nnz(make_dilated2d(L, b, 1)), L);
+  // Within a factor of ~4 of the target (divisor granularity).
+  EXPECT_GT(sf, 0.0125);
+  EXPECT_LT(sf, 0.2);
+}
+
+TEST(LongNetRuleTest, MatchesSection2DValues) {
+  // §II-D: "{0.17, 0.085, 0.0027, ..., 0.000017, 2.7e-6}" for
+  // {16k, 32k, 1M, ..., 160M, 1B}.
+  EXPECT_NEAR(longnet_sparsity_rule(16'384), 0.17, 0.005);
+  EXPECT_NEAR(longnet_sparsity_rule(32'768), 0.085, 0.002);
+  EXPECT_NEAR(longnet_sparsity_rule(1'000'000), 0.0027, 0.0001);
+  EXPECT_NEAR(longnet_sparsity_rule(160'000'000), 0.000017, 0.000001);
+  EXPECT_NEAR(longnet_sparsity_rule(1'000'000'000), 2.7e-6, 1e-7);
+}
+
+TEST(LongNetRuleTest, ClampsToDense) {
+  EXPECT_DOUBLE_EQ(longnet_sparsity_rule(1000), 1.0);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,164 @@
+// Tests for the parallel runtime substrate: parallel_for semantics under
+// both schedules, exception propagation, the thread pool, and the
+// device-capacity memory tracker.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/device_spec.hpp"
+#include "parallel/memory_tracker.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace gpa {
+namespace {
+
+class ParallelForSchedules : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ParallelForSchedules, VisitsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    ExecPolicy policy{threads, 16, GetParam()};
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(0, 257, policy, [&](Index i) { visits[static_cast<std::size_t>(i)]++; });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST_P(ParallelForSchedules, ChunksPartitionTheRange) {
+  ExecPolicy policy{3, 10, GetParam()};
+  std::mutex mu;
+  std::vector<std::pair<Index, Index>> chunks;
+  parallel_for_chunks(5, 105, policy, [&](Index lo, Index hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  Index covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    EXPECT_GE(lo, 5);
+    EXPECT_LE(hi, 105);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST_P(ParallelForSchedules, EmptyRangeIsNoOp) {
+  ExecPolicy policy{4, 8, GetParam()};
+  bool called = false;
+  parallel_for(10, 10, policy, [&](Index) { called = true; });
+  parallel_for(10, 5, policy, [&](Index) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ParallelForSchedules, ExceptionsPropagateToCaller) {
+  ExecPolicy policy{4, 4, GetParam()};
+  EXPECT_THROW(
+      parallel_for(0, 100, policy,
+                   [&](Index i) {
+                     if (i == 37) throw std::runtime_error("kernel row failure");
+                   }),
+      std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ParallelForSchedules,
+                         ::testing::Values(Schedule::Static, Schedule::Dynamic));
+
+TEST(ParallelForTest, SerialPolicyRunsInline) {
+  std::vector<int> order;
+  parallel_for(0, 10, ExecPolicy::serial(), [&](Index i) {
+    order.push_back(static_cast<int>(i));  // no mutex needed: single thread
+  });
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelForTest, ResolvedThreadsHonorsExplicitCount) {
+  EXPECT_EQ(resolved_threads(ExecPolicy{3, 1, Schedule::Static}), 3);
+  EXPECT_GE(resolved_threads(ExecPolicy{0, 1, Schedule::Static}), 1);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(ThreadPoolTest, TasksCanBeSubmittedAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count++; });
+  pool.wait_idle();
+  pool.submit([&] { count++; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(DeviceSpecTest, PresetsMatchTable1Capacities) {
+  EXPECT_EQ(DeviceSpec::a100_80gb().memory_bytes, 80ull << 30);
+  EXPECT_EQ(DeviceSpec::l40_48gb().memory_bytes, 48ull << 30);
+  EXPECT_EQ(DeviceSpec::v100_32gb().memory_bytes, 32ull << 30);
+}
+
+TEST(MemoryTrackerTest, AllocatesWithinBudget) {
+  MemoryTracker tracker(DeviceSpec::host(1000));
+  tracker.allocate(600);
+  EXPECT_EQ(tracker.in_use(), 600u);
+  tracker.allocate(400);
+  EXPECT_EQ(tracker.in_use(), 1000u);
+  EXPECT_EQ(tracker.peak(), 1000u);
+}
+
+TEST(MemoryTrackerTest, ThrowsOnExhaustion) {
+  MemoryTracker tracker(DeviceSpec::host(1000));
+  tracker.allocate(999);
+  EXPECT_THROW(tracker.allocate(2), OutOfDeviceMemory);
+  EXPECT_EQ(tracker.in_use(), 999u);  // failed allocation leaves state unchanged
+}
+
+TEST(MemoryTrackerTest, ReleaseAllowsReuse) {
+  MemoryTracker tracker(DeviceSpec::host(100));
+  tracker.allocate(100);
+  tracker.release(100);
+  EXPECT_NO_THROW(tracker.allocate(100));
+  EXPECT_EQ(tracker.peak(), 100u);
+}
+
+TEST(MemoryTrackerTest, LeaseReleasesOnScopeExit) {
+  MemoryTracker tracker(DeviceSpec::host(100));
+  {
+    MemoryLease lease(tracker, 80);
+    EXPECT_EQ(tracker.in_use(), 80u);
+  }
+  EXPECT_EQ(tracker.in_use(), 0u);
+}
+
+TEST(MemoryTrackerTest, ConcurrentAllocationsNeverExceedBudget) {
+  MemoryTracker tracker(DeviceSpec::host(1000));
+  std::atomic<int> failures{0};
+  parallel_for(0, 64, ExecPolicy{8, 1, Schedule::Dynamic}, [&](Index) {
+    try {
+      tracker.allocate(100);
+    } catch (const OutOfDeviceMemory&) {
+      failures++;
+    }
+  });
+  EXPECT_EQ(tracker.in_use(), 1000u);  // exactly 10 succeeded
+  EXPECT_EQ(failures.load(), 54);
+}
+
+}  // namespace
+}  // namespace gpa

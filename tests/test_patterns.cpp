@@ -1,0 +1,171 @@
+// Tests for the mask pattern predicates, including checks that the 1D /
+// 2D dilation predicates match the paper's pseudocode transcribed
+// literally.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+#include <vector>
+
+#include "sparse/patterns.hpp"
+
+namespace gpa {
+namespace {
+
+// The paper's 1D pseudocode, written out exactly as printed (§II-C).
+int paper_dilated1d(Index i, Index j, Index w, Index r) {
+  if ((std::abs(i - j) < w) && (std::abs(i - j) % (r + 1) == 0)) {
+    return 1;
+  }
+  return 0;
+}
+
+// The paper's 2D pseudocode, written out exactly as printed (§II-C).
+int paper_dilated2d(Index L, Index i, Index j, Index b, Index r) {
+  if (i / (L / b) == j / (L / b)) {  // floor division on non-negative ints
+    const Index i_b = i % b;
+    const Index j_b = j % b;
+    if ((i_b % (r + 1) == 0) && (j_b % (r + 1) == 0)) {
+      return 1;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+TEST(LocalPatternTest, WindowOneIsDiagonal) {
+  const LocalParams p = make_local(1);
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 8; ++j) {
+      EXPECT_EQ(p.contains(i, j), i == j);
+    }
+  }
+}
+
+TEST(LocalPatternTest, WindowIsSymmetric) {
+  const LocalParams p = make_local(4);
+  for (Index i = 0; i < 16; ++i) {
+    for (Index j = 0; j < 16; ++j) {
+      EXPECT_EQ(p.contains(i, j), p.contains(j, i));
+    }
+  }
+}
+
+TEST(LocalPatternTest, ReachMatchesDefinition) {
+  // "gives a token the ability to look n tokens forwards and backwards":
+  // with window w the reach is w-1.
+  const LocalParams p = make_local(3);
+  EXPECT_TRUE(p.contains(10, 8));
+  EXPECT_TRUE(p.contains(10, 12));
+  EXPECT_FALSE(p.contains(10, 7));
+  EXPECT_FALSE(p.contains(10, 13));
+}
+
+TEST(LocalPatternTest, RejectsNonPositiveWindow) {
+  EXPECT_THROW(make_local(0), InvalidArgument);
+  EXPECT_THROW(make_local(-3), InvalidArgument);
+}
+
+class Dilated1DSweep : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
+
+TEST_P(Dilated1DSweep, MatchesPaperPseudocode) {
+  const auto [w, r] = GetParam();
+  const Dilated1DParams p = make_dilated1d(w, r);
+  for (Index i = 0; i < 40; ++i) {
+    for (Index j = 0; j < 40; ++j) {
+      EXPECT_EQ(p.contains(i, j) ? 1 : 0, paper_dilated1d(i, j, w, r))
+          << "i=" << i << " j=" << j << " w=" << w << " r=" << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowsAndDilations, Dilated1DSweep,
+                         ::testing::Combine(::testing::Values<Index>(1, 2, 5, 9, 40),
+                                            ::testing::Values<Index>(0, 1, 2, 3)));
+
+TEST(Dilated1DTest, ZeroDilationEqualsLocal) {
+  const Dilated1DParams d = make_dilated1d(6, 0);
+  const LocalParams l = make_local(6);
+  for (Index i = 0; i < 20; ++i) {
+    for (Index j = 0; j < 20; ++j) EXPECT_EQ(d.contains(i, j), l.contains(i, j));
+  }
+}
+
+class Dilated2DSweep : public ::testing::TestWithParam<std::tuple<Index, Index, Index>> {};
+
+TEST_P(Dilated2DSweep, MatchesPaperPseudocode) {
+  const auto [L, b, r] = GetParam();
+  const Dilated2DParams p = make_dilated2d(L, b, r);
+  for (Index i = 0; i < L; ++i) {
+    for (Index j = 0; j < L; ++j) {
+      EXPECT_EQ(p.contains(i, j) ? 1 : 0, paper_dilated2d(L, i, j, b, r))
+          << "L=" << L << " b=" << b << " r=" << r << " i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlocksAndDilations, Dilated2DSweep,
+                         ::testing::Values(std::make_tuple<Index, Index, Index>(16, 4, 0),
+                                           std::make_tuple<Index, Index, Index>(16, 4, 1),
+                                           std::make_tuple<Index, Index, Index>(24, 6, 2),
+                                           std::make_tuple<Index, Index, Index>(32, 8, 1),
+                                           std::make_tuple<Index, Index, Index>(32, 8, 3)));
+
+TEST(Dilated2DTest, RequiresDivisibleBlock) {
+  EXPECT_THROW(make_dilated2d(10, 3, 0), InvalidArgument);
+  EXPECT_NO_THROW(make_dilated2d(12, 3, 0));
+}
+
+TEST(GlobalPatternTest, GlobalTokenSeesAndIsSeen) {
+  const GlobalParams p = make_global({2}, 10);
+  for (Index j = 0; j < 10; ++j) {
+    EXPECT_TRUE(p.contains(2, j));  // global row
+    EXPECT_TRUE(p.contains(j, 2));  // global column
+  }
+  EXPECT_FALSE(p.contains(5, 6));
+}
+
+TEST(GlobalPatternTest, TokensDedupedAndSorted) {
+  const GlobalParams p = make_global({7, 3, 3, 7}, 10);
+  EXPECT_EQ(p.tokens, (std::vector<Index>{3, 7}));
+}
+
+TEST(GlobalPatternTest, OutOfRangeTokenRejected) {
+  EXPECT_THROW(make_global({10}, 10), InvalidArgument);
+  EXPECT_THROW(make_global({-1}, 10), InvalidArgument);
+}
+
+TEST(GlobalMinusLocalTest, SubtractionRemovesWindow) {
+  GlobalMinusLocalParams p;
+  p.global = make_global({0}, 12);
+  p.local = make_local(3);
+  // (0, 1) is global AND inside the window -> excluded.
+  EXPECT_FALSE(p.contains(0, 1));
+  // (0, 5) is global and outside the window -> included.
+  EXPECT_TRUE(p.contains(0, 5));
+  // (5, 0) is a global column edge outside window -> included.
+  EXPECT_TRUE(p.contains(5, 0));
+  // (5, 6) is neither.
+  EXPECT_FALSE(p.contains(5, 6));
+}
+
+TEST(CausalPatternTest, LowerTriangle) {
+  CausalParams c;
+  EXPECT_TRUE(c.contains(5, 5));
+  EXPECT_TRUE(c.contains(5, 0));
+  EXPECT_FALSE(c.contains(5, 6));
+}
+
+TEST(BlockPatternTest, GridLookup) {
+  BlockParams p;
+  p.block = 2;
+  p.grid_rows = 2;
+  p.grid = {1, 0, 0, 1};  // diagonal blocks live
+  EXPECT_TRUE(p.contains(0, 1));
+  EXPECT_FALSE(p.contains(0, 2));
+  EXPECT_TRUE(p.contains(3, 2));
+}
+
+}  // namespace
+}  // namespace gpa

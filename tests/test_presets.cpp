@@ -1,0 +1,104 @@
+// Tests for the Longformer/BigBird composed-mask presets (Fig. 2 /
+// Fig. 6 configurations): component disjointness, union coverage, and
+// the documented parameter semantics.
+
+#include <gtest/gtest.h>
+
+#include "sparse/compose.hpp"
+#include "sparse/nnz.hpp"
+#include "sparse/presets.hpp"
+
+namespace gpa {
+namespace {
+
+bool contains_entry(const Csr<float>& m, Index i, Index j) {
+  for (Index k = m.row_begin(i); k < m.row_end(i); ++k) {
+    if (m.col_idx[static_cast<std::size_t>(k)] == j) return true;
+  }
+  return false;
+}
+
+TEST(LongformerPresetTest, ComponentsAreDisjoint) {
+  const auto m = make_longformer(64, 4, 2);
+  ASSERT_EQ(m.components.size(), 2u);
+  EXPECT_TRUE(masks_disjoint(m.components[0].csr, m.components[1].csr));
+}
+
+TEST(LongformerPresetTest, FusedEqualsComponentUnion) {
+  const auto m = make_longformer(64, 4, 2);
+  const auto u = mask_union(m.components[0].csr, m.components[1].csr);
+  EXPECT_EQ(m.fused.col_idx, u.col_idx);
+  EXPECT_EQ(m.fused.row_offsets, u.row_offsets);
+}
+
+TEST(LongformerPresetTest, CoversExpectedEdges) {
+  const auto m = make_longformer(32, 2, 1);
+  // Window reach 2 around the diagonal.
+  EXPECT_TRUE(contains_entry(m.fused, 10, 8));
+  EXPECT_TRUE(contains_entry(m.fused, 10, 12));
+  EXPECT_FALSE(contains_entry(m.fused, 10, 13));
+  // Token 0 is global: full row and column.
+  EXPECT_TRUE(contains_entry(m.fused, 0, 31));
+  EXPECT_TRUE(contains_entry(m.fused, 31, 0));
+}
+
+TEST(LongformerPresetTest, SparsityDecreasesWithLength) {
+  const auto small = make_longformer(64, 4, 2);
+  const auto large = make_longformer(256, 4, 2);
+  EXPECT_GT(small.sparsity(), large.sparsity());
+}
+
+TEST(LongformerDilatedPresetTest, ComponentsAreDisjointAndCover) {
+  const auto m = make_longformer_dilated(64, 4, 2, 2);
+  ASSERT_EQ(m.components.size(), 2u);
+  EXPECT_TRUE(masks_disjoint(m.components[0].csr, m.components[1].csr));
+  const auto u = mask_union(m.components[0].csr, m.components[1].csr);
+  EXPECT_EQ(m.fused.col_idx, u.col_idx);
+}
+
+TEST(LongformerDilatedPresetTest, DilationWidensReach) {
+  // Fig. 6 middle: "dilation factor of two giving an effective local
+  // size of 100" for reach 50 — reach*(r+1) here.
+  const auto m = make_longformer_dilated(64, 4, 2, 0);
+  EXPECT_TRUE(contains_entry(m.fused, 30, 30 + 12));   // 4 steps of 3
+  EXPECT_FALSE(contains_entry(m.fused, 30, 30 + 13));  // beyond window
+  EXPECT_FALSE(contains_entry(m.fused, 30, 30 + 11));  // off-stride gap
+}
+
+TEST(BigBirdPresetTest, ThreeDisjointComponents) {
+  const auto m = make_bigbird(96, 3, 2, 0.02);
+  ASSERT_EQ(m.components.size(), 3u);
+  EXPECT_TRUE(masks_disjoint(m.components[0].csr, m.components[1].csr));
+  EXPECT_TRUE(masks_disjoint(m.components[0].csr, m.components[2].csr));
+  EXPECT_TRUE(masks_disjoint(m.components[1].csr, m.components[2].csr));
+}
+
+TEST(BigBirdPresetTest, FusedEqualsUnionOfAll) {
+  const auto m = make_bigbird(96, 3, 2, 0.02);
+  const auto u = mask_union_all({m.components[0].csr, m.components[1].csr, m.components[2].csr});
+  EXPECT_EQ(m.fused.col_idx, u.col_idx);
+}
+
+TEST(BigBirdPresetTest, RandomComponentDeterministicPerSeed) {
+  const auto a = make_bigbird(96, 3, 2, 0.02, 11);
+  const auto b = make_bigbird(96, 3, 2, 0.02, 11);
+  const auto c = make_bigbird(96, 3, 2, 0.02, 12);
+  EXPECT_EQ(a.components[2].csr.col_idx, b.components[2].csr.col_idx);
+  EXPECT_NE(a.components[2].csr.col_idx, c.components[2].csr.col_idx);
+}
+
+TEST(BigBirdPresetTest, NnzAccountingIsConsistent) {
+  const auto m = make_bigbird(128, 4, 3, 0.01);
+  Size component_sum = 0;
+  for (const auto& c : m.components) component_sum += c.csr.nnz();
+  EXPECT_EQ(m.fused.nnz(), component_sum);  // disjoint -> sizes add
+}
+
+TEST(PresetValidationTest, BadParametersThrow) {
+  EXPECT_THROW(make_longformer(0, 4, 2), InvalidArgument);
+  EXPECT_THROW(make_longformer(64, -1, 2), InvalidArgument);
+  EXPECT_THROW(make_bigbird(64, 2, 1, -0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,214 @@
+// Property-based sweeps over randomly generated masks and inputs:
+// invariants that must hold for any mask, any shape, any kernel.
+// Seeded generators (no flaky randomness); each property is checked over
+// a family of cases via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/reference_attention.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "core/spmm_attention.hpp"
+#include "sparse/build.hpp"
+#include "sparse/compose.hpp"
+#include "sparse/nnz.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  Index seq_len;
+  Index head_dim;
+  double sparsity;
+};
+
+class RandomMaskProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    const auto& c = GetParam();
+    q_ = Matrix<float>(c.seq_len, c.head_dim);
+    k_ = Matrix<float>(c.seq_len, c.head_dim);
+    v_ = Matrix<float>(c.seq_len, c.head_dim);
+    Rng rng(c.seed);
+    fill_uniform(q_, rng);
+    fill_uniform(k_, rng);
+    fill_uniform(v_, rng);
+    mask_ = build_csr_random(c.seq_len, RandomParams{c.sparsity, c.seed ^ 0xabcdef});
+  }
+
+  Matrix<float> q_, k_, v_;
+  Csr<float> mask_;
+};
+
+TEST_P(RandomMaskProperties, OutputRowsAreConvexCombinationsOfV) {
+  // Each output row is a convex combination of V rows restricted to the
+  // row's neighbors, so every output coordinate lies within the global
+  // min/max of V (inputs are in [0,1)).
+  const auto& c = GetParam();
+  Matrix<float> out(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, out);
+  for (Index i = 0; i < c.seq_len; ++i) {
+    for (Index j = 0; j < c.head_dim; ++j) {
+      EXPECT_GE(out(i, j), 0.0f);
+      EXPECT_LE(out(i, j), 1.0f);
+    }
+  }
+}
+
+TEST_P(RandomMaskProperties, EmptyRowsAreExactlyZero) {
+  const auto& c = GetParam();
+  Matrix<float> out(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, out);
+  for (Index i = 0; i < c.seq_len; ++i) {
+    if (mask_.row_degree(i) == 0) {
+      for (Index j = 0; j < c.head_dim; ++j) EXPECT_EQ(out(i, j), 0.0f);
+    }
+  }
+}
+
+TEST_P(RandomMaskProperties, SingleNeighborRowsCopyV) {
+  const auto& c = GetParam();
+  Matrix<float> out(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, out);
+  for (Index i = 0; i < c.seq_len; ++i) {
+    if (mask_.row_degree(i) == 1) {
+      const Index j = mask_.col_idx[static_cast<std::size_t>(mask_.row_begin(i))];
+      for (Index p = 0; p < c.head_dim; ++p) EXPECT_NEAR(out(i, p), v_(j, p), 1e-6f);
+    }
+  }
+}
+
+TEST_P(RandomMaskProperties, ScaleInvarianceOfUniformQueryShift) {
+  // softmax(w + const) == softmax(w): adding a constant vector to all
+  // keys' scores for one row cannot change the output. Shift Q by a
+  // scalar multiple along a direction orthogonal to nothing — instead
+  // verify via the equivalent: attention with scale 0 is a plain average
+  // over neighbors.
+  const auto& c = GetParam();
+  AttentionOptions opts;
+  opts.scale = 0.0f;
+  Matrix<float> out(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, out, opts);
+  for (Index i = 0; i < c.seq_len; ++i) {
+    const Index deg = mask_.row_degree(i);
+    if (deg == 0) continue;
+    for (Index p = 0; p < c.head_dim; ++p) {
+      float mean = 0.0f;
+      for (Index kk = mask_.row_begin(i); kk < mask_.row_end(i); ++kk) {
+        mean += v_(mask_.col_idx[static_cast<std::size_t>(kk)], p);
+      }
+      mean /= static_cast<float>(deg);
+      EXPECT_NEAR(out(i, p), mean, 1e-5f) << "row " << i;
+    }
+  }
+}
+
+TEST_P(RandomMaskProperties, CooAndCsrProduceIdenticalResults) {
+  const auto& c = GetParam();
+  Matrix<float> a(c.seq_len, c.head_dim), b(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, a);
+  coo_attention(q_, k_, v_, csr_to_coo(mask_), b);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);  // same edge order -> bitwise equal
+}
+
+TEST_P(RandomMaskProperties, FusedAndTwoPhaseAgree) {
+  const auto& c = GetParam();
+  Matrix<float> fused(c.seq_len, c.head_dim), two(c.seq_len, c.head_dim);
+  csr_attention(q_, k_, v_, mask_, fused);
+  spmm_attention(q_, k_, v_, mask_, two);
+  const auto rep = allclose(two, fused, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST_P(RandomMaskProperties, SplittingMaskInTwoAndChainingIsExact) {
+  const auto& c = GetParam();
+  // Split columns: even-indexed entries vs odd-indexed entries per row.
+  Csr<float> even, odd;
+  even.rows = odd.rows = mask_.rows;
+  even.cols = odd.cols = mask_.cols;
+  even.row_offsets.assign(static_cast<std::size_t>(mask_.rows) + 1, 0);
+  odd.row_offsets.assign(static_cast<std::size_t>(mask_.rows) + 1, 0);
+  for (Index i = 0; i < mask_.rows; ++i) {
+    Index n = 0;
+    for (Index kk = mask_.row_begin(i); kk < mask_.row_end(i); ++kk, ++n) {
+      auto& target = (n % 2 == 0) ? even : odd;
+      target.col_idx.push_back(mask_.col_idx[static_cast<std::size_t>(kk)]);
+      target.values.push_back(1.0f);
+    }
+    even.row_offsets[static_cast<std::size_t>(i) + 1] = static_cast<Index>(even.col_idx.size());
+    odd.row_offsets[static_cast<std::size_t>(i) + 1] = static_cast<Index>(odd.col_idx.size());
+  }
+  SoftmaxState state(c.seq_len, c.head_dim);
+  csr_attention_accumulate(q_, k_, v_, even, state);
+  csr_attention_accumulate(q_, k_, v_, odd, state);
+  Matrix<float> chained(c.seq_len, c.head_dim), whole(c.seq_len, c.head_dim);
+  state.finalize_into(chained);
+  csr_attention(q_, k_, v_, mask_, whole);
+  const auto rep = allclose(chained, whole, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST_P(RandomMaskProperties, WorkScalesWithNnzNotLength) {
+  // "True sparsity": the kernel touches exactly nnz edges. Count edges
+  // via an instrumented mask (values double as counters is invasive;
+  // instead verify the documented invariant structurally: masks with
+  // fewer nnz produce strictly less work in the SDDMM value array).
+  const auto& c = GetParam();
+  const auto denser = build_csr_random(c.seq_len, RandomParams{c.sparsity * 2.0, 999});
+  EXPECT_LE(mask_.nnz(), denser.nnz() + mask_.nnz() / 4 + 16);
+  const auto s1 = sddmm(q_, k_, mask_, 1.0f);
+  EXPECT_EQ(s1.nnz(), mask_.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RandomMaskProperties,
+    ::testing::Values(Case{1, 32, 8, 0.05}, Case{2, 64, 16, 0.1}, Case{3, 128, 8, 0.02},
+                      Case{4, 96, 24, 0.15}, Case{5, 48, 4, 0.3}, Case{6, 200, 12, 0.01}));
+
+// --- Permutation invariance of the online fold ------------------------
+
+TEST(OnlineFoldProperty, NeighborOrderDoesNotChangeResultBeyondRounding) {
+  const Index L = 64, d = 16;
+  Matrix<float> q(L, d), k(L, d), v(L, d);
+  Rng rng(800);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  const auto mask = build_csr_random(L, RandomParams{0.2, 81});
+
+  // Reversed-column mask: same edge set, opposite fold order. Build by
+  // reversing each row (still "a" mask but non-canonical ordering is
+  // fine for the kernel, which only reads ranges).
+  Csr<float> reversed = mask;
+  for (Index i = 0; i < L; ++i) {
+    std::reverse(reversed.col_idx.begin() + reversed.row_begin(i),
+                 reversed.col_idx.begin() + reversed.row_end(i));
+  }
+  Matrix<float> a(L, d), b(L, d);
+  csr_attention(q, k, v, mask, a);
+  csr_attention(q, k, v, reversed, b);
+  const auto rep = allclose(a, b, 1e-5, 1e-6);
+  EXPECT_TRUE(rep.all_close) << rep.max_abs_diff;
+}
+
+TEST(SparsityWorkProperty, SparsityFactorBoundsMaskSize) {
+  // For every generated pattern: Sf · L² == nnz exactly (Eq. 2).
+  for (const Index L : {31, 64, 100}) {
+    const auto masks = {build_csr_local(L, LocalParams{5}),
+                        build_csr_dilated1d(L, Dilated1DParams{7, 1}),
+                        build_csr_random(L, RandomParams{0.1, 9})};
+    for (const auto& m : masks) {
+      const double sf = sparsity_factor(m.nnz(), L);
+      EXPECT_NEAR(sf * static_cast<double>(L) * static_cast<double>(L),
+                  static_cast<double>(m.nnz()), 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpa

@@ -1,0 +1,237 @@
+// gpa — command-line driver for the library. Lets users build, inspect,
+// and persist masks, run any kernel against the reference, and query
+// the memory model without writing C++.
+//
+//   gpa mask --pattern local --length 1024 --window 8 [--out mask.bin]
+//   gpa info --in mask.bin
+//   gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]
+//   gpa memmodel --algo csr --dtype fp16 --dim 64 --sf 1e-4 [--device a100|l40|v100]
+//
+// Exit code 0 on success (and verification OK for `run`), 1 otherwise.
+
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/reference_attention.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "graph/degree.hpp"
+#include "memmodel/memory_model.hpp"
+#include "sparse/build.hpp"
+#include "sparse/io.hpp"
+#include "sparse/nnz.hpp"
+#include "sparse/presets.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace gpa;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.count("--" + name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = kv.find("--" + name);
+    return it == kv.end() ? fallback : it->second;
+  }
+  Index get_index(const std::string& name, Index fallback) const {
+    const auto it = kv.find("--" + name);
+    return it == kv.end() ? fallback : std::stoll(it->second);
+  }
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = kv.find("--" + name);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.kv[a] = argv[++i];
+    } else {
+      args.kv[a] = "1";
+    }
+  }
+  return args;
+}
+
+Csr<float> build_mask(const Args& args) {
+  const Index L = args.get_index("length", 1024);
+  const std::string pattern = args.get("pattern", "local");
+  if (pattern == "local") {
+    return build_csr_local(L, make_local(args.get_index("window", 8)));
+  }
+  if (pattern == "dilated1d") {
+    return build_csr_dilated1d(
+        L, make_dilated1d(args.get_index("window", 8), args.get_index("dilation", 1)));
+  }
+  if (pattern == "dilated2d") {
+    return build_csr_dilated2d(
+        make_dilated2d(L, args.get_index("block", 8), args.get_index("dilation", 1)));
+  }
+  if (pattern == "global") {
+    std::vector<Index> tokens;
+    for (Index t = 0; t < args.get_index("globals", 2); ++t) tokens.push_back(t);
+    return build_csr_global(L, make_global(tokens, L));
+  }
+  if (pattern == "random") {
+    return build_csr_random(
+        L, RandomParams{args.get_double("sf", 0.01),
+                        static_cast<std::uint64_t>(args.get_index("seed", 42))});
+  }
+  if (pattern == "longformer") {
+    return make_longformer(L, args.get_index("reach", 8), args.get_index("globals", 2)).fused;
+  }
+  if (pattern == "bigbird") {
+    return make_bigbird(L, args.get_index("reach", 8), args.get_index("globals", 2),
+                        args.get_double("sf", 0.01))
+        .fused;
+  }
+  throw InvalidArgument("unknown --pattern: " + pattern +
+                        " (local|dilated1d|dilated2d|global|random|longformer|bigbird)");
+}
+
+void print_mask_info(const Csr<float>& mask) {
+  const auto stats = degree_stats(csr_degrees(mask));
+  std::cout << "shape:       " << mask.rows << " x " << mask.cols << "\n"
+            << "nnz:         " << mask.nnz() << "\n"
+            << "sparsity Sf: " << sparsity_factor(mask.nnz(), mask.rows) << "\n"
+            << "degrees:     min " << stats.min_degree << ", mean " << stats.mean << ", max "
+            << stats.max_degree << " (imbalance " << stats.imbalance << ")\n"
+            << "storage:     " << mask.storage_bytes() << " bytes (CSR, 32-bit indices)\n";
+}
+
+int cmd_mask(const Args& args) {
+  const auto mask = build_mask(args);
+  print_mask_info(mask);
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    save_csr(mask, out);
+    std::cout << "written:     " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const std::string in = args.get("in", "");
+  GPA_CHECK(!in.empty(), "info requires --in <path>");
+  print_mask_info(load_csr(in));
+  return 0;
+}
+
+template <typename T>
+int run_typed(const Args& args, const Csr<float>& mask) {
+  const Index L = mask.rows;
+  const Index d = args.get_index("dim", 64);
+  AttentionOptions opts;
+  opts.causal = args.flag("causal");
+
+  Matrix<float> qf(L, d), kf(L, d), vf(L, d);
+  Rng rng(static_cast<std::uint64_t>(args.get_index("seed", 1)));
+  fill_uniform(qf, rng);
+  fill_uniform(kf, rng);
+  fill_uniform(vf, rng);
+
+  Matrix<T> q(L, d), k(L, d), v(L, d), out(L, d);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      q(i, p) = T(qf(i, p));
+      k(i, p) = T(kf(i, p));
+      v(i, p) = T(vf(i, p));
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  csr_attention(q, k, v, mask, out, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "csr kernel:  " << std::chrono::duration<double>(t1 - t0).count() << " s ("
+            << mask.nnz() << " edges)\n";
+
+  // Verify against the exact reference (on the causally-intersected
+  // mask if requested).
+  Matrix<float> out_f(L, d);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) out_f(i, p) = static_cast<float>(out(i, p));
+  }
+  Csr<float> check_mask = mask;
+  if (opts.causal) {
+    check_mask = build_csr_from_predicate(L, [&](Index i, Index j) {
+      if (j > i) return false;
+      for (Index kk = mask.row_begin(i); kk < mask.row_end(i); ++kk) {
+        if (mask.col_idx[static_cast<std::size_t>(kk)] == j) return true;
+      }
+      return false;
+    });
+  }
+  Matrix<float> expected(L, d);
+  baselines::reference_attention(qf, kf, vf, check_mask, expected);
+  const bool fp16 = args.flag("fp16");
+  const auto rep = allclose(out_f, expected, fp16 ? 5e-3 : 1e-5, fp16 ? 5e-3 : 1e-6);
+  std::cout << "verified:    " << (rep.all_close ? "OK" : "FAIL") << " (max diff "
+            << rep.max_abs_diff << ")\n";
+  return rep.all_close ? 0 : 1;
+}
+
+int cmd_run(const Args& args) {
+  const auto mask = build_mask(args);
+  print_mask_info(mask);
+  return args.flag("fp16") ? run_typed<half_t>(args, mask) : run_typed<float>(args, mask);
+}
+
+int cmd_memmodel(const Args& args) {
+  using namespace gpa::memmodel;
+  const std::string device = args.get("device", "a100");
+  const DeviceSpec dev = device == "l40"    ? DeviceSpec::l40_48gb()
+                         : device == "v100" ? DeviceSpec::v100_32gb()
+                                            : DeviceSpec::a100_80gb();
+  const std::string dtype = args.get("dtype", "fp32");
+  ModelConfig cfg;
+  cfg.dtype = dtype == "fp16" ? DType::F16 : DType::F32;
+  cfg.embed_dim = args.get_index("dim", 64);
+  cfg.heads = args.get_index("heads", 1);
+  cfg.sparsity = args.get_double("sf", 1e-4);
+
+  const std::map<std::string, Algo> algos = {
+      {"sdp", Algo::SdpMasked}, {"csr", Algo::Csr},     {"coo", Algo::Coo},
+      {"flash", Algo::FlashDense}, {"local", Algo::Local}, {"dilated1d", Algo::Dilated1D},
+      {"dilated2d", Algo::Dilated2D}, {"global", Algo::Global}, {"spmm", Algo::SpmmTwoPhase}};
+  const std::string name = args.get("algo", "");
+  std::cout << dev.name << ", " << dtype << ", dim " << cfg.embed_dim << ", heads "
+            << cfg.heads << ", Sf " << cfg.sparsity << "\n";
+  for (const auto& [n, a] : algos) {
+    if (!name.empty() && n != name) continue;
+    std::cout << "  " << n << ": max L = " << max_context_length(a, dev, cfg) << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: gpa <mask|info|run|memmodel> [--key value ...]\n"
+            << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
+            << "  gpa info --in mask.bin\n"
+            << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
+            << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "mask") return cmd_mask(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "memmodel") return cmd_memmodel(args);
+    usage();
+    return args.command.empty() ? 1 : (std::cerr << "unknown command: " << args.command << "\n", 1);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
