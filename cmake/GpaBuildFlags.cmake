@@ -1,0 +1,22 @@
+# Shared warning / sanitizer configuration, attached to every gpa target
+# via the gpa_build_flags interface library.
+
+add_library(gpa_build_flags INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(gpa_build_flags INTERFACE -Wall -Wextra)
+  if(GPA_WERROR)
+    target_compile_options(gpa_build_flags INTERFACE -Werror)
+  endif()
+  if(GPA_ENABLE_ASAN)
+    target_compile_options(gpa_build_flags INTERFACE
+      -fsanitize=address,undefined -fno-omit-frame-pointer)
+    target_link_options(gpa_build_flags INTERFACE
+      -fsanitize=address,undefined)
+  endif()
+elseif(MSVC)
+  target_compile_options(gpa_build_flags INTERFACE /W4)
+  if(GPA_WERROR)
+    target_compile_options(gpa_build_flags INTERFACE /WX)
+  endif()
+endif()

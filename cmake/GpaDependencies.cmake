@@ -1,0 +1,52 @@
+# Third-party test/bench dependency resolution.
+#
+# gpa_resolve_gtest()     — guarantees GTest::gtest_main exists.
+# gpa_resolve_benchmark() — sets GPA_HAVE_GBENCH and guarantees
+#                           benchmark::benchmark when it is TRUE.
+
+function(gpa_resolve_gtest)
+  # Prefer the platform package dirs over PATH-derived prefixes (a conda
+  # env on PATH can shadow the system GTest with an ABI-incompatible
+  # build), then fall back to an unrestricted search, then FetchContent.
+  find_package(GTest QUIET NO_CMAKE_ENVIRONMENT_PATH NO_SYSTEM_ENVIRONMENT_PATH)
+  if(NOT GTest_FOUND)
+    find_package(GTest QUIET)
+  endif()
+  if(NOT GTest_FOUND)
+    message(STATUS "gpa: system GTest not found, fetching googletest v1.14.0")
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    if(NOT TARGET GTest::gtest)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+  endif()
+endfunction()
+
+function(gpa_resolve_benchmark)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    set(GPA_HAVE_GBENCH TRUE PARENT_SCOPE)
+    return()
+  endif()
+  # Debian ships the library without a CMake package in some configs.
+  find_library(GPA_GBENCH_LIB benchmark)
+  find_path(GPA_GBENCH_INC benchmark/benchmark.h)
+  if(GPA_GBENCH_LIB AND GPA_GBENCH_INC)
+    if(NOT TARGET benchmark::benchmark)
+      add_library(benchmark::benchmark UNKNOWN IMPORTED GLOBAL)
+      set_target_properties(benchmark::benchmark PROPERTIES
+        IMPORTED_LOCATION "${GPA_GBENCH_LIB}"
+        INTERFACE_INCLUDE_DIRECTORIES "${GPA_GBENCH_INC}")
+    endif()
+    set(GPA_HAVE_GBENCH TRUE PARENT_SCOPE)
+  else()
+    set(GPA_HAVE_GBENCH FALSE PARENT_SCOPE)
+  endif()
+endfunction()

@@ -11,6 +11,14 @@
 
 namespace gpa {
 
+std::string_view parallel_backend() noexcept {
+#if defined(GPA_HAVE_OPENMP)
+  return "openmp";
+#else
+  return "threads";
+#endif
+}
+
 int resolved_threads(const ExecPolicy& policy) noexcept {
   if (policy.num_threads > 0) return policy.num_threads;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());

@@ -4,11 +4,16 @@
 // std::thread fork/join implementation with the same semantics.
 
 #include <functional>
+#include <string_view>
 
 #include "common/types.hpp"
 #include "parallel/exec_policy.hpp"
 
 namespace gpa {
+
+/// Which substrate parallel_for dispatches to in this build:
+/// "openmp" when compiled with GPA_HAVE_OPENMP, "threads" otherwise.
+std::string_view parallel_backend() noexcept;
 
 /// Invokes `body(i)` for every i in [begin, end), in parallel according
 /// to `policy`. `body` must be safe to run concurrently for distinct i.

@@ -18,6 +18,14 @@
 namespace gpa {
 namespace {
 
+TEST(ParallelBackendTest, ReportsTheCompiledSubstrate) {
+#if defined(GPA_HAVE_OPENMP)
+  EXPECT_EQ(parallel_backend(), "openmp");
+#else
+  EXPECT_EQ(parallel_backend(), "threads");
+#endif
+}
+
 class ParallelForSchedules : public ::testing::TestWithParam<Schedule> {};
 
 TEST_P(ParallelForSchedules, VisitsEveryIndexExactlyOnce) {

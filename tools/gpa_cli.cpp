@@ -16,9 +16,11 @@
 
 #include "baselines/reference_attention.hpp"
 #include "common/rng.hpp"
+#include "common/version.hpp"
 #include "core/graph_attention.hpp"
 #include "graph/degree.hpp"
 #include "memmodel/memory_model.hpp"
+#include "parallel/parallel_for.hpp"
 #include "sparse/build.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nnz.hpp"
@@ -38,12 +40,33 @@ struct Args {
     return it == kv.end() ? fallback : it->second;
   }
   Index get_index(const std::string& name, Index fallback) const {
-    const auto it = kv.find("--" + name);
-    return it == kv.end() ? fallback : std::stoll(it->second);
+    return get_numeric<Index>(name, fallback, "an integer",
+                              [](const std::string& s, std::size_t* pos) {
+                                return static_cast<Index>(std::stoll(s, pos));
+                              });
   }
   double get_double(const std::string& name, double fallback) const {
+    return get_numeric<double>(name, fallback, "a number",
+                               [](const std::string& s, std::size_t* pos) {
+                                 return std::stod(s, pos);
+                               });
+  }
+
+ private:
+  /// Strict numeric lookup: the whole value must parse, otherwise an
+  /// InvalidArgument naming the flag is thrown.
+  template <typename T, typename Parse>
+  T get_numeric(const std::string& name, T fallback, const char* kind, Parse parse) const {
     const auto it = kv.find("--" + name);
-    return it == kv.end() ? fallback : std::stod(it->second);
+    if (it == kv.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const T value = parse(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument("trailing characters");
+      return value;
+    } catch (const std::exception&) {
+      throw InvalidArgument("--" + name + " expects " + kind + ", got \"" + it->second + "\"");
+    }
   }
 };
 
@@ -55,7 +78,11 @@ Args parse(int argc, char** argv) {
     if (a.rfind("--", 0) == 0 && i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.kv[a] = argv[++i];
     } else {
-      args.kv[a] = "1";
+      // Presence is the value: flag() tests membership and the get_*()
+      // accessors fall back only when the key is absent. Assigning a
+      // short literal here also trips GCC 12's bogus -Wrestrict at -O3
+      // (PR105651), which would break the -Werror CI build.
+      args.kv.try_emplace(a);
     }
   }
   return args;
@@ -211,8 +238,14 @@ int cmd_memmodel(const Args& args) {
   return 0;
 }
 
+int cmd_version() {
+  std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
+            << parallel_backend() << ")\n";
+  return 0;
+}
+
 void usage() {
-  std::cout << "usage: gpa <mask|info|run|memmodel> [--key value ...]\n"
+  std::cout << "usage: gpa <mask|info|run|memmodel|version> [--key value ...]\n"
             << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
             << "  gpa info --in mask.bin\n"
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
@@ -228,6 +261,7 @@ int main(int argc, char** argv) {
     if (args.command == "info") return cmd_info(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "memmodel") return cmd_memmodel(args);
+    if (args.command == "version" || args.command == "--version") return cmd_version();
     usage();
     return args.command.empty() ? 1 : (std::cerr << "unknown command: " << args.command << "\n", 1);
   } catch (const std::exception& e) {
