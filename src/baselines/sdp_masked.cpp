@@ -39,7 +39,7 @@ void sdp_masked_attention(const Matrix<float>& q, const Matrix<float>& k,
   }
 
   // Phase 3: row softmax (fully-masked rows -> zero rows).
-  softmax_rows(scores);
+  softmax_rows(scores, opts.policy.simd);
 
   // Phase 4: dense PV product.
   gemm_nn(scores, v, out, opts.policy);

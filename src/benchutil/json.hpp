@@ -1,0 +1,30 @@
+#pragma once
+// Machine-readable benchmark output. Every record is one (kernel, SIMD
+// level, shape) cell with its median runtime and derived throughput, so
+// future PRs can diff perf trajectories (BENCH_kernels.json) instead of
+// eyeballing console tables.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gpa::benchutil {
+
+struct KernelBenchRecord {
+  std::string kernel;  ///< e.g. "csr_online_softmax"
+  std::string simd;    ///< dispatch arm the cell ran under ("scalar"/"avx2")
+  Index seq_len = 0;
+  Index head_dim = 0;
+  double median_s = 0.0;
+  double gbytes_per_s = 0.0;   ///< estimated traffic / median
+  double gflops_per_s = 0.0;   ///< estimated flop count / median
+};
+
+/// Writes `{schema, parallel_backend, records: [...]}` to `path`.
+/// Throws InvalidArgument when the file cannot be opened.
+void write_kernel_bench_json(const std::string& path,
+                             const std::vector<KernelBenchRecord>& records,
+                             const std::string& parallel_backend_name);
+
+}  // namespace gpa::benchutil

@@ -36,8 +36,14 @@ BenchArgs parse_bench_args(int argc, char** argv, int default_warmup, int defaul
       // The paper's measurement protocol comes with its scale.
       args.run.warmup = 10;
       args.run.iterations = 15;
+    } else if (a == "--smoke") {
+      args.smoke = true;
+      args.run.warmup = 1;
+      args.run.iterations = 2;
     } else if (a == "--csv") {
       args.csv_path = next_value("--csv");
+    } else if (a == "--json") {
+      args.json_path = next_value("--json");
     } else if (a == "--warmup") {
       args.run.warmup = std::stoi(next_value("--warmup"));
     } else if (a == "--iters") {

@@ -22,11 +22,15 @@ Stats run_benchmark(const std::function<void()>& fn, const RunConfig& cfg = {});
 
 /// Shared command-line handling for the bench binaries:
 ///   --paper-scale     use the paper's full dimensions
+///   --smoke           tiny shapes + 1 warmup / 2 iters (CTest tier2 gate)
 ///   --csv <path>      also write rows to a CSV file
+///   --json <path>     also write machine-readable records (benchutil/json.hpp)
 ///   --warmup N --iters N   override the measurement protocol
 struct BenchArgs {
   bool paper_scale = false;
+  bool smoke = false;
   std::string csv_path;
+  std::string json_path;
   RunConfig run;
 };
 BenchArgs parse_bench_args(int argc, char** argv, int default_warmup = 2,

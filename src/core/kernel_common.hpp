@@ -16,11 +16,13 @@
 // which is exactly the paper's update after multiplying through by l.
 
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "core/attention_options.hpp"
 #include "core/state.hpp"
 #include "parallel/parallel_for.hpp"
+#include "simd/simd.hpp"
 #include "tensor/matrix.hpp"
 #include "tensor/softmax.hpp"
 
@@ -46,26 +48,44 @@ void check_inputs(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
 }
 
 /// Fold one (row, neighbor) edge into the row's online-softmax state.
-/// `qi` is the query row, `acc` the unnormalised accumulator.
+/// `qi` is the query row, `acc` the unnormalised accumulator. The float
+/// instantiation routes the d-dimension loops (Q·K dot, accumulate /
+/// rescale) through the dispatched vector ops; half storage keeps the
+/// scalar convert-and-accumulate loops (the arms would need F16C to
+/// vectorize bit-identically, which is left open in the ROADMAP).
 template <typename T>
 inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Matrix<T>& v_mat,
                       Index j, Index head_dim, float scale, float gate, bool use_gate,
-                      OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc) {
+                      OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc,
+                      const simd::VecOps& vo) {
   const T* kj = k_mat.row(j);
-  float w = 0.0f;
-  for (Index p = 0; p < head_dim; ++p) {
-    w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+  float w;
+  if constexpr (std::is_same_v<T, float>) {
+    w = vo.dot(qi, kj, head_dim);
+  } else {
+    w = 0.0f;
+    for (Index p = 0; p < head_dim; ++p) {
+      w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+    }
   }
   w *= scale;
   if (use_gate) w *= gate;
 
   const auto [alpha, beta] = osr.push(w);
   const T* vj = v_mat.row(j);
-  if (alpha == 1.0f) {  // running max unchanged — skip the rescale multiply
-    for (Index p = 0; p < head_dim; ++p) acc[p] += beta * static_cast<float>(vj[p]);
+  if constexpr (std::is_same_v<T, float>) {
+    if (alpha == 1.0f) {  // running max unchanged — skip the rescale multiply
+      vo.axpy(acc, beta, vj, head_dim);
+    } else {
+      vo.axpby(acc, alpha, beta, vj, head_dim);
+    }
   } else {
-    for (Index p = 0; p < head_dim; ++p) {
-      acc[p] = acc[p] * alpha + beta * static_cast<float>(vj[p]);
+    if (alpha == 1.0f) {
+      for (Index p = 0; p < head_dim; ++p) acc[p] += beta * static_cast<float>(vj[p]);
+    } else {
+      for (Index p = 0; p < head_dim; ++p) {
+        acc[p] = acc[p] * alpha + beta * static_cast<float>(vj[p]);
+      }
     }
   }
 }
@@ -81,13 +101,14 @@ void run_rows(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
   const Index head_dim = q.cols();
   const float scale = resolve_scale(opts.scale, head_dim);
   const bool use_gate = opts.use_mask_values;
+  const simd::VecOps& vo = simd::ops(opts.policy.simd);  // resolved once per call
 
   parallel_for(0, seq_len, opts.policy, [&](Index i) {
     const T* qi = q.row(i);
     float* acc = state.acc_row(i);
     OnlineSoftmaxRow osr{state.m(i), state.l(i)};
     row_enum(i, [&](Index j, float gate) {
-      fold_edge(qi, k, v, j, head_dim, scale, gate, use_gate, osr, acc);
+      fold_edge(qi, k, v, j, head_dim, scale, gate, use_gate, osr, acc, vo);
     });
     state.m(i) = osr.m;
     state.l(i) = osr.l;

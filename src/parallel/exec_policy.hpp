@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "simd/simd_level.hpp"
+
 namespace gpa {
 
 enum class Schedule : std::uint8_t {
@@ -25,6 +27,9 @@ struct ExecPolicy {
   /// Rows handed out per scheduling decision under Dynamic.
   std::int64_t grain = 64;
   Schedule schedule = Schedule::Static;
+  /// Which SIMD arm the kernel's inner loops take (Auto = runtime
+  /// dispatch: GPA_SIMD env override, else best of cpuid + build).
+  SimdLevel simd = SimdLevel::Auto;
 
   static ExecPolicy serial() { return {1, 1, Schedule::Static}; }
 };

@@ -22,6 +22,7 @@ RingReport ring_csr_attention(const Matrix<float>& q, const Matrix<float>& k,
             "ring: partition must cover [0, L)");
   GPA_CHECK(!opts.use_mask_values, "ring: weighted masks not supported");
   const float scale = gpa::detail::resolve_scale(opts.scale, d);
+  const simd::VecOps& vo = simd::ops(opts.policy.simd);
   const Index P = partition.parts();
 
   RingReport report;
@@ -67,7 +68,7 @@ RingReport ring_csr_attention(const Matrix<float>& q, const Matrix<float>& k,
         for (; it != end && *it < col_hi; ++it) {
           const Index j = *it;
           if (opts.causal && j > i) break;
-          gpa::detail::fold_edge(qi, k, v, j, d, scale, 1.0f, false, osr, acc);
+          gpa::detail::fold_edge(qi, k, v, j, d, scale, 1.0f, false, osr, acc, vo);
           ++step_edges;
         }
         state.m(i) = osr.m;

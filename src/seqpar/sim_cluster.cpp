@@ -23,6 +23,7 @@ ClusterReport distributed_csr_attention(const Matrix<float>& q, const Matrix<flo
                 partition.boundaries.back() == L,
             "partition must cover [0, L)");
   const float scale = gpa::detail::resolve_scale(opts.scale, d);
+  const simd::VecOps& vo = simd::ops(opts.policy.simd);
 
   ClusterReport report;
   report.nodes.resize(static_cast<std::size_t>(partition.parts()));
@@ -46,7 +47,7 @@ ClusterReport distributed_csr_attention(const Matrix<float>& q, const Matrix<flo
         const Index e = mask.row_end(i);
         for (Index kk = mask.row_begin(i); kk < e; ++kk) {
           gpa::detail::fold_edge(qi, k, v, mask.col_idx[static_cast<std::size_t>(kk)], d, scale,
-                                 1.0f, false, osr, acc.data());
+                                 1.0f, false, osr, acc.data(), vo);
           ++edges;
         }
         const float inv = osr.inv_l();

@@ -1,0 +1,96 @@
+// Runtime CPU-feature dispatch for the SIMD layer: cpuid probe, GPA_SIMD
+// environment override, process-wide forced level for tests/benchmarks,
+// and the table lookup every kernel resolves through.
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "simd/ops_tables.hpp"
+
+namespace gpa::simd {
+
+namespace {
+
+/// Forced level (tests/benchmarks); Auto means "not forced".
+std::atomic<SimdLevel> g_forced{SimdLevel::Auto};
+
+/// GPA_SIMD environment variable, parsed once. Unrecognised values fall
+/// back to Auto (the knob is advisory, never fatal).
+SimdLevel env_level() noexcept {
+  static const SimdLevel cached = [] {
+    const char* raw = std::getenv("GPA_SIMD");
+    if (raw == nullptr) return SimdLevel::Auto;
+    std::string value(raw);
+    for (auto& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (value == "scalar") return SimdLevel::Scalar;
+    if (value == "avx2") return SimdLevel::Avx2;
+    return SimdLevel::Auto;  // "", "auto", or anything unrecognised
+  }();
+  return cached;
+}
+
+bool avx2_available() noexcept { return compiled_with_avx2() && cpu_supports_avx2(); }
+
+}  // namespace
+
+bool cpu_supports_avx2() noexcept {
+#if (defined(__x86_64__) || defined(_M_X64)) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool compiled_with_avx2() noexcept {
+#if defined(GPA_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void force_level(SimdLevel level) noexcept { g_forced.store(level, std::memory_order_relaxed); }
+
+SimdLevel active_level() noexcept {
+  SimdLevel requested = g_forced.load(std::memory_order_relaxed);
+  if (requested == SimdLevel::Auto) requested = env_level();
+  if (requested == SimdLevel::Auto) requested = SimdLevel::Avx2;  // best available
+  if (requested == SimdLevel::Avx2 && !avx2_available()) return SimdLevel::Scalar;
+  return requested;
+}
+
+SimdLevel resolve(SimdLevel requested) noexcept {
+  if (requested == SimdLevel::Auto) return active_level();
+  if (requested == SimdLevel::Avx2 && !avx2_available()) return SimdLevel::Scalar;
+  return requested;
+}
+
+const VecOps& ops(SimdLevel level) noexcept {
+#if defined(GPA_SIMD_AVX2)
+  if (resolve(level) == SimdLevel::Avx2) return detail::kAvx2Ops;
+#else
+  (void)level;
+#endif
+  return detail::kScalarOps;
+}
+
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::Scalar};
+  if (avx2_available()) levels.push_back(SimdLevel::Avx2);
+  return levels;
+}
+
+std::string_view level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::Auto: return "auto";
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+std::string_view simd_backend() noexcept { return level_name(active_level()); }
+
+}  // namespace gpa::simd

@@ -1,0 +1,18 @@
+#pragma once
+// Internal linkage point between the dispatcher and the per-arm
+// translation units. Not part of the public simd API.
+
+#include "simd/simd.hpp"
+
+namespace gpa::simd::detail {
+
+/// Portable scalar reference arm (simd_scalar.cpp — compiled with
+/// auto-vectorization off so the differential baseline is honest).
+extern const VecOps kScalarOps;
+
+#if defined(GPA_SIMD_AVX2)
+/// AVX2 arm (simd_avx2.cpp — the only TU built with -mavx2).
+extern const VecOps kAvx2Ops;
+#endif
+
+}  // namespace gpa::simd::detail

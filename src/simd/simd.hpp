@@ -1,0 +1,92 @@
+#pragma once
+// Runtime-dispatched vector primitives for the d-dimension inner loops.
+//
+// Every hot kernel reduces to four row operations: a Q·K dot product, the
+// online-softmax accumulator update acc = alpha*acc + beta*v, a rescale,
+// and the max/sum reductions of the softmax passes. This layer provides
+// those primitives behind a function-pointer table with two arms:
+//
+//  * scalar — the always-compiled portable reference (compiled with
+//    auto-vectorization disabled so "scalar" means scalar), and
+//  * avx2   — 8-lane AVX2 intrinsics, compiled into a dedicated
+//    translation unit with -mavx2 so the rest of the library still runs
+//    on any x86-64.
+//
+// THE LANE CONTRACT (load-bearing for the differential test harness):
+// both arms compute reductions with eight partial accumulators in lane
+// order (lane l accumulates elements l, l+8, l+16, ...), a masked tail
+// block, and the same pairwise reduction tree
+//     t_l = op(s_l, s_{l+4});  u_0 = op(t_0, t_2); u_1 = op(t_1, t_3);
+//     result = op(u_0, u_1)
+// with no FMA contraction anywhere (the AVX2 unit is built with
+// -ffp-contract=off). Element-wise ops use the same expression shape and
+// operand order in both arms. Consequence: the scalar and AVX2 arms are
+// bit-identical on every input, which tests/test_simd_parity.cpp pins
+// down and which keeps the exec-matrix bitwise-determinism guarantees
+// independent of the dispatch decision.
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simd/simd_level.hpp"
+
+namespace gpa::simd {
+
+/// The dispatch table. All pointers are non-null for both arms.
+/// Reductions over n == 0 return the operation identity (0 for sum/dot,
+/// -inf for max). NaN propagation in reduce_max follows x86 MAXPS
+/// semantics ("a > b ? a : b" per lane) in both arms.
+struct VecOps {
+  /// Σ a[i]·b[i] under the lane contract.
+  float (*dot)(const float* a, const float* b, Index n) noexcept;
+  /// acc[i] = acc[i]·alpha + beta·v[i] (the online-softmax row update).
+  void (*axpby)(float* acc, float alpha, float beta, const float* v, Index n) noexcept;
+  /// acc[i] += beta·v[i] (rescale-free fast path when the max is unchanged).
+  void (*axpy)(float* acc, float beta, const float* v, Index n) noexcept;
+  /// x[i] *= s.
+  void (*scale)(float* x, float s, Index n) noexcept;
+  /// max over x under the lane contract; -inf for an empty range.
+  float (*reduce_max)(const float* x, Index n) noexcept;
+  /// Σ x[i] under the lane contract.
+  float (*reduce_sum)(const float* x, Index n) noexcept;
+};
+
+/// CPUID says this machine can execute AVX2.
+bool cpu_supports_avx2() noexcept;
+
+/// This build carries the AVX2 translation unit (GPA_ENABLE_SIMD=ON on
+/// an x86-64 GCC/Clang toolchain).
+bool compiled_with_avx2() noexcept;
+
+/// The level Auto resolves to right now: the forced level if one is set,
+/// else the GPA_SIMD environment variable (scalar|avx2|auto, read once),
+/// else the best level available, clamped to build + CPU support.
+SimdLevel active_level() noexcept;
+
+/// Clamp a requested level to what this build + CPU can run. Scalar is
+/// always honoured; Avx2 falls back to Scalar when unavailable; Auto
+/// resolves via active_level().
+SimdLevel resolve(SimdLevel requested) noexcept;
+
+/// Dispatch table for a level (resolved first).
+const VecOps& ops(SimdLevel level) noexcept;
+
+/// Every level this build + CPU can actually run, Scalar first — THE
+/// canonical SIMD axis for tests and benchmarks to iterate (new arms
+/// only need to be added here to enter every matrix).
+std::vector<SimdLevel> available_levels();
+
+/// Process-wide override for tests and benchmarks: beats the environment
+/// variable until cleared with force_level(SimdLevel::Auto). Explicit
+/// per-call levels (ExecPolicy::simd != Auto) are unaffected.
+void force_level(SimdLevel level) noexcept;
+
+/// "auto" / "scalar" / "avx2".
+std::string_view level_name(SimdLevel level) noexcept;
+
+/// Name of the level Auto currently resolves to — reported next to
+/// parallel_backend() in diagnostics.
+std::string_view simd_backend() noexcept;
+
+}  // namespace gpa::simd

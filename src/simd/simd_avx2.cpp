@@ -1,0 +1,145 @@
+// AVX2 arm of the SIMD dispatch — the only translation unit compiled
+// with -mavx2 (and -ffp-contract=off: the mul/add pairs below must not
+// be fused into FMAs, or the arm would diverge from the scalar lane
+// contract in simd.hpp). Tails are handled with masked loads/stores, so
+// no lane ever touches memory past n and ASan stays quiet.
+
+#if !defined(GPA_SIMD_AVX2)
+#error "simd_avx2.cpp must only be compiled when GPA_SIMD_AVX2 is defined"
+#endif
+
+#include <immintrin.h>
+
+#include <limits>
+
+#include "simd/ops_tables.hpp"
+
+namespace gpa::simd::detail {
+namespace {
+
+constexpr Index kLanes = 8;
+
+/// Lane mask for an r-element tail (1 <= r <= 7): lanes < r are enabled
+/// (sign bit set, as maskload/maskstore/blendv require).
+inline __m256i tail_mask(Index r) noexcept {
+  const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(r)), lane_ids);
+}
+
+/// The fixed pairwise tree of the lane contract: t = lo ⊕ hi, then the
+/// {0,2}/{1,3} pair, then the final pair.
+inline float reduce_tree_add(__m256 s) noexcept {
+  const __m128 lo = _mm256_castps256_ps128(s);
+  const __m128 hi = _mm256_extractf128_ps(s, 1);
+  const __m128 t = _mm_add_ps(lo, hi);
+  const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));
+  return _mm_cvtss_f32(_mm_add_ss(u, _mm_shuffle_ps(u, u, 0x1)));
+}
+
+inline float reduce_tree_max(__m256 s) noexcept {
+  const __m128 lo = _mm256_castps256_ps128(s);
+  const __m128 hi = _mm256_extractf128_ps(s, 1);
+  const __m128 t = _mm_max_ps(lo, hi);
+  const __m128 u = _mm_max_ps(t, _mm_movehl_ps(t, t));
+  return _mm_cvtss_f32(_mm_max_ss(u, _mm_shuffle_ps(u, u, 0x1)));
+}
+
+float dot(const float* a, const float* b, Index n) noexcept {
+  __m256 s = _mm256_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m256 av = _mm256_loadu_ps(a + base);
+    const __m256 bv = _mm256_loadu_ps(b + base);
+    s = _mm256_add_ps(s, _mm256_mul_ps(av, bv));
+  }
+  if (base < n) {
+    const __m256i mask = tail_mask(n - base);
+    const __m256 av = _mm256_maskload_ps(a + base, mask);
+    const __m256 bv = _mm256_maskload_ps(b + base, mask);
+    s = _mm256_add_ps(s, _mm256_mul_ps(av, bv));  // dead lanes add +0.0f
+  }
+  return reduce_tree_add(s);
+}
+
+void axpby(float* acc, float alpha, float beta, const float* v, Index n) noexcept {
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 vb = _mm256_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m256 accv = _mm256_loadu_ps(acc + base);
+    const __m256 vv = _mm256_loadu_ps(v + base);
+    _mm256_storeu_ps(acc + base,
+                     _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+  }
+  if (base < n) {
+    const __m256i mask = tail_mask(n - base);
+    const __m256 accv = _mm256_maskload_ps(acc + base, mask);
+    const __m256 vv = _mm256_maskload_ps(v + base, mask);
+    _mm256_maskstore_ps(acc + base, mask,
+                        _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+  }
+}
+
+void axpy(float* acc, float beta, const float* v, Index n) noexcept {
+  const __m256 vb = _mm256_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m256 accv = _mm256_loadu_ps(acc + base);
+    const __m256 vv = _mm256_loadu_ps(v + base);
+    _mm256_storeu_ps(acc + base, _mm256_add_ps(accv, _mm256_mul_ps(vb, vv)));
+  }
+  if (base < n) {
+    const __m256i mask = tail_mask(n - base);
+    const __m256 accv = _mm256_maskload_ps(acc + base, mask);
+    const __m256 vv = _mm256_maskload_ps(v + base, mask);
+    _mm256_maskstore_ps(acc + base, mask, _mm256_add_ps(accv, _mm256_mul_ps(vb, vv)));
+  }
+}
+
+void scale(float* x, float s, Index n) noexcept {
+  const __m256 vs = _mm256_set1_ps(s);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    _mm256_storeu_ps(x + base, _mm256_mul_ps(_mm256_loadu_ps(x + base), vs));
+  }
+  if (base < n) {
+    const __m256i mask = tail_mask(n - base);
+    const __m256 xv = _mm256_maskload_ps(x + base, mask);
+    _mm256_maskstore_ps(x + base, mask, _mm256_mul_ps(xv, vs));
+  }
+}
+
+float reduce_max(const float* x, Index n) noexcept {
+  __m256 s = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm256_max_ps(s, _mm256_loadu_ps(x + base));
+  }
+  if (base < n) {
+    // Dead tail lanes must see the max identity (-inf), not the 0.0f a
+    // masked load yields — the all-masked-row convention depends on it.
+    const __m256i mask = tail_mask(n - base);
+    const __m256 loaded = _mm256_maskload_ps(x + base, mask);
+    const __m256 neg_inf = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+    s = _mm256_max_ps(s, _mm256_blendv_ps(neg_inf, loaded, _mm256_castsi256_ps(mask)));
+  }
+  return reduce_tree_max(s);
+}
+
+float reduce_sum(const float* x, Index n) noexcept {
+  __m256 s = _mm256_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm256_add_ps(s, _mm256_loadu_ps(x + base));
+  }
+  if (base < n) {
+    s = _mm256_add_ps(s, _mm256_maskload_ps(x + base, tail_mask(n - base)));
+  }
+  return reduce_tree_add(s);
+}
+
+}  // namespace
+
+const VecOps kAvx2Ops = {dot, axpby, axpy, scale, reduce_max, reduce_sum};
+
+}  // namespace gpa::simd::detail

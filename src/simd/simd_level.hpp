@@ -1,0 +1,22 @@
+#pragma once
+// SIMD dispatch level. Lives in its own dependency-free header so
+// parallel/exec_policy.hpp can carry a per-call override without pulling
+// the vector-ops layer into every translation unit.
+
+#include <cstdint>
+
+namespace gpa {
+
+/// Which arm of the SIMD dispatch a call should take.
+///  * Auto   — resolve at runtime: GPA_SIMD env var if set, otherwise the
+///             best level this build + CPU supports.
+///  * Scalar — the portable scalar reference path (always compiled).
+///  * Avx2   — the AVX2 path; silently clamped to Scalar when the build
+///             or the CPU lacks it (check simd::resolve() to detect).
+enum class SimdLevel : std::uint8_t {
+  Auto,
+  Scalar,
+  Avx2,
+};
+
+}  // namespace gpa

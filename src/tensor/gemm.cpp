@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
+#include "simd/simd.hpp"
 
 namespace gpa {
 
@@ -16,6 +17,7 @@ void gemm_nt(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
   const Index m = a.rows(), k = a.cols(), n = b.rows();
   GPA_CHECK(b.cols() == k, "gemm_nt: inner dimension mismatch");
   GPA_CHECK(c.rows() == m && c.cols() == n, "gemm_nt: output shape mismatch");
+  const simd::VecOps& vo = simd::ops(policy.simd);
 
   parallel_for_chunks(0, m, policy, [&](Index i_lo, Index i_hi) {
     for (Index ii = i_lo; ii < i_hi; ii += kTileI) {
@@ -26,10 +28,7 @@ void gemm_nt(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
           const float* arow = a.row(i);
           float* crow = c.row(i);
           for (Index j = jj; j < j_end; ++j) {
-            const float* brow = b.row(j);
-            float acc = 0.0f;
-            for (Index p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] = acc;
+            crow[j] = vo.dot(arow, b.row(j), k);
           }
         }
       }
@@ -42,6 +41,7 @@ void gemm_nn(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
   const Index m = a.rows(), k = a.cols(), n = b.cols();
   GPA_CHECK(b.rows() == k, "gemm_nn: inner dimension mismatch");
   GPA_CHECK(c.rows() == m && c.cols() == n, "gemm_nn: output shape mismatch");
+  const simd::VecOps& vo = simd::ops(policy.simd);
 
   parallel_for_chunks(0, m, policy, [&](Index i_lo, Index i_hi) {
     for (Index i = i_lo; i < i_hi; ++i) {
@@ -53,9 +53,7 @@ void gemm_nn(const Matrix<float>& a, const Matrix<float>& b, Matrix<float>& c,
       // full O(L²·d) work regardless of mask sparsity (that flatness vs
       // Sf is the behaviour Fig. 3 / Fig. 6 measure).
       for (Index p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = b.row(p);
-        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+        vo.axpy(crow, arow[p], b.row(p), n);
       }
     }
   });

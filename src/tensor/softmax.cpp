@@ -2,26 +2,40 @@
 
 namespace gpa {
 
-void softmax_rows(Matrix<float>& scores) {
+void softmax_rows(Matrix<float>& scores, SimdLevel level) {
   const Index rows = scores.rows();
   const Index cols = scores.cols();
+  const simd::VecOps& vo = simd::ops(level);
   for (Index i = 0; i < rows; ++i) {
     float* row = scores.row(i);
-    float m = -std::numeric_limits<float>::infinity();
-    for (Index j = 0; j < cols; ++j) m = row[j] > m ? row[j] : m;
+    const float m = vo.reduce_max(row, cols);
     if (m == -std::numeric_limits<float>::infinity()) {
       // Fully masked row: define the distribution as all-zero.
       for (Index j = 0; j < cols; ++j) row[j] = 0.0f;
       continue;
     }
-    float l = 0.0f;
-    for (Index j = 0; j < cols; ++j) {
-      row[j] = std::exp(row[j] - m);
-      l += row[j];
-    }
-    const float inv = 1.0f / l;
-    for (Index j = 0; j < cols; ++j) row[j] *= inv;
+    for (Index j = 0; j < cols; ++j) row[j] = std::exp(row[j] - m);
+    const float l = vo.reduce_sum(row, cols);
+    vo.scale(row, 1.0f / l, cols);
   }
+}
+
+float online_softmax_fold_tile(OnlineSoftmaxRow& osr, float* scores, Index n,
+                               const simd::VecOps& vo) noexcept {
+  if (n <= 0) return 1.0f;
+  const float tile_max = vo.reduce_max(scores, n);
+  const float m_new = osr.m > tile_max ? osr.m : tile_max;
+  if (m_new == -std::numeric_limits<float>::infinity()) {
+    // Row still empty after this tile (every score -inf): keep the state
+    // untouched instead of computing exp(-inf − -inf) = NaN.
+    for (Index j = 0; j < n; ++j) scores[j] = 0.0f;
+    return 1.0f;
+  }
+  const float alpha = std::exp(osr.m - m_new);
+  for (Index j = 0; j < n; ++j) scores[j] = std::exp(scores[j] - m_new);
+  osr.l = osr.l * alpha + vo.reduce_sum(scores, n);
+  osr.m = m_new;
+  return alpha;
 }
 
 MergedState merge_online_states(float m_a, float l_a, float m_b, float l_b) noexcept {

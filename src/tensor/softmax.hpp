@@ -11,6 +11,7 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/simd.hpp"
 #include "tensor/matrix.hpp"
 
 namespace gpa {
@@ -18,8 +19,12 @@ namespace gpa {
 /// In-place numerically stable softmax over each row. Rows whose maximum
 /// is -inf (fully masked) become all-zero rows rather than NaN — see
 /// DESIGN.md §4 for why this convention is used on both sides of every
-/// comparison.
-void softmax_rows(Matrix<float>& scores);
+/// comparison; the convention is enforced on both SIMD dispatch arms
+/// (the vector max-reduction seeds dead tail lanes with -inf, so an
+/// all-masked row cannot pick up a spurious 0 maximum).
+/// The max / sum / rescale passes go through the dispatched vector ops;
+/// exp stays element-wise scalar (identical libm call on both arms).
+void softmax_rows(Matrix<float>& scores, SimdLevel level = SimdLevel::Auto);
 
 /// Online softmax accumulator for a single output row: the (m, l, acc)
 /// triple of Algorithm 1, with the accumulator kept unnormalised until
@@ -52,6 +57,17 @@ struct OnlineSoftmaxRow {
   /// row, which zeroes the output).
   float inv_l() const noexcept { return l > 0.0f ? 1.0f / l : 0.0f; }
 };
+
+/// Batched fold of one tile of `n` scores into an online-softmax row
+/// state — the vectorized form of n successive `push` calls with one max
+/// update. On return `scores[0..n)` holds the unnormalised tile
+/// probabilities exp(s_j - m_new) and the returned alpha is the rescale
+/// coefficient for the caller's accumulator (1 when the running max did
+/// not move). A tile that leaves the row's maximum at -inf (fully
+/// masked so far) zeroes the probabilities and leaves (m, l) untouched,
+/// mirroring OnlineSoftmaxRow::push's empty-row guard.
+float online_softmax_fold_tile(OnlineSoftmaxRow& osr, float* scores, Index n,
+                               const simd::VecOps& vo) noexcept;
 
 /// Merge of two online-softmax states over disjoint edge sets:
 /// returns coefficients to combine the two unnormalised accumulators.

@@ -1,9 +1,10 @@
 // Execution-matrix determinism: every kernel must produce bitwise
-// identical results across thread counts, schedules, and grain sizes
-// (per-row arithmetic never changes), and the two baselines must be
-// deterministic as well. This pins down the PRAM claim of §IV-B on the
-// CPU substrate: parallelism only changes who computes a row, never
-// what is computed.
+// identical results across thread counts, schedules, grain sizes, AND
+// SIMD dispatch arms (per-row arithmetic never changes: the scalar and
+// AVX2 arms follow the same lane contract — see src/simd/simd.hpp).
+// The baselines must be deterministic as well. This pins down the PRAM
+// claim of §IV-B on the CPU substrate: neither parallelism nor the
+// vector width changes what is computed, only who/how it is computed.
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/graph_attention.hpp"
 #include "core/spmm_attention.hpp"
+#include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -32,30 +34,46 @@ struct Fixture {
   }
 };
 
+/// backend × schedule × SIMD: every thread/schedule/grain combination is
+/// crossed with the scalar arm and (when this build + CPU has it) the
+/// AVX2 arm.
 const std::vector<ExecPolicy>& policies() {
-  static const std::vector<ExecPolicy> p = {
-      ExecPolicy::serial(),
-      {2, 8, Schedule::Static},
-      {2, 8, Schedule::Dynamic},
-      {4, 1, Schedule::Dynamic},
-      {8, 33, Schedule::Static},
-      {8, 33, Schedule::Dynamic},
-  };
+  static const std::vector<ExecPolicy> p = [] {
+    const std::vector<ExecPolicy> base = {
+        ExecPolicy::serial(),
+        {2, 8, Schedule::Static},
+        {2, 8, Schedule::Dynamic},
+        {4, 1, Schedule::Dynamic},
+        {8, 33, Schedule::Static},
+        {8, 33, Schedule::Dynamic},
+    };
+    std::vector<ExecPolicy> crossed;
+    for (const SimdLevel level : simd::available_levels()) {
+      for (ExecPolicy policy : base) {
+        policy.simd = level;
+        crossed.push_back(policy);
+      }
+    }
+    return crossed;
+  }();
   return p;
 }
 
 /// Runs `call(policy, out)` for every policy and checks bitwise equality
-/// against the serial result.
+/// against the serial scalar-arm result.
 template <typename CallFn>
 void expect_policy_invariant(const CallFn& call) {
   Matrix<float> baseline(Fixture::kL, Fixture::kD);
-  call(ExecPolicy::serial(), baseline);
+  ExecPolicy serial_scalar = ExecPolicy::serial();
+  serial_scalar.simd = SimdLevel::Scalar;
+  call(serial_scalar, baseline);
   for (const auto& policy : policies()) {
     Matrix<float> out(Fixture::kL, Fixture::kD);
     call(policy, out);
     EXPECT_EQ(max_abs_diff(out, baseline), 0.0)
         << "threads=" << policy.num_threads << " grain=" << policy.grain
-        << " sched=" << static_cast<int>(policy.schedule);
+        << " sched=" << static_cast<int>(policy.schedule)
+        << " simd=" << simd::level_name(policy.simd);
   }
 }
 

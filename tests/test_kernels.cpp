@@ -1,15 +1,18 @@
 // Correctness of the six graph-processing kernels against the exact
 // dense reference across mask patterns, sequence lengths, head
-// dimensions, and storage types — the heart of the verification story.
+// dimensions, storage types, and SIMD dispatch arms — the heart of the
+// verification story.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "baselines/reference_attention.hpp"
 #include "common/rng.hpp"
 #include "core/graph_attention.hpp"
+#include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -36,6 +39,13 @@ Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
 constexpr double kRtol = 1e-5;
 constexpr double kAtol = 1e-6;
 
+/// The SIMD axis of the verification matrix: the scalar arm always, plus
+/// every vector arm this build + CPU can run.
+const std::vector<SimdLevel>& simd_axis() {
+  static const std::vector<SimdLevel> levels = simd::available_levels();
+  return levels;
+}
+
 class KernelVsReference : public ::testing::TestWithParam<std::tuple<Index, Index>> {};
 
 TEST_P(KernelVsReference, CsrArbitraryMask) {
@@ -44,9 +54,14 @@ TEST_P(KernelVsReference, CsrArbitraryMask) {
   const auto mask = build_csr_random(L, RandomParams{0.15, 5});
   Matrix<float> expected(L, d), got(L, d);
   baselines::reference_attention(in.q, in.k, in.v, mask, expected);
-  csr_attention(in.q, in.k, in.v, mask, got);
-  const auto rep = allclose(got, expected, kRtol, kAtol);
-  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    SCOPED_TRACE(simd::level_name(level));
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    csr_attention(in.q, in.k, in.v, mask, got, opts);
+    const auto rep = allclose(got, expected, kRtol, kAtol);
+    EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  }
 }
 
 TEST_P(KernelVsReference, CooArbitraryMaskBothSearches) {
@@ -56,14 +71,17 @@ TEST_P(KernelVsReference, CooArbitraryMaskBothSearches) {
   const auto coo = csr_to_coo(csr);
   Matrix<float> expected(L, d);
   baselines::reference_attention(in.q, in.k, in.v, csr, expected);
-  for (const CooSearch search : {CooSearch::Linear, CooSearch::Binary}) {
-    AttentionOptions opts;
-    opts.coo_search = search;
-    Matrix<float> got(L, d);
-    coo_attention(in.q, in.k, in.v, coo, got, opts);
-    const auto rep = allclose(got, expected, kRtol, kAtol);
-    EXPECT_TRUE(rep.all_close) << "search=" << static_cast<int>(search) << " diff "
-                               << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    for (const CooSearch search : {CooSearch::Linear, CooSearch::Binary}) {
+      AttentionOptions opts;
+      opts.coo_search = search;
+      opts.policy.simd = level;
+      Matrix<float> got(L, d);
+      coo_attention(in.q, in.k, in.v, coo, got, opts);
+      const auto rep = allclose(got, expected, kRtol, kAtol);
+      EXPECT_TRUE(rep.all_close) << simd::level_name(level) << " search="
+                                 << static_cast<int>(search) << " diff " << rep.max_abs_diff;
+    }
   }
 }
 
@@ -73,9 +91,14 @@ TEST_P(KernelVsReference, LocalWindow) {
   const LocalParams p{5};
   Matrix<float> expected(L, d), got(L, d);
   baselines::reference_attention(in.q, in.k, in.v, build_csr_local(L, p), expected);
-  local_attention(in.q, in.k, in.v, p, got);
-  const auto rep = allclose(got, expected, kRtol, kAtol);
-  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    SCOPED_TRACE(simd::level_name(level));
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    local_attention(in.q, in.k, in.v, p, got, opts);
+    const auto rep = allclose(got, expected, kRtol, kAtol);
+    EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  }
 }
 
 TEST_P(KernelVsReference, Dilated1D) {
@@ -84,9 +107,14 @@ TEST_P(KernelVsReference, Dilated1D) {
   const Dilated1DParams p{9, 2};
   Matrix<float> expected(L, d), got(L, d);
   baselines::reference_attention(in.q, in.k, in.v, build_csr_dilated1d(L, p), expected);
-  dilated1d_attention(in.q, in.k, in.v, p, got);
-  const auto rep = allclose(got, expected, kRtol, kAtol);
-  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    SCOPED_TRACE(simd::level_name(level));
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    dilated1d_attention(in.q, in.k, in.v, p, got, opts);
+    const auto rep = allclose(got, expected, kRtol, kAtol);
+    EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  }
 }
 
 TEST_P(KernelVsReference, Dilated2D) {
@@ -96,9 +124,14 @@ TEST_P(KernelVsReference, Dilated2D) {
   const auto p = make_dilated2d(L, 8, 1);
   Matrix<float> expected(L, d), got(L, d);
   baselines::reference_attention(in.q, in.k, in.v, build_csr_dilated2d(p), expected);
-  dilated2d_attention(in.q, in.k, in.v, p, got);
-  const auto rep = allclose(got, expected, kRtol, kAtol);
-  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    SCOPED_TRACE(simd::level_name(level));
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    dilated2d_attention(in.q, in.k, in.v, p, got, opts);
+    const auto rep = allclose(got, expected, kRtol, kAtol);
+    EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  }
 }
 
 TEST_P(KernelVsReference, GlobalMinusLocal) {
@@ -111,9 +144,14 @@ TEST_P(KernelVsReference, GlobalMinusLocal) {
       build_csr_from_predicate(L, [&](Index i, Index j) { return p.contains(i, j); });
   Matrix<float> expected(L, d), got(L, d);
   baselines::reference_attention(in.q, in.k, in.v, mask, expected);
-  global_attention(in.q, in.k, in.v, p, got);
-  const auto rep = allclose(got, expected, kRtol, kAtol);
-  EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  for (const SimdLevel level : simd_axis()) {
+    SCOPED_TRACE(simd::level_name(level));
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    global_attention(in.q, in.k, in.v, p, got, opts);
+    const auto rep = allclose(got, expected, kRtol, kAtol);
+    EXPECT_TRUE(rep.all_close) << "max diff " << rep.max_abs_diff;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(ShapeSweep, KernelVsReference,

@@ -1,0 +1,391 @@
+// Differential harness pinning the AVX2 dispatch arm to the scalar
+// reference. Every vectorized kernel runs twice — ExecPolicy::simd =
+// Scalar and Avx2 — over randomized shapes chosen to stress the lane
+// machinery: head dims 1..67 (every remainder-lane count), fully-masked
+// rows, ±inf score overflow, and denormal magnitudes. Agreement is
+// asserted row-wise at ≤2 ULP; by the lane contract of src/simd/simd.hpp
+// the arms are in fact bit-identical, so the 2-ULP budget is headroom
+// for future arms (FMA, AVX-512), not slack being consumed today.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "baselines/flash_attention.hpp"
+#include "baselines/sdp_masked.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "simd/simd.hpp"
+#include "sparse/build.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/softmax.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+bool avx2_arm_available() { return simd::resolve(SimdLevel::Avx2) == SimdLevel::Avx2; }
+
+/// Maps a float onto the integer line so that adjacent representable
+/// values differ by 1 (the standard monotone ULP embedding).
+std::int64_t ulp_index(float x) {
+  std::int32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits >= 0 ? bits : std::int64_t{std::numeric_limits<std::int32_t>::min()} - bits;
+}
+
+/// ULP distance with NaN == NaN (both arms must agree on where the
+/// convention produces NaN, not on a particular payload).
+std::int64_t ulp_diff(float a, float b) {
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  if (std::isnan(a) != std::isnan(b)) return std::numeric_limits<std::int64_t>::max();
+  return std::abs(ulp_index(a) - ulp_index(b));
+}
+
+constexpr std::int64_t kMaxUlp = 2;
+
+void expect_matrices_close(const Matrix<float>& scalar, const Matrix<float>& avx2) {
+  ASSERT_TRUE(scalar.same_shape(avx2));
+  for (Index i = 0; i < scalar.rows(); ++i) {
+    for (Index j = 0; j < scalar.cols(); ++j) {
+      const std::int64_t d = ulp_diff(scalar(i, j), avx2(i, j));
+      ASSERT_LE(d, kMaxUlp) << "row " << i << " col " << j << ": scalar=" << scalar(i, j)
+                            << " avx2=" << avx2(i, j);
+    }
+  }
+}
+
+/// Every remainder-lane count at least twice, plus the paper's d=64.
+const std::vector<Index>& head_dims() {
+  static const std::vector<Index> dims = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                                          12, 13, 14, 15, 16, 17, 31, 32, 33, 48, 63,
+                                          64, 65, 66, 67};
+  return dims;
+}
+
+struct Inputs {
+  Matrix<float> q, k, v;
+};
+
+Inputs make_inputs(Index L, Index d, std::uint64_t seed, float scale_factor = 1.0f) {
+  Inputs in{Matrix<float>(L, d), Matrix<float>(L, d), Matrix<float>(L, d)};
+  Rng rng(seed);
+  fill_uniform(in.q, rng);
+  fill_uniform(in.k, rng);
+  fill_uniform(in.v, rng);
+  if (scale_factor != 1.0f) {
+    for (auto* m : {&in.q, &in.k}) {
+      for (Index i = 0; i < L; ++i) {
+        float* row = m->row(i);
+        for (Index j = 0; j < d; ++j) row[j] *= scale_factor;
+      }
+    }
+  }
+  return in;
+}
+
+/// Runs `call(opts, out)` under both dispatch arms and compares.
+template <typename CallFn>
+void expect_arm_parity(Index L, Index d, const CallFn& call) {
+  if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
+  Matrix<float> scalar_out(L, d), avx2_out(L, d);
+  AttentionOptions opts;
+  opts.policy = ExecPolicy::serial();
+  opts.policy.simd = SimdLevel::Scalar;
+  call(opts, scalar_out);
+  opts.policy.simd = SimdLevel::Avx2;
+  call(opts, avx2_out);
+  expect_matrices_close(scalar_out, avx2_out);
+}
+
+// --- Primitive parity (bitwise: the lane contract itself) --------------
+
+std::vector<float> random_buffer(Index n, std::uint64_t seed, float mul) {
+  Matrix<float> m(1, n > 0 ? n : 1);
+  Rng rng(seed);
+  fill_uniform(m, rng);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = (m(0, i) - 0.5f) * mul;
+  return out;
+}
+
+TEST(SimdPrimitives, AllOpsBitwiseEqualAcrossLengthsAndMagnitudes) {
+  if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
+  const auto& scalar = simd::ops(SimdLevel::Scalar);
+  const auto& avx2 = simd::ops(SimdLevel::Avx2);
+  // 1e-40 drives products into the denormal range, 1e20 drives dot
+  // accumulations through ±inf overflow.
+  for (const float mul : {1.0f, 1e-40f, 1e20f}) {
+    for (Index n = 0; n <= 67; ++n) {
+      const auto a = random_buffer(n, 900 + static_cast<std::uint64_t>(n), mul);
+      const auto b = random_buffer(n, 1900 + static_cast<std::uint64_t>(n), mul);
+      SCOPED_TRACE(testing::Message() << "n=" << n << " mul=" << mul);
+
+      EXPECT_EQ(ulp_diff(scalar.dot(a.data(), b.data(), n), avx2.dot(a.data(), b.data(), n)), 0);
+      EXPECT_EQ(ulp_diff(scalar.reduce_sum(a.data(), n), avx2.reduce_sum(a.data(), n)), 0);
+      EXPECT_EQ(ulp_diff(scalar.reduce_max(a.data(), n), avx2.reduce_max(a.data(), n)), 0);
+
+      auto acc_s = b, acc_v = b;
+      scalar.axpby(acc_s.data(), 0.25f, 1.75f, a.data(), n);
+      avx2.axpby(acc_v.data(), 0.25f, 1.75f, a.data(), n);
+      for (Index i = 0; i < n; ++i) {
+        EXPECT_EQ(ulp_diff(acc_s[static_cast<std::size_t>(i)], acc_v[static_cast<std::size_t>(i)]), 0);
+      }
+      acc_s = b;
+      acc_v = b;
+      scalar.axpy(acc_s.data(), -0.5f, a.data(), n);
+      avx2.axpy(acc_v.data(), -0.5f, a.data(), n);
+      scalar.scale(acc_s.data(), 3.0f, n);
+      avx2.scale(acc_v.data(), 3.0f, n);
+      for (Index i = 0; i < n; ++i) {
+        EXPECT_EQ(ulp_diff(acc_s[static_cast<std::size_t>(i)], acc_v[static_cast<std::size_t>(i)]), 0);
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, ReductionIdentitiesOnEmptyInput) {
+  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+    const auto& vo = simd::ops(level);
+    EXPECT_EQ(vo.dot(nullptr, nullptr, 0), 0.0f);
+    EXPECT_EQ(vo.reduce_sum(nullptr, 0), 0.0f);
+    EXPECT_EQ(vo.reduce_max(nullptr, 0), -kInf);
+  }
+}
+
+TEST(SimdPrimitives, ReduceMaxSeesTailBeyondFullBlocks) {
+  // The maximum hidden in every tail position: a masked-load bug that
+  // zeroes dead lanes would miss it (or fabricate a 0 max — the failure
+  // mode behind the fully-masked-row regression below).
+  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+    const auto& vo = simd::ops(level);
+    for (Index n = 1; n <= 24; ++n) {
+      std::vector<float> x(static_cast<std::size_t>(n), -5.0f);
+      x[static_cast<std::size_t>(n - 1)] = -1.0f;
+      EXPECT_EQ(vo.reduce_max(x.data(), n), -1.0f) << "n=" << n;
+      std::vector<float> all_masked(static_cast<std::size_t>(n), -kInf);
+      EXPECT_EQ(vo.reduce_max(all_masked.data(), n), -kInf) << "n=" << n;
+    }
+  }
+}
+
+// --- Kernel differentials over the head-dim sweep ----------------------
+
+TEST(SimdKernelParity, CsrRandomMaskAllHeadDims) {
+  const Index L = 48;
+  for (const Index d : head_dims()) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(L, d, 200 + static_cast<std::uint64_t>(d));
+    const auto mask = build_csr_random(L, RandomParams{0.3, 11});
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      csr_attention(in.q, in.k, in.v, mask, out, opts);
+    });
+  }
+}
+
+TEST(SimdKernelParity, CooBothSearches) {
+  const Index L = 48;
+  for (const Index d : {Index{7}, Index{32}, Index{65}}) {
+    const auto in = make_inputs(L, d, 300 + static_cast<std::uint64_t>(d));
+    const auto coo = csr_to_coo(build_csr_random(L, RandomParams{0.25, 13}));
+    for (const CooSearch search : {CooSearch::Linear, CooSearch::Binary}) {
+      SCOPED_TRACE(testing::Message() << "d=" << d << " search=" << static_cast<int>(search));
+      expect_arm_parity(L, d, [&](AttentionOptions opts, Matrix<float>& out) {
+        opts.coo_search = search;
+        coo_attention(in.q, in.k, in.v, coo, out, opts);
+      });
+    }
+  }
+}
+
+TEST(SimdKernelParity, LocalAndDilatedAndGlobal) {
+  const Index L = 64;
+  for (const Index d : {Index{3}, Index{16}, Index{33}, Index{67}}) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(L, d, 400 + static_cast<std::uint64_t>(d));
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      local_attention(in.q, in.k, in.v, LocalParams{5}, out, opts);
+    });
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      dilated1d_attention(in.q, in.k, in.v, Dilated1DParams{9, 2}, out, opts);
+    });
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      dilated2d_attention(in.q, in.k, in.v, make_dilated2d(L, 8, 1), out, opts);
+    });
+    GlobalMinusLocalParams gp;
+    gp.global = make_global({0, L / 2}, L);
+    gp.local = make_local(3);
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      global_attention(in.q, in.k, in.v, gp, out, opts);
+    });
+  }
+}
+
+TEST(SimdKernelParity, FlashAndSdpBaselines) {
+  const Index L = 48;
+  for (const Index d : {Index{5}, Index{31}, Index{64}, Index{66}}) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(L, d, 500 + static_cast<std::uint64_t>(d));
+    for (const Index tile : {Index{7}, Index{16}, Index{48}, Index{100}}) {
+      expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+        baselines::FlashConfig cfg;
+        cfg.tile_cols = tile;
+        baselines::flash_attention(in.q, in.k, in.v, out, opts, cfg);
+      });
+    }
+    const auto dense = csr_to_dense(build_csr_random(L, RandomParams{0.4, 17}));
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      baselines::sdp_masked_attention(in.q, in.k, in.v, dense, out, opts);
+    });
+  }
+}
+
+TEST(SimdKernelParity, GemmBothOrientations) {
+  if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
+  for (const auto& [m, k, n] : {std::tuple<Index, Index, Index>{9, 7, 11},
+                               std::tuple<Index, Index, Index>{64, 64, 64},
+                               std::tuple<Index, Index, Index>{65, 33, 67}}) {
+    SCOPED_TRACE(testing::Message() << m << "x" << k << "x" << n);
+    Matrix<float> a(m, k), bt(n, k), b(k, n);
+    Rng rng(600);
+    fill_uniform(a, rng);
+    fill_uniform(bt, rng);
+    fill_uniform(b, rng);
+    for (const bool transposed : {true, false}) {
+      Matrix<float> c_scalar(m, n), c_avx2(m, n);
+      ExecPolicy p = ExecPolicy::serial();
+      p.simd = SimdLevel::Scalar;
+      transposed ? gemm_nt(a, bt, c_scalar, p) : gemm_nn(a, b, c_scalar, p);
+      p.simd = SimdLevel::Avx2;
+      transposed ? gemm_nt(a, bt, c_avx2, p) : gemm_nn(a, b, c_avx2, p);
+      expect_matrices_close(c_scalar, c_avx2);
+    }
+  }
+}
+
+// --- Extreme numerics --------------------------------------------------
+
+TEST(SimdKernelParity, InfiniteScoresFromOverflowingDots) {
+  // Inputs around ±1e20: d=64 dots overflow to ±inf after scaling, so
+  // the online softmax walks its ±inf branches identically on both arms.
+  const Index L = 32;
+  for (const Index d : {Index{9}, Index{64}}) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(L, d, 700 + static_cast<std::uint64_t>(d), 1e20f);
+    const auto mask = build_csr_random(L, RandomParams{0.4, 19});
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      csr_attention(in.q, in.k, in.v, mask, out, opts);
+    });
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      baselines::flash_attention(in.q, in.k, in.v, out, opts);
+    });
+  }
+}
+
+TEST(SimdKernelParity, DenormalScores) {
+  const Index L = 32;
+  const Index d = 13;  // exercises the 5-lane tail
+  const auto in = make_inputs(L, d, 800, 1e-30f);
+  const auto mask = build_csr_random(L, RandomParams{0.4, 23});
+  expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+    csr_attention(in.q, in.k, in.v, mask, out, opts);
+  });
+}
+
+// --- Masked-row conventions on the vector path -------------------------
+
+TEST(SimdKernelParity, FullyMaskedRowsStayZeroOnBothArms) {
+  const Index L = 24;
+  const Index d = 13;
+  const auto in = make_inputs(L, d, 900);
+  // Rows ≡ 0 (mod 3) have no neighbors at all.
+  const auto mask = build_csr_from_predicate(
+      L, [](Index i, Index j) { return i % 3 != 0 && (i + j) % 4 == 0; });
+  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+    AttentionOptions opts;
+    opts.policy.simd = level;
+    Matrix<float> out(L, d);
+    out.fill(7.0f);  // poison
+    csr_attention(in.q, in.k, in.v, mask, out, opts);
+    for (Index i = 0; i < L; i += 3) {
+      for (Index j = 0; j < d; ++j) {
+        EXPECT_EQ(out(i, j), 0.0f) << "level=" << simd::level_name(level) << " row " << i;
+      }
+    }
+  }
+}
+
+// Regression (satellite #3): softmax_rows on a fully-masked row whose
+// width is not a multiple of the lane count. A tail handled by a plain
+// masked load feeds 0.0f into the max reduction, the row max becomes 0
+// instead of -inf, and the row silently turns into a uniform non-zero
+// distribution — the scalar path only ever got this right because it
+// never had dead lanes. The vector arm must seed dead lanes with -inf.
+TEST(SimdSoftmaxRegression, FullyMaskedRowAllZeroOnVectorPath) {
+  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+    for (const Index cols : {Index{3}, Index{8}, Index{13}, Index{16}, Index{21}}) {
+      Matrix<float> s(3, cols);
+      Rng rng(1000);
+      fill_uniform(s, rng);
+      for (Index j = 0; j < cols; ++j) s(1, j) = -kInf;  // fully-masked middle row
+      softmax_rows(s, level);
+      float live_sum = 0.0f;
+      for (Index j = 0; j < cols; ++j) {
+        EXPECT_EQ(s(1, j), 0.0f) << "level=" << simd::level_name(level) << " cols=" << cols;
+        EXPECT_FALSE(std::isnan(s(0, j)));
+        live_sum += s(0, j);
+      }
+      EXPECT_NEAR(live_sum, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(SimdSoftmaxRegression, FoldTileOfFullyMaskedScoresLeavesStateEmpty) {
+  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+    const auto& vo = simd::ops(level);
+    OnlineSoftmaxRow osr;
+    std::vector<float> tile(11, -kInf);
+    const float alpha = online_softmax_fold_tile(osr, tile.data(), 11, vo);
+    EXPECT_EQ(alpha, 1.0f);
+    EXPECT_EQ(osr.m, -kInf);
+    EXPECT_EQ(osr.l, 0.0f);
+    for (const float p : tile) EXPECT_EQ(p, 0.0f);
+    EXPECT_EQ(osr.inv_l(), 0.0f);  // finalisation zeroes the output row
+  }
+}
+
+// --- Dispatch plumbing -------------------------------------------------
+
+TEST(SimdDispatch, ResolveClampsToAvailability) {
+  EXPECT_EQ(simd::resolve(SimdLevel::Scalar), SimdLevel::Scalar);
+  const SimdLevel avx2 = simd::resolve(SimdLevel::Avx2);
+  EXPECT_TRUE(avx2 == SimdLevel::Avx2 || avx2 == SimdLevel::Scalar);
+  if (simd::compiled_with_avx2() && simd::cpu_supports_avx2()) {
+    EXPECT_EQ(avx2, SimdLevel::Avx2);
+  } else {
+    EXPECT_EQ(avx2, SimdLevel::Scalar);
+  }
+  EXPECT_NE(simd::resolve(SimdLevel::Auto), SimdLevel::Auto);
+}
+
+TEST(SimdDispatch, ForceLevelOverridesAutoButNotExplicit) {
+  const SimdLevel before = simd::active_level();
+  simd::force_level(SimdLevel::Scalar);
+  EXPECT_EQ(simd::active_level(), SimdLevel::Scalar);
+  EXPECT_EQ(simd::resolve(SimdLevel::Auto), SimdLevel::Scalar);
+  if (avx2_arm_available()) {
+    // An explicit per-call request is not affected by the global force.
+    EXPECT_EQ(simd::resolve(SimdLevel::Avx2), SimdLevel::Avx2);
+  }
+  simd::force_level(SimdLevel::Auto);
+  EXPECT_EQ(simd::active_level(), before);
+}
+
+}  // namespace
+}  // namespace gpa

@@ -21,6 +21,7 @@
 #include "graph/degree.hpp"
 #include "memmodel/memory_model.hpp"
 #include "parallel/parallel_for.hpp"
+#include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "sparse/io.hpp"
 #include "sparse/nnz.hpp"
@@ -240,7 +241,7 @@ int cmd_memmodel(const Args& args) {
 
 int cmd_version() {
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
-            << parallel_backend() << ")\n";
+            << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
   return 0;
 }
 
