@@ -63,4 +63,50 @@ void write_kernel_bench_json(const std::string& path,
   GPA_CHECK(out.good(), "failed writing JSON output file: " + path);
 }
 
+void write_serving_bench_json(const std::string& path,
+                              const std::vector<ServingBenchRecord>& records,
+                              const std::string& parallel_backend_name) {
+  std::ofstream out(path);
+  GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
+  out << "{\n"
+      << "  \"schema\": \"gpa-bench-serving/v1\",\n"
+      << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"mode\": \"" << escape(r.mode) << "\", \"L\": " << r.seq_len
+        << ", \"d\": " << r.head_dim << ", \"sf\": " << fmt(r.sparsity)
+        << ", \"workers\": " << r.workers << ", \"clients\": " << r.clients
+        << ", \"arrival_hz\": " << fmt(r.arrival_hz) << ", \"max_batch\": " << r.max_batch
+        << ", \"max_wait_us\": " << r.max_wait_us << ", \"completed\": " << r.completed
+        << ", \"rejected\": " << r.rejected << ", \"wall_s\": " << fmt(r.wall_s)
+        << ", \"rps\": " << fmt(r.rps) << ", \"p50_ms\": " << fmt(r.p50_ms)
+        << ", \"p95_ms\": " << fmt(r.p95_ms) << ", \"p99_ms\": " << fmt(r.p99_ms)
+        << ", \"mean_batch_occupancy\": " << fmt(r.mean_batch_occupancy) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  GPA_CHECK(out.good(), "failed writing JSON output file: " + path);
+}
+
+void write_schedule_bench_json(const std::string& path,
+                               const std::vector<ScheduleBenchRecord>& records) {
+  std::ofstream out(path);
+  GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
+  out << "{\n"
+      << "  \"schema\": \"gpa-bench-schedule/v1\",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"backend\": \"" << escape(r.backend) << "\", \"kernel\": \""
+        << escape(r.kernel) << "\", \"schedule\": \"" << escape(r.schedule)
+        << "\", \"grain\": " << r.grain << ", \"L\": " << r.seq_len
+        << ", \"threads\": " << r.threads << ", \"mean_s\": " << fmt(r.mean_s)
+        << ", \"stddev_s\": " << fmt(r.stddev_s) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  GPA_CHECK(out.good(), "failed writing JSON output file: " + path);
+}
+
 }  // namespace gpa::benchutil

@@ -27,4 +27,50 @@ void write_kernel_bench_json(const std::string& path,
                              const std::vector<KernelBenchRecord>& records,
                              const std::string& parallel_backend_name);
 
+/// One cell of the serving throughput-vs-latency surface: a load
+/// pattern (mode, clients or arrival rate) against one batching policy
+/// (max_batch, max_wait) at a fixed worker count and workload shape.
+struct ServingBenchRecord {
+  std::string mode;  ///< "closed-loop" / "open-loop"
+  Index seq_len = 0;
+  Index head_dim = 0;
+  double sparsity = 0.0;   ///< mask Sf (fig3 axis)
+  int workers = 0;
+  int clients = 0;         ///< closed-loop concurrency (0 for open-loop)
+  double arrival_hz = 0.0; ///< open-loop offered load (0 for closed-loop)
+  Index max_batch = 1;
+  std::int64_t max_wait_us = 0;
+  Size completed = 0;
+  Size rejected = 0;
+  double wall_s = 0.0;
+  double rps = 0.0;            ///< completed / wall
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch_occupancy = 0.0;
+};
+
+/// Writes `{schema: "gpa-bench-serving/v1", parallel_backend, records}`.
+void write_serving_bench_json(const std::string& path,
+                              const std::vector<ServingBenchRecord>& records,
+                              const std::string& parallel_backend_name);
+
+/// One cell of the static-vs-dynamic schedule ablation. `backend` is
+/// per record (not file-level) so runs from an OpenMP build and a
+/// std::thread build can be merged into one committed trajectory file.
+struct ScheduleBenchRecord {
+  std::string backend;   ///< "openmp" / "threads"
+  std::string kernel;    ///< e.g. "global_attention"
+  std::string schedule;  ///< "static" / "dynamic"
+  Index grain = 0;
+  Index seq_len = 0;
+  int threads = 0;
+  double mean_s = 0.0;
+  double stddev_s = 0.0;
+};
+
+/// Writes `{schema: "gpa-bench-schedule/v1", records}`.
+void write_schedule_bench_json(const std::string& path,
+                               const std::vector<ScheduleBenchRecord>& records);
+
 }  // namespace gpa::benchutil

@@ -5,6 +5,41 @@
 
 namespace gpa {
 
+namespace {
+
+/// FNV-1a, folding 64-bit words byte-wise.
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t word) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (word >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t mask_fingerprint(const Csr<float>& mask) {
+  Fnv1a f;
+  f.mix(static_cast<std::uint64_t>(mask.rows));
+  f.mix(static_cast<std::uint64_t>(mask.cols));
+  f.mix(mask.nnz());
+  for (const Index o : mask.row_offsets) f.mix(static_cast<std::uint64_t>(o));
+  for (const Index c : mask.col_idx) f.mix(static_cast<std::uint64_t>(c));
+  return f.h;
+}
+
+std::uint64_t BatchKey::hash() const noexcept {
+  Fnv1a f;
+  f.mix(mask_fp);
+  f.mix(static_cast<std::uint64_t>(seq_len));
+  f.mix(static_cast<std::uint64_t>(width));
+  f.mix(static_cast<std::uint64_t>(heads));
+  f.mix(static_cast<std::uint64_t>(dtype));
+  return f.h;
+}
+
 template <typename T>
 void batched_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
                        const HeadKernel<T>& kernel, Batch<T>& out,
@@ -42,6 +77,44 @@ void batched_multihead_csr_attention(const Batch<T>& q, const Batch<T>& k, const
   batched_attention(q, k, v, kernel, out, opts);
 }
 
+template <typename T>
+void batched_attention_into(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                            const HeadKernel<T>& kernel, Batch<T>& out,
+                            const AttentionOptions& opts) {
+  GPA_CHECK(q.size() == k.size() && q.size() == v.size(), "batch sizes must match");
+  GPA_CHECK(out.size() == q.size(), "output batch must be preallocated to the input size");
+  for (std::size_t b = 0; b < q.size(); ++b) {
+    GPA_CHECK(q[b].same_shape(q[0]) && q[b].same_shape(k[b]) && q[b].same_shape(v[b]),
+              "all batch items must share one shape");
+    GPA_CHECK(out[b].same_shape(q[b]), "output batch item must be preallocated to input shape");
+    kernel(q[b], k[b], v[b], out[b], opts);
+  }
+}
+
+template <typename T>
+void batched_csr_attention_into(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                                const Csr<float>& mask, Batch<T>& out,
+                                const AttentionOptions& opts) {
+  HeadKernel<T> kernel = [&mask](const Matrix<T>& qb, const Matrix<T>& kb, const Matrix<T>& vb,
+                                 Matrix<T>& ob, const AttentionOptions& o) {
+    csr_attention(qb, kb, vb, mask, ob, o);
+  };
+  batched_attention_into(q, k, v, kernel, out, opts);
+}
+
+template <typename T>
+void batched_multihead_csr_attention_into(const Batch<T>& q, const Batch<T>& k,
+                                          const Batch<T>& v, const MultiHeadDims& dims,
+                                          const Csr<float>& mask, Batch<T>& out,
+                                          const AttentionOptions& opts) {
+  HeadKernel<T> kernel = [&mask, &dims](const Matrix<T>& qb, const Matrix<T>& kb,
+                                        const Matrix<T>& vb, Matrix<T>& ob,
+                                        const AttentionOptions& o) {
+    multihead_csr_attention(qb, kb, vb, dims, mask, ob, o);
+  };
+  batched_attention_into(q, k, v, kernel, out, opts);
+}
+
 template void batched_attention(const Batch<float>&, const Batch<float>&, const Batch<float>&,
                                 const HeadKernel<float>&, Batch<float>&,
                                 const AttentionOptions&);
@@ -62,5 +135,26 @@ template void batched_multihead_csr_attention(const Batch<half_t>&, const Batch<
                                               const Batch<half_t>&, const MultiHeadDims&,
                                               const Csr<float>&, Batch<half_t>&,
                                               const AttentionOptions&);
+
+template void batched_attention_into(const Batch<float>&, const Batch<float>&,
+                                     const Batch<float>&, const HeadKernel<float>&,
+                                     Batch<float>&, const AttentionOptions&);
+template void batched_attention_into(const Batch<half_t>&, const Batch<half_t>&,
+                                     const Batch<half_t>&, const HeadKernel<half_t>&,
+                                     Batch<half_t>&, const AttentionOptions&);
+template void batched_csr_attention_into(const Batch<float>&, const Batch<float>&,
+                                         const Batch<float>&, const Csr<float>&, Batch<float>&,
+                                         const AttentionOptions&);
+template void batched_csr_attention_into(const Batch<half_t>&, const Batch<half_t>&,
+                                         const Batch<half_t>&, const Csr<float>&,
+                                         Batch<half_t>&, const AttentionOptions&);
+template void batched_multihead_csr_attention_into(const Batch<float>&, const Batch<float>&,
+                                                   const Batch<float>&, const MultiHeadDims&,
+                                                   const Csr<float>&, Batch<float>&,
+                                                   const AttentionOptions&);
+template void batched_multihead_csr_attention_into(const Batch<half_t>&, const Batch<half_t>&,
+                                                   const Batch<half_t>&, const MultiHeadDims&,
+                                                   const Csr<float>&, Batch<half_t>&,
+                                                   const AttentionOptions&);
 
 }  // namespace gpa

@@ -5,6 +5,7 @@
 // one mask (how sparse transformers deploy: the pattern is architecture,
 // not data) and runs through the same kernel.
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -19,6 +20,33 @@ namespace gpa {
 /// One batch of equally-shaped sequences.
 template <typename T>
 using Batch = std::vector<Matrix<T>>;
+
+/// Structural fingerprint of a CSR mask (FNV-1a over shape, offsets and
+/// columns; values excluded — batching compatibility is about which
+/// edges a kernel visits, not their weights). Two requests may share a
+/// batch only when their masks fingerprint identically.
+std::uint64_t mask_fingerprint(const Csr<float>& mask);
+
+/// Compatibility key for dynamic batching: requests coalesce into one
+/// kernel dispatch iff their keys compare equal. seq_len is exact (a
+/// mask is L×L, so padding a shorter request under a longer mask would
+/// let its rows attend columns past the real sequence).
+struct BatchKey {
+  std::uint64_t mask_fp = 0;
+  Index seq_len = 0;
+  Index width = 0;  ///< packed columns (num_heads · head_dim)
+  Index heads = 1;
+  DType dtype = DType::F32;
+
+  friend bool operator==(const BatchKey& a, const BatchKey& b) {
+    return a.mask_fp == b.mask_fp && a.seq_len == b.seq_len && a.width == b.width &&
+           a.heads == b.heads && a.dtype == b.dtype;
+  }
+  friend bool operator!=(const BatchKey& a, const BatchKey& b) { return !(a == b); }
+
+  /// Mixes every field into one value (for hash maps / histograms).
+  std::uint64_t hash() const noexcept;
+};
 
 /// Runs `kernel` on every (q, k, v) triple of the batch. Outputs are
 /// resized to match. The batch items are independent, so any internal
@@ -39,5 +67,30 @@ template <typename T>
 void batched_multihead_csr_attention(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
                                      const MultiHeadDims& dims, const Csr<float>& mask,
                                      Batch<T>& out, const AttentionOptions& opts = {});
+
+// --- Preallocated-output variants (no-realloc contract) --------------
+// For callers that own whole batches and dispatch repeatedly — eval /
+// training pipelines cycling buffer sets, or anything serving-adjacent
+// that must not allocate per dispatch. These variants never allocate:
+// `out` must already hold q.size() matrices of matching shape
+// (GPA_CHECK otherwise). (src/serve itself dispatches per-item over
+// shared payloads it cannot form an owned Batch from, but honours the
+// same contract by writing into each request's preallocated output.)
+
+template <typename T>
+void batched_attention_into(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                            const HeadKernel<T>& kernel, Batch<T>& out,
+                            const AttentionOptions& opts = {});
+
+template <typename T>
+void batched_csr_attention_into(const Batch<T>& q, const Batch<T>& k, const Batch<T>& v,
+                                const Csr<float>& mask, Batch<T>& out,
+                                const AttentionOptions& opts = {});
+
+template <typename T>
+void batched_multihead_csr_attention_into(const Batch<T>& q, const Batch<T>& k,
+                                          const Batch<T>& v, const MultiHeadDims& dims,
+                                          const Csr<float>& mask, Batch<T>& out,
+                                          const AttentionOptions& opts = {});
 
 }  // namespace gpa

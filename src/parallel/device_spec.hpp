@@ -20,6 +20,12 @@ struct DeviceSpec {
   static DeviceSpec l40_48gb() { return {"NVIDIA L40 (48GB)", 48ull << 30}; }
   /// NVIDIA V100 SXM2 32GB (Table I).
   static DeviceSpec v100_32gb() { return {"NVIDIA V100 (SXM2 32GB)", 32ull << 30}; }
+  /// NVIDIA H100 SXM5 80GB — same byte budget as the A100-80GB, so the
+  /// capacity model (which only sees bytes) predicts identical limits.
+  static DeviceSpec h100_80gb() { return {"NVIDIA H100 (SXM5 80GB)", 80ull << 30}; }
+  /// NVIDIA GeForce RTX 4090 24GB — consumer-tier budget point below
+  /// every Table I datacenter card.
+  static DeviceSpec rtx4090_24gb() { return {"NVIDIA RTX 4090 (24GB)", 24ull << 30}; }
   /// This host's RAM-bounded pseudo-device (for tracker-backed tests).
   static DeviceSpec host(Size bytes) { return {"host", bytes}; }
 };

@@ -1,0 +1,17 @@
+#include "serve/batcher.hpp"
+
+#include "common/error.hpp"
+
+namespace gpa::serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, const BatchPolicy& policy)
+    : queue_(queue), policy_(policy) {
+  GPA_CHECK(policy_.max_batch >= 1, "BatchPolicy.max_batch must be at least 1");
+  GPA_CHECK(policy_.max_wait.count() >= 0, "BatchPolicy.max_wait must be non-negative");
+}
+
+bool DynamicBatcher::next_batch(PoppedBatch& out) {
+  return queue_.pop_batch(policy_.max_batch, policy_.max_wait, out.batch, out.expired);
+}
+
+}  // namespace gpa::serve

@@ -1,0 +1,50 @@
+#pragma once
+// Dynamic batcher: the policy layer between the request queue and the
+// worker pool. The paper's §IV-B observation — batching is a trivial
+// scaling axis because every sequence under one mask runs the same
+// kernel — is exactly what a dynamic batcher exploits: requests with
+// equal BatchKeys (mask fingerprint, seq_len, width, heads, dtype)
+// coalesce into one dispatch, following the continuous-batching idiom
+// from the serving literature (Orca-style iteration-level scheduling,
+// collapsed to whole-request granularity since attention calls here are
+// single-shot, not autoregressive).
+//
+// Two knobs trade throughput against latency:
+//   max_batch — occupancy ceiling per dispatch,
+//   max_wait  — how long a short batch may hold its slot hoping for
+//               compatible arrivals (0 = greedy: dispatch whatever the
+//               first scan finds; requests already queued still batch).
+
+#include <chrono>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace gpa::serve {
+
+struct BatchPolicy {
+  Index max_batch = 8;
+  std::chrono::microseconds max_wait{200};
+};
+
+struct PoppedBatch {
+  std::vector<Request> batch;    ///< key-compatible, ready to dispatch
+  std::vector<Request> expired;  ///< deadline passed; reject, don't run
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, const BatchPolicy& policy);
+
+  /// Blocks for the next batch. False when the queue is closed and
+  /// fully drained (worker exit signal). `out` vectors are reused.
+  bool next_batch(PoppedBatch& out);
+
+  const BatchPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  RequestQueue& queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace gpa::serve

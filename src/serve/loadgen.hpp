@@ -1,0 +1,55 @@
+#pragma once
+// Load generation against a Server, in the two canonical disciplines:
+//
+//   closed-loop — C client threads, each submit → wait → resubmit. The
+//     offered load self-throttles to the server's capacity; this is the
+//     throughput-ceiling probe ("how many rps can the policy sustain").
+//   open-loop — requests arrive on a fixed schedule regardless of
+//     completions (one generator thread, futures collected at the end).
+//     This is the latency-under-load probe: an overloaded server sheds
+//     via admission control instead of stretching the measured tail.
+//
+// Payloads come from a pre-generated pool and outputs are recycled
+// through the Response, so the steady-state loop performs no
+// allocation or RNG work — the generator measures the server, not
+// itself (load-bearing on a single-core host, where generator work
+// steals server cycles).
+
+#include <memory>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace gpa::serve {
+
+/// A serving workload: one mask shared by every request (patterns are
+/// architecture) plus a payload pool cycled round-robin.
+struct Workload {
+  std::shared_ptr<const Csr<float>> mask;
+  MultiHeadDims dims{1, 0};
+  std::vector<std::shared_ptr<const RequestData>> payloads;
+};
+
+/// fig3-style workload: random CSR mask of sparsity `sf` over L×L,
+/// `pool` payloads of shape L×d.
+Workload make_csr_workload(Index seq_len, Index head_dim, double sf, std::uint64_t seed,
+                           int pool = 4);
+
+struct LoadGenConfig {
+  Size requests = 1000;
+  int clients = 8;            ///< closed-loop concurrency
+  double arrival_hz = 0.0;    ///< open-loop schedule (requests per second)
+  std::chrono::microseconds deadline{0};  ///< per-request; 0 = none
+};
+
+struct LoadGenResult {
+  Size completed = 0;  ///< ResponseStatus::Ok
+  Size rejected = 0;   ///< every other status
+  double wall_s = 0.0;
+  double rps = 0.0;    ///< completed / wall_s
+};
+
+LoadGenResult run_closed_loop(Server& server, const Workload& wl, const LoadGenConfig& cfg);
+LoadGenResult run_open_loop(Server& server, const Workload& wl, const LoadGenConfig& cfg);
+
+}  // namespace gpa::serve

@@ -1,0 +1,105 @@
+#pragma once
+// Serving request/response types. A Request is one attention call — the
+// payload (Q, K, V), the mask it runs under, head geometry, options and
+// an optional deadline. The server answers through a std::future so
+// clients can be synchronous (closed-loop) or fire-and-collect
+// (open-loop load generators) without different APIs.
+//
+// Payloads are shared_ptr<const RequestData> rather than owned matrices:
+// a serving frontend hands the same tokenised prompt to retries and
+// load generators re-use a payload pool, so the queue holds references,
+// not copies. The output matrix IS owned (moved out to the client in
+// the Response) and may be preallocated by the caller to make the
+// steady-state loop allocation-free: the worker writes each item's
+// kernel result straight into that buffer. (Callers that own whole
+// Batch<T> vectors outright use core/batched's *_into entry points for
+// the same no-realloc contract.)
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "core/attention_options.hpp"
+#include "core/batched.hpp"
+#include "core/multihead.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gpa::serve {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+/// "No deadline": requests wait in the queue indefinitely.
+inline constexpr TimePoint kNoDeadline = TimePoint::max();
+
+/// Immutable request payload, shareable across requests.
+struct RequestData {
+  Matrix<float> q, k, v;
+};
+
+enum class ResponseStatus : std::uint8_t {
+  Ok,                 ///< output holds the attention result
+  RejectedQueueFull,  ///< admission control: queue at capacity
+  RejectedDeadline,   ///< deadline passed before dispatch
+  RejectedShutdown,   ///< server stopping; request not executed
+  InternalError,      ///< kernel raised; see server log
+};
+
+constexpr std::string_view status_name(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::Ok: return "ok";
+    case ResponseStatus::RejectedQueueFull: return "rejected-queue-full";
+    case ResponseStatus::RejectedDeadline: return "rejected-deadline";
+    case ResponseStatus::RejectedShutdown: return "rejected-shutdown";
+    case ResponseStatus::InternalError: return "internal-error";
+  }
+  return "?";
+}
+
+struct Response {
+  ResponseStatus status = ResponseStatus::Ok;
+  std::uint64_t id = 0;
+  /// The attention output on Ok; on rejection, the (unwritten) buffer
+  /// the request carried, returned so callers can recycle it.
+  Matrix<float> output;
+  double queue_us = 0.0;    ///< admission → dispatch
+  double service_us = 0.0;  ///< dispatch → kernel done (whole batch)
+  Index batch_size = 0;     ///< occupancy of the batch this request rode in
+};
+
+struct Request {
+  std::shared_ptr<const RequestData> data;
+  std::shared_ptr<const Csr<float>> mask;
+  /// head_dim 0 means "one head over the full packed width".
+  MultiHeadDims dims{1, 0};
+  AttentionOptions opts{};
+  TimePoint deadline = kNoDeadline;
+  /// Optional preallocated output (resized at admission otherwise).
+  Matrix<float> output;
+
+  // --- set by the server at admission ---------------------------------
+  std::uint64_t id = 0;
+  BatchKey key{};
+  TimePoint enqueue_time{};
+  std::promise<Response> promise;
+};
+
+/// Convenience builder for the common owned-payload case.
+inline Request make_request(Matrix<float> q, Matrix<float> k, Matrix<float> v,
+                            std::shared_ptr<const Csr<float>> mask,
+                            MultiHeadDims dims = {1, 0}) {
+  Request r;
+  auto data = std::make_shared<RequestData>();
+  data->q = std::move(q);
+  data->k = std::move(k);
+  data->v = std::move(v);
+  r.data = std::move(data);
+  r.mask = std::move(mask);
+  r.dims = dims;
+  return r;
+}
+
+}  // namespace gpa::serve

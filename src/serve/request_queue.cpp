@@ -1,0 +1,129 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gpa::serve {
+
+RequestQueue::Push RequestQueue::try_push(Request& r) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return Push::Closed;
+    if (q_.size() >= capacity_) return Push::Full;
+    q_.push_back(std::move(r));
+  }
+  // notify_all, not _one: a worker holding a partial batch waits on the
+  // same condition variable, and a single notify could land on it even
+  // when the new request belongs to an idle worker's next batch.
+  cv_.notify_all();
+  return Push::Ok;
+}
+
+void RequestQueue::collect_locked(const BatchKey& key, Index max_batch, TimePoint now,
+                                  std::vector<Request>& batch, std::vector<Request>& expired) {
+  for (auto it = q_.begin();
+       it != q_.end() && static_cast<Index>(batch.size()) < max_batch;) {
+    if (now >= it->deadline) {
+      expired.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else if (it->key == key) {
+      batch.push_back(std::move(*it));
+      it = q_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait,
+                             std::vector<Request>& batch, std::vector<Request>& expired) {
+  GPA_CHECK(max_batch >= 1, "max_batch must be at least 1");
+  batch.clear();
+  expired.clear();
+  std::unique_lock<std::mutex> lk(mu_);
+
+  // Acquire a lead request (the oldest non-expired one). Expired
+  // requests met on the way are handed back for rejection; if the scan
+  // leaves the queue empty, deliver those before reporting closure.
+  while (batch.empty()) {
+    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) {
+      return !expired.empty();  // closed_ must hold here
+    }
+    const TimePoint now = Clock::now();
+    while (!q_.empty()) {
+      if (now >= q_.front().deadline) {
+        expired.push_back(std::move(q_.front()));
+        q_.pop_front();
+      } else {
+        batch.push_back(std::move(q_.front()));
+        q_.pop_front();
+        break;
+      }
+    }
+    // Everything scanned had expired: deliver those immediately rather
+    // than sleeping on them (prompt rejection beats a stale future).
+    if (batch.empty() && !expired.empty()) return true;
+  }
+
+  // Fill up with key-compatible requests; wait out the batching window
+  // if the batch is short and time remains. Incompatible requests stay
+  // queued for other workers (two masks never share a batch).
+  const BatchKey key = batch.front().key;
+  collect_locked(key, max_batch, Clock::now(), batch, expired);
+  if (static_cast<Index>(batch.size()) < max_batch && max_wait.count() > 0) {
+    const TimePoint window_end = Clock::now() + max_wait;
+    while (static_cast<Index>(batch.size()) < max_batch && !closed_) {
+      // Holding the batch must never cost a member its deadline: if the
+      // tightest member deadline falls inside the window, dispatch now
+      // (with service headroom) instead of gambling on arrivals.
+      TimePoint earliest = TimePoint::max();
+      for (const auto& m : batch) earliest = std::min(earliest, m.deadline);
+      if (earliest <= window_end) break;
+      const auto status = cv_.wait_until(lk, window_end);
+      collect_locked(key, max_batch, Clock::now(), batch, expired);
+      if (status == std::cv_status::timeout) break;
+    }
+    // Scheduling-delay safety net: a member whose deadline nevertheless
+    // lapsed while we held the batch is shed, not served late with Ok.
+    const TimePoint now = Clock::now();
+    for (auto it = batch.begin(); it != batch.end();) {
+      if (now >= it->deadline) {
+        expired.push_back(std::move(*it));
+        it = batch.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return true;
+}
+
+bool RequestQueue::try_pop_one(Request& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (q_.empty()) return false;
+  r = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+}  // namespace gpa::serve

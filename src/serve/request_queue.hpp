@@ -1,0 +1,66 @@
+#pragma once
+// Thread-safe bounded request queue with backpressure. try_push never
+// blocks — a full queue is an admission-control signal the caller turns
+// into RejectedQueueFull, which is what keeps tail latency bounded when
+// offered load exceeds capacity (shedding beats unbounded queueing).
+//
+// pop_batch is the batching primitive: it removes the oldest admissible
+// request, then keeps collecting requests with the SAME BatchKey —
+// skipping over incompatible ones, which stay queued for other workers —
+// until the batch is full or max_wait elapses. Deadline-expired requests
+// encountered during the scan are returned separately so the worker can
+// reject them without running the kernel.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace gpa::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  enum class Push : std::uint8_t { Ok, Full, Closed };
+
+  /// Non-blocking admission. Moves from `r` only on Ok.
+  Push try_push(Request& r);
+
+  /// Blocks until a request is available (or the queue is closed and
+  /// drained — then returns false). On true: `batch` holds 1..max_batch
+  /// key-compatible requests, `expired` any deadline-expired requests
+  /// met while scanning. Both vectors are cleared first.
+  bool pop_batch(Index max_batch, std::chrono::microseconds max_wait,
+                 std::vector<Request>& batch, std::vector<Request>& expired);
+
+  /// Non-blocking single pop (shutdown drain). True if `r` was filled.
+  bool try_pop_one(Request& r);
+
+  /// No further pushes; wakes every waiter. pop_batch keeps handing out
+  /// queued requests until empty (drain-on-shutdown semantics).
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// Moves key-compatible / expired entries out of q_ (caller holds mu_).
+  void collect_locked(const BatchKey& key, Index max_batch, TimePoint now,
+                      std::vector<Request>& batch, std::vector<Request>& expired);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> q_;
+  bool closed_ = false;
+};
+
+}  // namespace gpa::serve

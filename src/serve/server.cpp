@@ -1,0 +1,176 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "core/graph_attention.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace gpa::serve {
+
+namespace {
+
+double micros_between(TimePoint a, TimePoint b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(cfg), queue_(cfg.queue_capacity), batcher_(queue_, cfg.policy) {
+  GPA_CHECK(cfg_.workers >= 0, "worker count must be non-negative");
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::resolve(Request& r, ResponseStatus status) {
+  Response resp;
+  resp.status = status;
+  resp.id = r.id;
+  resp.output = std::move(r.output);  // hand the buffer back for recycling
+  r.promise.set_value(std::move(resp));
+}
+
+std::uint64_t Server::fingerprint_of(const std::shared_ptr<const Csr<float>>& mask) {
+  {
+    std::lock_guard<std::mutex> lk(fp_mu_);
+    const auto it = fp_cache_.find(mask.get());
+    if (it != fp_cache_.end()) return it->second.second;
+  }
+  // Hash outside the lock: the O(nnz) fingerprint of a large mask must
+  // not stall every other client's admission behind fp_mu_.
+  const std::uint64_t fp = mask_fingerprint(*mask);
+  // Cache entries pin their mask, so the cache is capped: a client that
+  // streams distinct masks degrades to hashing per submit instead of
+  // growing the server's footprint without bound. (A racing submit of
+  // the same mask computed the same fp; emplace keeps the first.)
+  std::lock_guard<std::mutex> lk(fp_mu_);
+  if (fp_cache_.size() < kFpCacheCap) {
+    fp_cache_.emplace(mask.get(), std::make_pair(mask, fp));
+  }
+  return fp;
+}
+
+std::future<Response> Server::submit(Request r) {
+  auto fut = r.promise.get_future();
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  GPA_CHECK(r.data != nullptr && r.mask != nullptr, "request needs payload and mask");
+  const RequestData& d = *r.data;
+  GPA_CHECK(d.q.same_shape(d.k) && d.q.same_shape(d.v), "request Q/K/V must share one shape");
+  GPA_CHECK(d.q.rows() == r.mask->rows, "request length must match the mask");
+  if (r.dims.head_dim == 0) r.dims = MultiHeadDims{1, d.q.cols()};
+  GPA_CHECK(r.dims.num_heads >= 1 && r.dims.num_heads * r.dims.head_dim == d.q.cols(),
+            "head geometry must tile the packed width");
+  if (!r.output.same_shape(d.q)) r.output = Matrix<float>(d.q.rows(), d.q.cols());
+
+  // Past validation: from here every path gives the request a terminal
+  // outcome, so the funnel (submitted == completed + rejected + queued)
+  // stays balanced.
+  stats_.record_submitted();
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    stats_.record_rejected(ResponseStatus::RejectedShutdown);
+    resolve(r, ResponseStatus::RejectedShutdown);
+    return fut;
+  }
+  const TimePoint now = Clock::now();
+  if (now >= r.deadline) {
+    stats_.record_rejected(ResponseStatus::RejectedDeadline);
+    resolve(r, ResponseStatus::RejectedDeadline);
+    return fut;
+  }
+  r.key = BatchKey{fingerprint_of(r.mask), d.q.rows(), d.q.cols(), r.dims.num_heads,
+                   DType::F32};
+  r.enqueue_time = now;
+
+  switch (queue_.try_push(r)) {
+    case RequestQueue::Push::Ok:
+      stats_.record_queue_depth(queue_.size());
+      break;
+    case RequestQueue::Push::Full:
+      stats_.record_rejected(ResponseStatus::RejectedQueueFull);
+      resolve(r, ResponseStatus::RejectedQueueFull);
+      break;
+    case RequestQueue::Push::Closed:
+      stats_.record_rejected(ResponseStatus::RejectedShutdown);
+      resolve(r, ResponseStatus::RejectedShutdown);
+      break;
+  }
+  return fut;
+}
+
+void Server::dispatch(std::vector<Request>& batch) {
+  const auto b = static_cast<Index>(batch.size());
+  const TimePoint t0 = Clock::now();
+  try {
+    // Every request in the batch shares one BatchKey, hence one mask
+    // structure and shape; items are independent sequences, so the
+    // cross-item loop is the batch's "grid" dimension.
+    parallel_for(0, b, cfg_.batch_policy, [&](Index i) {
+      Request& r = batch[static_cast<std::size_t>(i)];
+      AttentionOptions o = r.opts;
+      o.policy = cfg_.item_policy;
+      if (r.dims.num_heads > 1) {
+        multihead_csr_attention(r.data->q, r.data->k, r.data->v, r.dims, *r.mask, r.output, o);
+      } else {
+        csr_attention(r.data->q, r.data->k, r.data->v, *r.mask, r.output, o);
+      }
+    });
+  } catch (const std::exception&) {
+    for (auto& r : batch) {
+      stats_.record_internal_error();
+      resolve(r, ResponseStatus::InternalError);
+    }
+    return;
+  }
+  const TimePoint t1 = Clock::now();
+  stats_.record_batch(b);
+  const double service_us = micros_between(t0, t1);
+  for (auto& r : batch) {
+    const double queue_us = micros_between(r.enqueue_time, t0);
+    stats_.record_completion(queue_us + service_us, service_us);
+    Response resp;
+    resp.status = ResponseStatus::Ok;
+    resp.id = r.id;
+    resp.output = std::move(r.output);
+    resp.queue_us = queue_us;
+    resp.service_us = service_us;
+    resp.batch_size = b;
+    r.promise.set_value(std::move(resp));
+  }
+}
+
+void Server::worker_loop() {
+  PoppedBatch pb;
+  while (batcher_.next_batch(pb)) {
+    for (auto& r : pb.expired) {
+      stats_.record_rejected(ResponseStatus::RejectedDeadline);
+      resolve(r, ResponseStatus::RejectedDeadline);
+    }
+    if (!pb.batch.empty()) dispatch(pb.batch);
+  }
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> lk(shutdown_mu_);  // serializes; body is idempotent
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Whatever never got a worker (workers == 0, or pushed in the races
+  // around close) still owes its client an answer.
+  Request leftover;
+  while (queue_.try_pop_one(leftover)) {
+    stats_.record_rejected(ResponseStatus::RejectedShutdown);
+    resolve(leftover, ResponseStatus::RejectedShutdown);
+  }
+}
+
+}  // namespace gpa::serve

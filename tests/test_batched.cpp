@@ -98,6 +98,113 @@ TEST(BatchedTest, OutputBuffersAreReused) {
   EXPECT_EQ(out[0].data(), ptr);
 }
 
+TEST(BatchedIntoTest, MatchesResizingVariant) {
+  const Index B = 3, L = 24, d = 8;
+  Rng rng(1106);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  const auto mask = build_csr_random(L, RandomParams{0.3, 19});
+
+  Batch<float> expected;
+  batched_csr_attention(q, k, v, mask, expected);
+
+  Batch<float> out;
+  for (Index b = 0; b < B; ++b) out.emplace_back(L, d);
+  batched_csr_attention_into(q, k, v, mask, out);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    EXPECT_EQ(max_abs_diff(out[b], expected[b]), 0.0) << "batch " << b;
+  }
+}
+
+TEST(BatchedIntoTest, NeverReallocatesAcrossRepeatedCalls) {
+  // Serving hot-path contract: repeated dispatches into the same output
+  // batch must leave every output buffer exactly where it was.
+  const Index B = 4, L = 16, d = 4;
+  Rng rng(1107);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  const auto mask = build_csr_local(L, LocalParams{2});
+
+  Batch<float> out;
+  for (Index b = 0; b < B; ++b) out.emplace_back(L, d);
+  std::vector<const float*> ptrs;
+  for (const auto& m : out) ptrs.push_back(m.data());
+
+  for (int iter = 0; iter < 3; ++iter) {
+    batched_csr_attention_into(q, k, v, mask, out);
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      EXPECT_EQ(out[b].data(), ptrs[b]) << "iter " << iter << " batch " << b;
+      EXPECT_TRUE(out[b].same_shape(q[b]));
+    }
+  }
+}
+
+TEST(BatchedIntoTest, RejectsMissingOrMisshapenPreallocation) {
+  const Index B = 2, L = 8, d = 4;
+  Rng rng(1108);
+  const auto q = make_batch(B, L, d, rng);
+  const auto k = make_batch(B, L, d, rng);
+  const auto v = make_batch(B, L, d, rng);
+  const auto mask = build_csr_local(L, LocalParams{2});
+
+  Batch<float> too_few;
+  too_few.emplace_back(L, d);
+  EXPECT_THROW(batched_csr_attention_into(q, k, v, mask, too_few), InvalidArgument);
+
+  Batch<float> wrong_shape;
+  wrong_shape.emplace_back(L, d);
+  wrong_shape.emplace_back(L, d + 1);
+  EXPECT_THROW(batched_csr_attention_into(q, k, v, mask, wrong_shape), InvalidArgument);
+}
+
+TEST(BatchedIntoTest, MultiHeadVariantMatches) {
+  const Index B = 2, L = 16, heads = 2, hd = 4;
+  Rng rng(1109);
+  const auto q = make_batch(B, L, heads * hd, rng);
+  const auto k = make_batch(B, L, heads * hd, rng);
+  const auto v = make_batch(B, L, heads * hd, rng);
+  const auto mask = build_csr_local(L, LocalParams{3});
+
+  Batch<float> expected;
+  batched_multihead_csr_attention(q, k, v, MultiHeadDims{heads, hd}, mask, expected);
+  Batch<float> out;
+  for (Index b = 0; b < B; ++b) out.emplace_back(L, heads * hd);
+  batched_multihead_csr_attention_into(q, k, v, MultiHeadDims{heads, hd}, mask, out);
+  EXPECT_EQ(max_abs_diff(out[0], expected[0]), 0.0);
+  EXPECT_EQ(max_abs_diff(out[1], expected[1]), 0.0);
+}
+
+TEST(BatchKeyTest, FingerprintSeparatesStructurallyDifferentMasks) {
+  const auto local = build_csr_local(32, LocalParams{2});
+  const auto local_wider = build_csr_local(32, LocalParams{3});
+  const auto random = build_csr_random(32, RandomParams{0.2, 7});
+  const auto local_again = build_csr_local(32, LocalParams{2});
+
+  EXPECT_EQ(mask_fingerprint(local), mask_fingerprint(local_again));
+  EXPECT_NE(mask_fingerprint(local), mask_fingerprint(local_wider));
+  EXPECT_NE(mask_fingerprint(local), mask_fingerprint(random));
+}
+
+TEST(BatchKeyTest, FingerprintIgnoresValuesKeepsStructure) {
+  auto a = build_csr_local(16, LocalParams{2});
+  auto b = a;
+  for (auto& x : b.values) x *= 2.0f;  // same edges, different weights
+  EXPECT_EQ(mask_fingerprint(a), mask_fingerprint(b));
+}
+
+TEST(BatchKeyTest, EqualityCoversEveryField) {
+  const BatchKey base{123u, 64, 32, 2, DType::F32};
+  EXPECT_EQ(base, (BatchKey{123u, 64, 32, 2, DType::F32}));
+  EXPECT_NE(base, (BatchKey{124u, 64, 32, 2, DType::F32}));
+  EXPECT_NE(base, (BatchKey{123u, 65, 32, 2, DType::F32}));
+  EXPECT_NE(base, (BatchKey{123u, 64, 33, 2, DType::F32}));
+  EXPECT_NE(base, (BatchKey{123u, 64, 32, 1, DType::F32}));
+  EXPECT_NE(base, (BatchKey{123u, 64, 32, 2, DType::F16}));
+  EXPECT_NE(base.hash(), (BatchKey{124u, 64, 32, 2, DType::F32}).hash());
+}
+
 TEST(BatchedTest, CustomKernelReceivesEveryItem) {
   const Index B = 4, L = 8, d = 4;
   Rng rng(1105);

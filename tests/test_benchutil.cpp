@@ -43,6 +43,36 @@ TEST(StatsTest, EmptySampleIsInert) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(PercentileTest, OrderStatisticsInterpolate) {
+  std::vector<double> s{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 87.5), 45.0);  // between 40 and 50
+}
+
+TEST(PercentileTest, UnsortedInputAndClampedRange) {
+  std::vector<double> s{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(s, -10.0), 1.0);   // clamped to min
+  EXPECT_DOUBLE_EQ(percentile(s, 400.0), 5.0);   // clamped to max
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);   // empty is inert
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
+}
+
+TEST(PercentileTest, TailStatsAreMonotone) {
+  std::vector<double> s;
+  for (int i = 100; i >= 1; --i) s.push_back(static_cast<double>(i));
+  const auto t = compute_tail_stats(s);
+  EXPECT_EQ(t.samples, 100u);
+  EXPECT_LE(t.p50, t.p95);
+  EXPECT_LE(t.p95, t.p99);
+  EXPECT_LE(t.p99, t.max);
+  EXPECT_DOUBLE_EQ(t.max, 100.0);
+  EXPECT_NEAR(t.p50, 50.5, 1e-12);
+}
+
 TEST(RunnerTest, ExecutesWarmupPlusIterations) {
   int calls = 0;
   const auto s = run_benchmark([&] { ++calls; }, RunConfig{3, 7});

@@ -85,6 +85,40 @@ TEST(CliSmoke, DanglingValueFlagNamesTheFlag) {
   EXPECT_NE(r.output.find("--window expects an integer"), std::string::npos) << r.output;
 }
 
+TEST(CliSmoke, MemmodelKnowsExtendedDeviceTable) {
+  const auto h100 = run_cli("memmodel --device h100 --algo csr --dim 64 --sf 0.0001");
+  EXPECT_EQ(h100.exit_code, 0) << h100.output;
+  EXPECT_NE(h100.output.find("H100"), std::string::npos) << h100.output;
+  const auto rtx = run_cli("memmodel --device rtx4090 --algo csr --dim 64 --sf 0.0001");
+  EXPECT_EQ(rtx.exit_code, 0) << rtx.output;
+  EXPECT_NE(rtx.output.find("RTX 4090"), std::string::npos) << rtx.output;
+}
+
+TEST(CliSmoke, MemmodelRejectsUnknownDevice) {
+  // A typoed device must fail loudly, not silently price an A100.
+  const auto r = run_cli("memmodel --device 4090 --algo csr --dim 64 --sf 0.0001");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown --device"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, ServeBenchClosedLoopReportsThroughput) {
+  const auto r = run_cli(
+      "serve-bench --length 64 --dim 16 --sf 0.1 --requests 48 --clients 4 --max-batch 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("completed:   48 ok"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("throughput:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("latency ms:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("batching:"), std::string::npos) << r.output;
+}
+
+TEST(CliSmoke, ServeBenchOpenLoopRuns) {
+  const auto r = run_cli(
+      "serve-bench --length 64 --dim 16 --sf 0.1 --requests 16 --rate 1000 --max-batch 4");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("open-loop"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("throughput:"), std::string::npos) << r.output;
+}
+
 TEST(CliSmoke, UnknownPatternFailsCleanly) {
   const auto r = run_cli("mask --pattern nope --length 64");
   EXPECT_EQ(r.exit_code, 1);

@@ -156,6 +156,55 @@ TEST(MemModelProperties, OrderingMatchesFigure4) {
   EXPECT_GT(coo, sdp);
 }
 
+TEST(DeviceTable, CapacityOrderingAcrossDevices) {
+  // Fig. 4's device axis: the model sees only the byte budget, so max
+  // context length must be monotone in device memory for every
+  // algorithm: RTX 4090 (24G) < V100 (32G) < L40 (48G) < A100 = H100 (80G).
+  const auto c = cfg(DType::F16, 64, 1, 1e-4);
+  for (const Algo a : {Algo::SdpMasked, Algo::Csr, Algo::Coo, Algo::Local, Algo::FlashDense,
+                       Algo::Global}) {
+    const Index rtx = max_context_length(a, DeviceSpec::rtx4090_24gb(), c);
+    const Index v100 = max_context_length(a, DeviceSpec::v100_32gb(), c);
+    const Index l40 = max_context_length(a, DeviceSpec::l40_48gb(), c);
+    const Index a100 = max_context_length(a, DeviceSpec::a100_80gb(), c);
+    const Index h100 = max_context_length(a, DeviceSpec::h100_80gb(), c);
+    EXPECT_LT(rtx, v100) << algo_name(a);
+    EXPECT_LT(v100, l40) << algo_name(a);
+    EXPECT_LT(l40, a100) << algo_name(a);
+    EXPECT_EQ(a100, h100) << algo_name(a);  // same 80 GiB budget
+  }
+}
+
+TEST(DeviceTable, ContextLimitCurveMonotoneInSparsityOnNewDevices) {
+  // The Fig. 4 curve shape must hold on the extended device table too:
+  // explicit formats reach longer contexts as the mask gets sparser.
+  for (const DeviceSpec& dev : {DeviceSpec::h100_80gb(), DeviceSpec::rtx4090_24gb()}) {
+    for (const Algo a : {Algo::Csr, Algo::Coo}) {
+      Index prev = 0;
+      for (const double sf : {1.0, 0.1, 0.01, 0.001, 0.0001}) {
+        const Index maxL = max_context_length(a, dev, cfg(DType::F16, 64, 1, sf));
+        EXPECT_GT(maxL, prev) << dev.name << " " << algo_name(a) << " Sf=" << sf;
+        prev = maxL;
+      }
+    }
+  }
+}
+
+TEST(DeviceTable, CurveMonotoneInLengthOnNewDevices) {
+  // bytes_required drives the curve; exact boundary semantics must hold
+  // for the new budgets exactly as for the A100 (bisection correctness).
+  const auto c = cfg(DType::F32, 64, 1, 1e-3);
+  for (const DeviceSpec& dev : {DeviceSpec::h100_80gb(), DeviceSpec::rtx4090_24gb()}) {
+    for (const Algo a : {Algo::SdpMasked, Algo::Csr, Algo::Local}) {
+      const Index maxL = max_context_length(a, dev, c);
+      ASSERT_GT(maxL, 0) << dev.name;
+      EXPECT_LE(bytes_required(a, maxL, c), dev.memory_bytes) << dev.name << " " << algo_name(a);
+      EXPECT_GT(bytes_required(a, maxL + 1, c), dev.memory_bytes)
+          << dev.name << " " << algo_name(a);
+    }
+  }
+}
+
 TEST(MemModelProperties, ZeroWhenNothingFits) {
   const DeviceSpec tiny = DeviceSpec::host(16);
   EXPECT_EQ(max_context_length(Algo::SdpMasked, tiny, cfg(DType::F32, 64, 1)), 0);

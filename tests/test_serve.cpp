@@ -1,0 +1,425 @@
+// Serving-layer tests: admission control, dynamic batching compatibility
+// rules, deadline handling, clean shutdown with in-flight requests, and
+// single-request parity with a direct kernel call (the serving layer
+// must be a scheduling layer, never a numerics layer).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "core/multihead.hpp"
+#include "serve/serve.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<const RequestData> make_payload(Index L, Index d, std::uint64_t seed) {
+  auto data = std::make_shared<RequestData>();
+  data->q = Matrix<float>(L, d);
+  data->k = Matrix<float>(L, d);
+  data->v = Matrix<float>(L, d);
+  Rng rng(seed);
+  fill_uniform(data->q, rng);
+  fill_uniform(data->k, rng);
+  fill_uniform(data->v, rng);
+  return data;
+}
+
+Request make_test_request(std::shared_ptr<const RequestData> data,
+                          std::shared_ptr<const Csr<float>> mask,
+                          MultiHeadDims dims = {1, 0}) {
+  Request r;
+  r.data = std::move(data);
+  r.mask = std::move(mask);
+  r.dims = dims;
+  return r;
+}
+
+// --- end-to-end numerics --------------------------------------------
+
+TEST(ServeParity, SingleRequestMatchesDirectKernelCall) {
+  const Index L = 48, d = 16;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.2, 5}));
+  auto payload = make_payload(L, d, 901);
+
+  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{1, 0us}});
+  auto fut = server.submit(make_test_request(payload, mask));
+  const Response resp = fut.get();
+  ASSERT_EQ(resp.status, ResponseStatus::Ok);
+  EXPECT_EQ(resp.batch_size, 1);
+
+  Matrix<float> direct(L, d);
+  csr_attention(payload->q, payload->k, payload->v, *mask, direct);
+  EXPECT_EQ(max_abs_diff(resp.output, direct), 0.0);
+}
+
+TEST(ServeParity, MultiHeadAndCausalRequestsMatchDirectCalls) {
+  const Index L = 32, heads = 2, hd = 8;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{4}));
+  auto payload = make_payload(L, heads * hd, 902);
+
+  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{4, 0us}});
+
+  Request mh = make_test_request(payload, mask, MultiHeadDims{heads, hd});
+  const Response mh_resp = server.submit(std::move(mh)).get();
+  ASSERT_EQ(mh_resp.status, ResponseStatus::Ok);
+  Matrix<float> direct(L, heads * hd);
+  multihead_csr_attention(payload->q, payload->k, payload->v, MultiHeadDims{heads, hd}, *mask,
+                          direct);
+  EXPECT_EQ(max_abs_diff(mh_resp.output, direct), 0.0);
+
+  Request causal = make_test_request(payload, mask);
+  causal.opts.causal = true;
+  const Response c_resp = server.submit(std::move(causal)).get();
+  ASSERT_EQ(c_resp.status, ResponseStatus::Ok);
+  Matrix<float> direct_causal(L, heads * hd);
+  AttentionOptions o;
+  o.causal = true;
+  csr_attention(payload->q, payload->k, payload->v, *mask, direct_causal, o);
+  EXPECT_EQ(max_abs_diff(c_resp.output, direct_causal), 0.0);
+}
+
+TEST(ServeParity, MixedMaskTrafficStaysIsolated) {
+  // Two same-shape masks interleaved: if the batcher ever mixed keys,
+  // the minority mask's requests would be computed under the wrong mask
+  // and fail parity.
+  const Index L = 40, d = 8;
+  auto mask_a = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{3}));
+  auto mask_b = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.3, 9}));
+  ASSERT_NE(mask_fingerprint(*mask_a), mask_fingerprint(*mask_b));
+
+  Server server({/*workers=*/2, /*queue_capacity=*/64, BatchPolicy{8, 500us}});
+  std::vector<std::shared_ptr<const RequestData>> payloads;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 24; ++i) {
+    payloads.push_back(make_payload(L, d, 1000 + static_cast<std::uint64_t>(i)));
+    futures.push_back(
+        server.submit(make_test_request(payloads.back(), i % 2 == 0 ? mask_a : mask_b)));
+  }
+  for (int i = 0; i < 24; ++i) {
+    const Response resp = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok) << "request " << i;
+    const auto& mask = i % 2 == 0 ? *mask_a : *mask_b;
+    const auto& p = *payloads[static_cast<std::size_t>(i)];
+    Matrix<float> direct(L, d);
+    csr_attention(p.q, p.k, p.v, mask, direct);
+    EXPECT_EQ(max_abs_diff(resp.output, direct), 0.0) << "request " << i;
+  }
+}
+
+// --- batcher grouping (deterministic, no worker threads) -------------
+
+Request keyed_request(std::shared_ptr<const RequestData> data,
+                      std::shared_ptr<const Csr<float>> mask, std::uint64_t fp) {
+  Request r = make_test_request(std::move(data), std::move(mask));
+  r.key = BatchKey{fp, r.data->q.rows(), r.data->q.cols(), 1, DType::F32};
+  r.enqueue_time = Clock::now();
+  return r;
+}
+
+TEST(DynamicBatcherTest, NeverMixesKeysAndLeavesOthersQueued) {
+  const Index L = 8, d = 4;
+  auto mask_a = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  auto mask_b = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
+  auto payload = make_payload(L, d, 7);
+
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatchPolicy{8, 0us});
+  const std::uint64_t fp_a = mask_fingerprint(*mask_a);
+  const std::uint64_t fp_b = mask_fingerprint(*mask_b);
+  for (int i = 0; i < 5; ++i) {
+    Request r = keyed_request(payload, i % 2 == 0 ? mask_a : mask_b, i % 2 == 0 ? fp_a : fp_b);
+    ASSERT_EQ(queue.try_push(r), RequestQueue::Push::Ok);
+  }
+
+  PoppedBatch pb;
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 3u);  // the three mask_a requests
+  for (const auto& r : pb.batch) EXPECT_EQ(r.key.mask_fp, fp_a);
+  EXPECT_TRUE(pb.expired.empty());
+  EXPECT_EQ(queue.size(), 2u);  // mask_b requests untouched
+
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 2u);
+  for (const auto& r : pb.batch) EXPECT_EQ(r.key.mask_fp, fp_b);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(DynamicBatcherTest, RespectsMaxBatchCeiling) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  auto payload = make_payload(L, d, 8);
+  const std::uint64_t fp = mask_fingerprint(*mask);
+
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatchPolicy{4, 0us});
+  for (int i = 0; i < 10; ++i) {
+    Request r = keyed_request(payload, mask, fp);
+    ASSERT_EQ(queue.try_push(r), RequestQueue::Push::Ok);
+  }
+  PoppedBatch pb;
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 4u);
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 4u);
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 2u);
+}
+
+TEST(DynamicBatcherTest, ExpiredRequestsAreReturnedSeparately) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  auto payload = make_payload(L, d, 9);
+  const std::uint64_t fp = mask_fingerprint(*mask);
+
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatchPolicy{8, 0us});
+  Request stale = keyed_request(payload, mask, fp);
+  stale.deadline = Clock::now() - 1ms;
+  ASSERT_EQ(queue.try_push(stale), RequestQueue::Push::Ok);
+  Request fresh = keyed_request(payload, mask, fp);
+  ASSERT_EQ(queue.try_push(fresh), RequestQueue::Push::Ok);
+
+  PoppedBatch pb;
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 1u);
+  EXPECT_EQ(pb.expired.size(), 1u);
+}
+
+TEST(DynamicBatcherTest, AllExpiredQueueDeliversPromptly) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  auto payload = make_payload(L, d, 10);
+  const std::uint64_t fp = mask_fingerprint(*mask);
+
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatchPolicy{8, 60s});  // long window must not matter
+  for (int i = 0; i < 3; ++i) {
+    Request r = keyed_request(payload, mask, fp);
+    r.deadline = Clock::now() - 1ms;
+    ASSERT_EQ(queue.try_push(r), RequestQueue::Push::Ok);
+  }
+  PoppedBatch pb;
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_TRUE(pb.batch.empty());
+  EXPECT_EQ(pb.expired.size(), 3u);
+}
+
+TEST(DynamicBatcherTest, DeadlineTighterThanWindowDispatchesImmediately) {
+  // A short batch may hold its slot for max_wait hoping for compatible
+  // arrivals — but never at the cost of a member's deadline. A lone
+  // request whose deadline falls inside the window must be dispatched
+  // right away (with service headroom), not held and then shed.
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  auto payload = make_payload(L, d, 21);
+  const std::uint64_t fp = mask_fingerprint(*mask);
+
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatchPolicy{4, 200'000us});  // 200ms window
+  Request r = keyed_request(payload, mask, fp);
+  r.deadline = Clock::now() + 50ms;
+  ASSERT_EQ(queue.try_push(r), RequestQueue::Push::Ok);
+
+  PoppedBatch pb;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_LT(Clock::now() - t0, 50ms);  // neither the window nor the deadline was waited out
+  ASSERT_EQ(pb.batch.size(), 1u);      // served, not shed
+  EXPECT_TRUE(pb.expired.empty());
+}
+
+// --- admission control and shutdown ----------------------------------
+
+TEST(ServeAdmission, ExpiredDeadlineRejectedAtSubmit) {
+  const Index L = 16, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
+  Server server({/*workers=*/1, /*queue_capacity=*/8});
+  Request r = make_test_request(make_payload(L, d, 11), mask);
+  r.deadline = Clock::now() - 1ms;
+  const Response resp = server.submit(std::move(r)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::RejectedDeadline);
+  EXPECT_EQ(server.stats().rejected_deadline, 1u);
+}
+
+TEST(ServeAdmission, QueueFullBackpressure) {
+  const Index L = 16, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
+  auto payload = make_payload(L, d, 12);
+  ServerConfig cfg;
+  cfg.workers = 0;  // nothing drains: admission is exactly the capacity
+  cfg.queue_capacity = 2;
+  Server server(cfg);
+
+  auto f1 = server.submit(make_test_request(payload, mask));
+  auto f2 = server.submit(make_test_request(payload, mask));
+  auto f3 = server.submit(make_test_request(payload, mask));
+  const Response r3 = f3.get();  // rejected immediately, no worker needed
+  EXPECT_EQ(r3.status, ResponseStatus::RejectedQueueFull);
+  EXPECT_EQ(server.queue_depth(), 2u);
+
+  server.shutdown();  // queued-but-never-run requests still resolve
+  EXPECT_EQ(f1.get().status, ResponseStatus::RejectedShutdown);
+  EXPECT_EQ(f2.get().status, ResponseStatus::RejectedShutdown);
+  const auto s = server.stats();
+  EXPECT_EQ(s.rejected_queue_full, 1u);
+  EXPECT_EQ(s.rejected_shutdown, 2u);
+}
+
+TEST(ServeAdmission, ZeroCapacityQueueShedsEverythingAndShutsDownCleanly) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 0;
+  Server server(cfg);
+  const Response resp = server.submit(make_test_request(make_payload(L, d, 13), mask)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::RejectedQueueFull);
+  // Destructor exercises shutdown with a worker parked on an empty queue.
+}
+
+TEST(ServeAdmission, SubmitAfterShutdownIsRejected) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  Server server({/*workers=*/1, /*queue_capacity=*/8});
+  server.shutdown();
+  const Response resp = server.submit(make_test_request(make_payload(L, d, 14), mask)).get();
+  EXPECT_EQ(resp.status, ResponseStatus::RejectedShutdown);
+}
+
+TEST(ServeAdmission, MalformedRequestsThrow) {
+  const Index L = 8, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
+  Server server({/*workers=*/0, /*queue_capacity=*/8});
+
+  Request no_mask = make_test_request(make_payload(L, d, 15), nullptr);
+  EXPECT_THROW(server.submit(std::move(no_mask)), InvalidArgument);
+
+  Request wrong_len = make_test_request(make_payload(L + 1, d, 16), mask);
+  EXPECT_THROW(server.submit(std::move(wrong_len)), InvalidArgument);
+
+  Request bad_heads = make_test_request(make_payload(L, d, 17), mask, MultiHeadDims{3, 2});
+  EXPECT_THROW(server.submit(std::move(bad_heads)), InvalidArgument);
+
+  // Rejected-at-validation requests never enter the stats funnel, so
+  // submitted always balances against terminal outcomes.
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(ServeShutdown, ZeroRequestLifecycleIsClean) {
+  {
+    Server server({/*workers=*/2, /*queue_capacity=*/16});
+  }  // destructor only
+  Server server({/*workers=*/2, /*queue_capacity=*/16});
+  server.shutdown();
+  server.shutdown();  // idempotent
+}
+
+TEST(ServeShutdown, InFlightRequestsAllResolve) {
+  const Index L = 64, d = 16;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.3, 21}));
+  auto payload = make_payload(L, d, 18);
+  Server server({/*workers=*/2, /*queue_capacity=*/128, BatchPolicy{4, 100us}});
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(server.submit(make_test_request(payload, mask)));
+  server.shutdown();  // races the workers mid-drain by design
+
+  Size ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Response resp = f.get();  // every future MUST be satisfied
+    if (resp.status == ResponseStatus::Ok) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, ResponseStatus::RejectedShutdown);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 64u);
+  // close() drains: everything admitted before shutdown() completes Ok.
+  EXPECT_EQ(shed, 0u);
+  const auto s = server.stats();
+  EXPECT_EQ(s.completed_ok, ok);
+  EXPECT_EQ(s.submitted, 64u);
+}
+
+// --- statistics -------------------------------------------------------
+
+TEST(ServeStats, FunnelAndOccupancyInvariants) {
+  const Index L = 32, d = 8;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
+  auto payload = make_payload(L, d, 19);
+  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{8, 2000us}});
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(server.submit(make_test_request(payload, mask)));
+  for (auto& f : futures) ASSERT_EQ(f.get().status, ResponseStatus::Ok);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.submitted, 32u);
+  EXPECT_EQ(s.completed_ok, 32u);
+  EXPECT_EQ(s.latency_ms.samples, 32u);
+  EXPECT_GE(s.batches, 1u);
+  Size occupancy_total = 0, weighted = 0;
+  for (std::size_t b = 0; b < s.occupancy.size(); ++b) {
+    EXPECT_LE(static_cast<Index>(b), 8) << "occupancy above max_batch";
+    occupancy_total += s.occupancy[b];
+    weighted += s.occupancy[b] * static_cast<Size>(b);
+  }
+  EXPECT_EQ(occupancy_total, s.batches);
+  EXPECT_EQ(weighted, 32u);  // every request rode exactly one batch
+  EXPECT_LE(s.latency_ms.p50, s.latency_ms.p95);
+  EXPECT_LE(s.latency_ms.p95, s.latency_ms.p99);
+  EXPECT_LE(s.latency_ms.p99, s.latency_ms.max);
+  EXPECT_GE(s.mean_batch_occupancy, 1.0);
+}
+
+TEST(ServeStats, PreallocatedOutputRoundTripsWithoutRealloc) {
+  const Index L = 16, d = 4;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
+  auto payload = make_payload(L, d, 20);
+  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{1, 0us}});
+
+  Request r = make_test_request(payload, mask);
+  r.output = Matrix<float>(L, d);
+  const float* buf = r.output.data();
+  const Response resp = server.submit(std::move(r)).get();
+  ASSERT_EQ(resp.status, ResponseStatus::Ok);
+  EXPECT_EQ(resp.output.data(), buf);  // same buffer, no server-side realloc
+}
+
+// --- load generators --------------------------------------------------
+
+TEST(LoadGen, ClosedLoopCompletesEveryRequest) {
+  auto wl = make_csr_workload(32, 8, 0.1, 33, /*pool=*/2);
+  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{4, 100us}});
+  LoadGenConfig cfg;
+  cfg.requests = 40;
+  cfg.clients = 4;
+  const auto res = run_closed_loop(server, wl, cfg);
+  EXPECT_EQ(res.completed, 40u);
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_GT(res.rps, 0.0);
+}
+
+TEST(LoadGen, OpenLoopHonorsScheduleAndCollectsAll) {
+  auto wl = make_csr_workload(32, 8, 0.1, 34, /*pool=*/2);
+  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{4, 100us}});
+  LoadGenConfig cfg;
+  cfg.requests = 20;
+  cfg.arrival_hz = 2000.0;
+  const auto res = run_open_loop(server, wl, cfg);
+  EXPECT_EQ(res.completed + res.rejected, 20u);
+  EXPECT_EQ(res.rejected, 0u);  // capacity 64 queue cannot shed 20 requests
+  EXPECT_GE(res.wall_s, 19.0 / 2000.0);  // schedule actually paced arrivals
+}
+
+}  // namespace
+}  // namespace gpa::serve

@@ -5,7 +5,10 @@
 //   gpa mask --pattern local --length 1024 --window 8 [--out mask.bin]
 //   gpa info --in mask.bin
 //   gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]
-//   gpa memmodel --algo csr --dtype fp16 --dim 64 --sf 1e-4 [--device a100|l40|v100]
+//   gpa memmodel --algo csr --dtype fp16 --dim 64 --sf 1e-4
+//                [--device a100|l40|v100|h100|rtx4090]
+//   gpa serve-bench --length 512 --dim 64 --sf 0.001 --workers 1 --max-batch 8
+//                   [--clients 8] [--requests 2000] [--rate HZ] [--deadline-us N]
 //
 // Exit code 0 on success (and verification OK for `run`), 1 otherwise.
 
@@ -21,6 +24,7 @@
 #include "graph/degree.hpp"
 #include "memmodel/memory_model.hpp"
 #include "parallel/parallel_for.hpp"
+#include "serve/serve.hpp"
 #include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "sparse/io.hpp"
@@ -215,9 +219,15 @@ int cmd_run(const Args& args) {
 int cmd_memmodel(const Args& args) {
   using namespace gpa::memmodel;
   const std::string device = args.get("device", "a100");
-  const DeviceSpec dev = device == "l40"    ? DeviceSpec::l40_48gb()
-                         : device == "v100" ? DeviceSpec::v100_32gb()
-                                            : DeviceSpec::a100_80gb();
+  const std::map<std::string, DeviceSpec> devices = {
+      {"a100", DeviceSpec::a100_80gb()},       {"l40", DeviceSpec::l40_48gb()},
+      {"v100", DeviceSpec::v100_32gb()},       {"h100", DeviceSpec::h100_80gb()},
+      {"rtx4090", DeviceSpec::rtx4090_24gb()}};
+  const auto dev_it = devices.find(device);
+  if (dev_it == devices.end()) {
+    throw InvalidArgument("unknown --device: " + device + " (a100|l40|v100|h100|rtx4090)");
+  }
+  const DeviceSpec& dev = dev_it->second;
   const std::string dtype = args.get("dtype", "fp32");
   ModelConfig cfg;
   cfg.dtype = dtype == "fp16" ? DType::F16 : DType::F32;
@@ -239,6 +249,58 @@ int cmd_memmodel(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  const Index L = args.get_index("length", 512);
+  const Index d = args.get_index("dim", 64);
+  const double sf = args.get_double("sf", 0.001);
+  const double rate = args.get_double("rate", 0.0);  // > 0 selects open-loop
+
+  serve::ServerConfig cfg;
+  cfg.workers = static_cast<int>(args.get_index("workers", 1));
+  GPA_CHECK(cfg.workers >= 1, "serve-bench needs at least one worker (--workers)");
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_index("queue", 1024));
+  cfg.policy.max_batch = args.get_index("max-batch", 8);
+  cfg.policy.max_wait = std::chrono::microseconds{args.get_index("max-wait-us", 200)};
+
+  serve::LoadGenConfig lg;
+  lg.requests = static_cast<Size>(args.get_index("requests", 2000));
+  lg.clients = static_cast<int>(args.get_index("clients", 8));
+  lg.arrival_hz = rate;
+  lg.deadline = std::chrono::microseconds{args.get_index("deadline-us", 0)};
+
+  const auto wl = serve::make_csr_workload(L, d, sf, /*seed=*/7, /*pool=*/4);
+  std::cout << "workload:    CSR random mask, L=" << L << ", d=" << d << ", Sf=" << sf
+            << " (" << wl.mask->nnz() << " edges)\n"
+            << "policy:      workers=" << cfg.workers << ", max_batch=" << cfg.policy.max_batch
+            << ", max_wait=" << cfg.policy.max_wait.count() << "us, queue="
+            << cfg.queue_capacity << "\n"
+            << "load:        " << (rate > 0.0 ? "open-loop" : "closed-loop") << ", requests="
+            << lg.requests << (rate > 0.0 ? ", rate=" + std::to_string(rate) + "/s"
+                                          : ", clients=" + std::to_string(lg.clients))
+            << "\n";
+
+  serve::Server server(cfg);
+  const auto res = rate > 0.0 ? serve::run_open_loop(server, wl, lg)
+                              : serve::run_closed_loop(server, wl, lg);
+  server.shutdown();
+  const auto s = server.stats();
+
+  std::cout << "completed:   " << res.completed << " ok, " << res.rejected << " rejected ("
+            << s.rejected_queue_full << " full, " << s.rejected_deadline << " deadline, "
+            << s.rejected_shutdown << " shutdown, " << s.internal_errors << " error)\n"
+            << "throughput:  " << res.rps << " rps over " << res.wall_s << " s\n"
+            << "latency ms:  p50 " << s.latency_ms.p50 << ", p95 " << s.latency_ms.p95
+            << ", p99 " << s.latency_ms.p99 << ", max " << s.latency_ms.max << "\n"
+            << "batching:    " << s.batches << " dispatches, mean occupancy "
+            << s.mean_batch_occupancy << ", max queue depth " << s.max_queue_depth << "\n"
+            << "occupancy:  ";
+  for (std::size_t b = 1; b < s.occupancy.size(); ++b) {
+    if (s.occupancy[b] > 0) std::cout << " " << b << "x" << s.occupancy[b];
+  }
+  std::cout << "\n";
+  return 0;
+}
+
 int cmd_version() {
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
             << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
@@ -246,11 +308,12 @@ int cmd_version() {
 }
 
 void usage() {
-  std::cout << "usage: gpa <mask|info|run|memmodel|version> [--key value ...]\n"
+  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|version> [--key value ...]\n"
             << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
             << "  gpa info --in mask.bin\n"
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
-            << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n";
+            << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n"
+            << "  gpa serve-bench --length 512 --dim 64 --sf 0.001 --max-batch 8 --workers 1\n";
 }
 
 }  // namespace
@@ -262,6 +325,7 @@ int main(int argc, char** argv) {
     if (args.command == "info") return cmd_info(args);
     if (args.command == "run") return cmd_run(args);
     if (args.command == "memmodel") return cmd_memmodel(args);
+    if (args.command == "serve-bench") return cmd_serve_bench(args);
     if (args.command == "version" || args.command == "--version") return cmd_version();
     usage();
     return args.command.empty() ? 1 : (std::cerr << "unknown command: " << args.command << "\n", 1);
