@@ -1,0 +1,197 @@
+// Incremental-decode benchmark: per-token cost of a cached
+// SessionManager::decode_step against the only alternative an
+// uncached server has — recomputing the full causal attention over the
+// whole sequence to produce one new token.
+//
+// Cells: seq_len ∈ {128, 512, 2048} × the fig3 mask-pattern family
+// (random CSR, local window, dilated-1D, global-minus-local). For each
+// cell the session is prefilled to L tokens, then decode steps are
+// timed appending tokens L..L+iters (cost O(row-nnz·d) against paged
+// K/V); the recompute arm times one full causal kernel call at length
+// L+1 (cost O(causal-nnz·d)). Both arms run single-threaded on the
+// same dispatch arm, so the ratio isolates the cache, not the
+// parallelism — the acceptance gate wants cached ≥10× cheaper at
+// L ≥ 512 on at least one pattern.
+//
+//   bench_decode_throughput [--smoke] [--csv f] [--json f]
+//
+// --json writes the gpa-bench-decode/v1 records (BENCH_decode.json).
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil/json.hpp"
+#include "benchutil/runner.hpp"
+#include "benchutil/table.hpp"
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "kvcache/kvcache.hpp"
+#include "parallel/parallel_for.hpp"
+#include "simd/simd.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace gpa;
+
+struct PatternCase {
+  std::string name;
+  kvcache::MaskSpec spec;
+  /// Full causal recompute of one output at length L (the uncached arm).
+  std::function<void(const Matrix<float>&, const Matrix<float>&, const Matrix<float>&,
+                     Matrix<float>&, const AttentionOptions&)>
+      full_kernel;
+};
+
+std::vector<PatternCase> make_patterns(Index L) {
+  std::vector<PatternCase> cases;
+  {
+    auto mask = std::make_shared<const Csr<float>>(
+        build_csr_random(L + 256, RandomParams{0.01, 7}));
+    auto sliced = std::make_shared<const Csr<float>>(csr_leading_slice(*mask, L + 1));
+    cases.push_back({"csr", kvcache::MaskSpec::make_csr(mask),
+                     [sliced](const auto& q, const auto& k, const auto& v, auto& o,
+                              const AttentionOptions& opts) {
+                       csr_attention(q, k, v, *sliced, o, opts);
+                     }});
+  }
+  {
+    const LocalParams p{128};
+    cases.push_back({"local", kvcache::MaskSpec::make_local(p),
+                     [p](const auto& q, const auto& k, const auto& v, auto& o,
+                         const AttentionOptions& opts) { local_attention(q, k, v, p, o, opts); }});
+  }
+  {
+    const Dilated1DParams p{256, 3};
+    cases.push_back({"dilated1d", kvcache::MaskSpec::make_dilated1d(p),
+                     [p](const auto& q, const auto& k, const auto& v, auto& o,
+                         const AttentionOptions& opts) {
+                       dilated1d_attention(q, k, v, p, o, opts);
+                     }});
+  }
+  {
+    GlobalMinusLocalParams p;
+    p.global.tokens = {0, 1, 2, 3};
+    p.local.window = 1;
+    cases.push_back({"global", kvcache::MaskSpec::make_global(p),
+                     [p](const auto& q, const auto& k, const auto& v, auto& o,
+                         const AttentionOptions& opts) {
+                       global_attention(q, k, v, p, o, opts);
+                     }});
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse_bench_args(argc, argv, /*default_warmup=*/3,
+                                                /*default_iters=*/10);
+  const Index d = 64;
+  const std::vector<Index> lengths = args.smoke ? std::vector<Index>{64}
+                                                : std::vector<Index>{128, 512, 2048};
+  // Single-threaded, fixed dispatch arm on both sides: the ratio should
+  // measure the cache, not scheduling.
+  AttentionOptions opts;
+  opts.policy = ExecPolicy::serial();
+
+  benchutil::Table table(
+      {"pattern", "L", "row_nnz", "cached us/tok", "recompute us/tok", "speedup"});
+  std::vector<benchutil::DecodeBenchRecord> records;
+
+  for (const Index L : lengths) {
+    for (auto& pc : make_patterns(L)) {
+      Rng rng(42);
+      Matrix<float> q(L + 64, d), k(L + 64, d), v(L + 64, d);
+      fill_uniform(q, rng);
+      fill_uniform(k, rng);
+      fill_uniform(v, rng);
+      auto slice = [&](const Matrix<float>& m, Index rows) {
+        Matrix<float> s(rows, d);
+        for (Index i = 0; i < rows; ++i) {
+          for (Index p = 0; p < d; ++p) s(i, p) = m(i, p);
+        }
+        return s;
+      };
+
+      // --- cached arm: prefill L, then time decode steps -------------
+      kvcache::SessionManager::Config mc;
+      mc.pool.page_size = 16;
+      mc.pool.head_dim = d;
+      mc.pool.num_pages = (L + 256) / 16 + 4;
+      mc.opts = opts;
+      kvcache::SessionManager mgr(mc);
+      mgr.create(1, pc.spec);
+      Matrix<float> prompt_out(L, d);
+      {
+        const auto qp = slice(q, L), kp = slice(k, L), vp = slice(v, L);
+        mgr.prefill(1, qp, kp, vp, prompt_out);
+      }
+      Index pos = L;
+      Index row_nnz = 0;
+      std::vector<float> out_row(static_cast<std::size_t>(d));
+      const auto cached = benchutil::run_benchmark(
+          [&] {
+            // Each iteration appends one real token (the cache grows,
+            // as it would in production); 64 spare rows bound the growth.
+            const Index t = std::min<Index>(pos, L + 63);
+            row_nnz = mgr.decode_step(1, q.row(t), k.row(t), v.row(t), out_row.data());
+            ++pos;
+          },
+          args.run);
+
+      // --- uncached arm: full causal recompute at length L+1 ---------
+      const auto qf = slice(q, L + 1), kf = slice(k, L + 1), vf = slice(v, L + 1);
+      Matrix<float> full_out(L + 1, d);
+      AttentionOptions copts = opts;
+      copts.causal = true;
+      const auto recompute = benchutil::run_benchmark(
+          [&] { pc.full_kernel(qf, kf, vf, full_out, copts); }, args.run);
+
+      const double cached_us = cached.mean * 1e6;
+      const double recompute_us = recompute.mean * 1e6;
+      const double speedup = cached_us > 0.0 ? recompute_us / cached_us : 0.0;
+
+      table.add_row({pc.name, std::to_string(L), std::to_string(row_nnz),
+                     std::to_string(cached_us), std::to_string(recompute_us),
+                     std::to_string(speedup)});
+
+      benchutil::DecodeBenchRecord rec;
+      rec.pattern = pc.name;
+      rec.seq_len = L;
+      rec.head_dim = d;
+      rec.row_nnz = row_nnz;
+      // Causal edge count of the recompute arm (what it must visit).
+      Size causal = 0;
+      for (Index i = 0; i <= L; ++i) {
+        pc.spec.for_each_causal(i, [&](Index, float) { ++causal; });
+      }
+      rec.causal_nnz = causal;
+      rec.cached_us_per_token = cached_us;
+      rec.recompute_us_per_token = recompute_us;
+      rec.speedup = speedup;
+      records.push_back(std::move(rec));
+    }
+  }
+
+  std::cout << "decode_step (cached, paged K/V) vs full causal recompute, d=" << d
+            << ", serial dispatch, simd=" << simd::simd_backend()
+            << ", hw_concurrency=" << std::thread::hardware_concurrency() << "\n";
+  table.print();
+
+  if (!args.csv_path.empty()) table.write_csv(args.csv_path);
+  if (!args.json_path.empty()) {
+    const std::string host =
+        "hw_concurrency=" + std::to_string(std::thread::hardware_concurrency()) +
+        " single-core-regime";
+    benchutil::write_decode_bench_json(args.json_path, records, host,
+                                       std::string(parallel_backend()),
+                                       std::string(simd::simd_backend()));
+    std::cout << "wrote " << args.json_path << "\n";
+  }
+  return 0;
+}

@@ -14,6 +14,12 @@ if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     target_link_options(gpa_build_flags INTERFACE
       -fsanitize=address,undefined)
   endif()
+  if(GPA_ENABLE_TSAN)
+    target_compile_options(gpa_build_flags INTERFACE
+      -fsanitize=thread -fno-omit-frame-pointer)
+    target_link_options(gpa_build_flags INTERFACE
+      -fsanitize=thread)
+  endif()
 elseif(MSVC)
   target_compile_options(gpa_build_flags INTERFACE /W4)
   if(GPA_WERROR)

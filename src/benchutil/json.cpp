@@ -109,4 +109,30 @@ void write_schedule_bench_json(const std::string& path,
   GPA_CHECK(out.good(), "failed writing JSON output file: " + path);
 }
 
+void write_decode_bench_json(const std::string& path,
+                             const std::vector<DecodeBenchRecord>& records,
+                             const std::string& host, const std::string& parallel_backend_name,
+                             const std::string& simd_name) {
+  std::ofstream out(path);
+  GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
+  out << "{\n"
+      << "  \"schema\": \"gpa-bench-decode/v1\",\n"
+      << "  \"host\": \"" << escape(host) << "\",\n"
+      << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
+      << "  \"simd\": \"" << escape(simd_name) << "\",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"pattern\": \"" << escape(r.pattern) << "\", \"L\": " << r.seq_len
+        << ", \"d\": " << r.head_dim << ", \"row_nnz\": " << r.row_nnz
+        << ", \"causal_nnz\": " << r.causal_nnz
+        << ", \"cached_us_per_token\": " << fmt(r.cached_us_per_token)
+        << ", \"recompute_us_per_token\": " << fmt(r.recompute_us_per_token)
+        << ", \"speedup\": " << fmt(r.speedup) << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  GPA_CHECK(out.good(), "failed writing JSON output file: " + path);
+}
+
 }  // namespace gpa::benchutil

@@ -73,4 +73,27 @@ struct ScheduleBenchRecord {
 void write_schedule_bench_json(const std::string& path,
                                const std::vector<ScheduleBenchRecord>& records);
 
+/// One cell of the incremental-decode benchmark: per-token cost of a
+/// cached SessionManager::decode_step vs a full causal recompute, at
+/// one (mask pattern, seq_len, head_dim). The ratio is the KV-cache
+/// claim the acceptance gate reads.
+struct DecodeBenchRecord {
+  std::string pattern;  ///< "csr" / "local" / "dilated1d" / "global"
+  Index seq_len = 0;
+  Index head_dim = 0;
+  Index row_nnz = 0;   ///< edges the measured decode row folds
+  Size causal_nnz = 0; ///< edges one full causal recompute visits
+  double cached_us_per_token = 0.0;
+  double recompute_us_per_token = 0.0;
+  double speedup = 0.0;  ///< recompute / cached
+};
+
+/// Writes `{schema: "gpa-bench-decode/v1", host, parallel_backend,
+/// simd, records}` — the host string matters here because the claim is
+/// a single-core per-token latency ratio.
+void write_decode_bench_json(const std::string& path,
+                             const std::vector<DecodeBenchRecord>& records,
+                             const std::string& host, const std::string& parallel_backend_name,
+                             const std::string& simd_name);
+
 }  // namespace gpa::benchutil

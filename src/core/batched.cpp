@@ -37,6 +37,7 @@ std::uint64_t BatchKey::hash() const noexcept {
   f.mix(static_cast<std::uint64_t>(width));
   f.mix(static_cast<std::uint64_t>(heads));
   f.mix(static_cast<std::uint64_t>(dtype));
+  f.mix(static_cast<std::uint64_t>(kind));
   return f.h;
 }
 

@@ -31,16 +31,25 @@ std::uint64_t mask_fingerprint(const Csr<float>& mask);
 /// kernel dispatch iff their keys compare equal. seq_len is exact (a
 /// mask is L×L, so padding a shorter request under a longer mask would
 /// let its rows attend columns past the real sequence).
+///
+/// `kind` discriminates dispatch families that must never share a
+/// kernel loop even when shapes agree — the serving layer maps its
+/// RequestKind here (0 = one-shot attention, 1 = incremental decode).
+/// Decode steps set seq_len = 0 and mask_fp = 0: each step is one row
+/// against its own session's cache, so steps from *different sessions*
+/// at *different lengths* still coalesce into one dispatch — exactly
+/// the cross-session batching the KV cache exists to enable.
 struct BatchKey {
   std::uint64_t mask_fp = 0;
   Index seq_len = 0;
   Index width = 0;  ///< packed columns (num_heads · head_dim)
   Index heads = 1;
   DType dtype = DType::F32;
+  std::uint8_t kind = 0;  ///< dispatch family (see above)
 
   friend bool operator==(const BatchKey& a, const BatchKey& b) {
     return a.mask_fp == b.mask_fp && a.seq_len == b.seq_len && a.width == b.width &&
-           a.heads == b.heads && a.dtype == b.dtype;
+           a.heads == b.heads && a.dtype == b.dtype && a.kind == b.kind;
   }
   friend bool operator!=(const BatchKey& a, const BatchKey& b) { return !(a == b); }
 

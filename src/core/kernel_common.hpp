@@ -47,18 +47,23 @@ void check_inputs(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
             "softmax state shape mismatch — reset(seq_len, head_dim) first");
 }
 
-/// Fold one (row, neighbor) edge into the row's online-softmax state.
+/// Fold one (row, neighbor) edge into the row's online-softmax state,
+/// with the K/V rows given as raw pointers. This is the lowest-level
+/// form of the fold: the matrix kernels wrap it via fold_edge below, and
+/// the KV-cache decode path calls it directly with paged K/V row
+/// pointers (each page slot is a contiguous d-float span), so incremental
+/// decode reuses the exact fold — same VecOps dispatch, same operation
+/// order — and stays bit-identical to the one-shot kernels.
 /// `qi` is the query row, `acc` the unnormalised accumulator. The float
 /// instantiation routes the d-dimension loops (Q·K dot, accumulate /
 /// rescale) through the dispatched vector ops; half storage keeps the
 /// scalar convert-and-accumulate loops (the arms would need F16C to
 /// vectorize bit-identically, which is left open in the ROADMAP).
 template <typename T>
-inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Matrix<T>& v_mat,
-                      Index j, Index head_dim, float scale, float gate, bool use_gate,
-                      OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc,
-                      const simd::VecOps& vo) {
-  const T* kj = k_mat.row(j);
+inline void fold_edge_rows(const T* GPA_RESTRICT qi, const T* GPA_RESTRICT kj,
+                           const T* GPA_RESTRICT vj, Index head_dim, float scale, float gate,
+                           bool use_gate, OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc,
+                           const simd::VecOps& vo) {
   float w;
   if constexpr (std::is_same_v<T, float>) {
     w = vo.dot(qi, kj, head_dim);
@@ -72,7 +77,6 @@ inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Ma
   if (use_gate) w *= gate;
 
   const auto [alpha, beta] = osr.push(w);
-  const T* vj = v_mat.row(j);
   if constexpr (std::is_same_v<T, float>) {
     if (alpha == 1.0f) {  // running max unchanged — skip the rescale multiply
       vo.axpy(acc, beta, vj, head_dim);
@@ -88,6 +92,16 @@ inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Ma
       }
     }
   }
+}
+
+/// Matrix-indexed convenience wrapper over fold_edge_rows (the form the
+/// one-shot kernels' row enumerators use).
+template <typename T>
+inline void fold_edge(const T* GPA_RESTRICT qi, const Matrix<T>& k_mat, const Matrix<T>& v_mat,
+                      Index j, Index head_dim, float scale, float gate, bool use_gate,
+                      OnlineSoftmaxRow& osr, float* GPA_RESTRICT acc,
+                      const simd::VecOps& vo) {
+  fold_edge_rows(qi, k_mat.row(j), v_mat.row(j), head_dim, scale, gate, use_gate, osr, acc, vo);
 }
 
 /// The row-parallel driver. `row_enum(i, edge)` must call

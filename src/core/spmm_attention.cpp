@@ -23,15 +23,25 @@ Csr<float> sddmm(const Matrix<T>& q, const Matrix<T>& k, const Csr<float>& mask,
   s.col_idx = mask.col_idx;
   s.values.resize(mask.nnz());
   const Index d = q.cols();
+  // The Q·K dots go through the dispatched vector ops on the float
+  // path (same lane contract as the fused kernels, so both arms stay
+  // bit-identical); half storage keeps the scalar convert loop (F16C
+  // open, as in kernel_common's fold).
+  const simd::VecOps& vo = simd::ops(policy.simd);
 
   parallel_for(0, mask.rows, policy, [&](Index i) {
     const T* qi = q.row(i);
     const Index e = mask.row_end(i);
     for (Index kk = mask.row_begin(i); kk < e; ++kk) {
       const T* kj = k.row(mask.col_idx[static_cast<std::size_t>(kk)]);
-      float w = 0.0f;
-      for (Index p = 0; p < d; ++p) {
-        w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+      float w;
+      if constexpr (std::is_same_v<T, float>) {
+        w = vo.dot(qi, kj, d);
+      } else {
+        w = 0.0f;
+        for (Index p = 0; p < d; ++p) {
+          w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
+        }
       }
       s.values[static_cast<std::size_t>(kk)] = w * scale;
     }

@@ -1,0 +1,76 @@
+#include "kvcache/block_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace gpa::kvcache {
+
+BlockPoolConfig pool_config_for_device(const DeviceSpec& device, Index head_dim,
+                                       Index page_size, double budget_fraction) {
+  GPA_CHECK(page_size >= 1, "page size must be at least one token slot");
+  memmodel::ModelConfig mc;
+  mc.dtype = DType::F32;  // pool storage precision
+  mc.embed_dim = head_dim;
+  const Index tokens = memmodel::max_cached_tokens(device, mc, budget_fraction);
+  BlockPoolConfig cfg;
+  cfg.page_size = page_size;
+  cfg.head_dim = head_dim;
+  cfg.num_pages = tokens / page_size;
+  return cfg;
+}
+
+BlockPool::BlockPool(BlockPoolConfig cfg) : cfg_(cfg) {
+  GPA_CHECK(cfg_.page_size >= 1, "page size must be at least one token slot");
+  GPA_CHECK(cfg_.head_dim >= 1, "head dimension must be positive");
+  GPA_CHECK(cfg_.num_pages >= 1, "pool needs at least one page");
+  storage_.resize(static_cast<std::size_t>(cfg_.num_pages) *
+                  static_cast<std::size_t>(cfg_.page_size) * 2 *
+                  static_cast<std::size_t>(cfg_.head_dim));
+  refs_.assign(static_cast<std::size_t>(cfg_.num_pages), 0);
+  free_.reserve(static_cast<std::size_t>(cfg_.num_pages));
+  // Stack order: page 0 pops first (cosmetic, but deterministic for tests).
+  for (Index p = cfg_.num_pages - 1; p >= 0; --p) free_.push_back(p);
+}
+
+Index BlockPool::allocate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.empty()) return kNoPage;
+  const Index page = free_.back();
+  free_.pop_back();
+  refs_[static_cast<std::size_t>(page)] = 1;
+  return page;
+}
+
+void BlockPool::check_live(Index page) const {
+  GPA_CHECK(page >= 0 && page < cfg_.num_pages, "page id out of range");
+  GPA_CHECK(refs_[static_cast<std::size_t>(page)] > 0, "page is not live (double free?)");
+}
+
+void BlockPool::retain(Index page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_live(page);
+  ++refs_[static_cast<std::size_t>(page)];
+}
+
+void BlockPool::release(Index page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  check_live(page);
+  if (--refs_[static_cast<std::size_t>(page)] == 0) free_.push_back(page);
+}
+
+Index BlockPool::ref_count(Index page) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  GPA_CHECK(page >= 0 && page < cfg_.num_pages, "page id out of range");
+  return refs_[static_cast<std::size_t>(page)];
+}
+
+Index BlockPool::pages_free() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<Index>(free_.size());
+}
+
+Index BlockPool::pages_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cfg_.num_pages - static_cast<Index>(free_.size());
+}
+
+}  // namespace gpa::kvcache

@@ -1,0 +1,42 @@
+#pragma once
+// KV-cache error taxonomy. These are *operational* outcomes, not
+// programming errors: a session can vanish between a client's submit
+// and the worker's dispatch (LRU eviction under memory pressure), so
+// the serving layer catches SessionError and turns it into a typed
+// rejection instead of a crashed worker.
+
+#include <stdexcept>
+#include <string>
+
+namespace gpa::kvcache {
+
+/// Base of every recoverable KV-cache condition.
+class SessionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The session id was never created (or was explicitly released).
+class SessionNotFound : public SessionError {
+ public:
+  explicit SessionNotFound(std::uint64_t id)
+      : SessionError("kvcache: unknown session id " + std::to_string(id)) {}
+};
+
+/// The session existed but was evicted by the LRU policy; its cached
+/// K/V is gone and the client must re-prefill.
+class SessionEvicted : public SessionError {
+ public:
+  explicit SessionEvicted(std::uint64_t id)
+      : SessionError("kvcache: session " + std::to_string(id) +
+                     " was evicted — re-prefill to continue") {}
+};
+
+/// No page could be freed: every other session is busy or pinned.
+class CacheFull : public SessionError {
+ public:
+  CacheFull()
+      : SessionError("kvcache: block pool exhausted and no idle session to evict") {}
+};
+
+}  // namespace gpa::kvcache

@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header for the paged KV-cache subsystem:
+//   block_pool.hpp      — refcounted fixed-size K/V pages (CoW sharing)
+//   page_table.hpp      — per-session token → (page, slot) mapping
+//   mask_spec.hpp       — causal row-slice view of the sparse patterns
+//   session_manager.hpp — sessions: prefill / decode_step / fork / LRU
+//   errors.hpp          — SessionNotFound / SessionEvicted / CacheFull
+
+#include "kvcache/block_pool.hpp"
+#include "kvcache/errors.hpp"
+#include "kvcache/mask_spec.hpp"
+#include "kvcache/page_table.hpp"
+#include "kvcache/session_manager.hpp"

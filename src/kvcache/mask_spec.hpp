@@ -1,0 +1,116 @@
+#pragma once
+// The sparse pattern a session decodes under, in row-slice form.
+//
+// Incremental decode needs exactly one thing from a mask: "row t's
+// causal neighborhood, in kernel order". Each variant here reproduces
+// the corresponding one-shot kernel's causal enumeration verbatim
+// (csr_kernel / local_kernel / dilated1d_kernel / global_kernel), so a
+// stream of decode_step folds visits the same edges in the same order
+// as one full-sequence kernel call — the precondition for the paths
+// being bit-identical on the float path, which test_kvcache pins down.
+//
+// CSR masks bound the session length (the mask is L_max × L_max);
+// implicit patterns are unbounded — their causal row slices only look
+// backward, so they are independent of any notional total length.
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/patterns.hpp"
+
+namespace gpa::kvcache {
+
+struct MaskSpec {
+  enum class Kind : std::uint8_t { Csr, Local, Dilated1d, Global };
+
+  Kind kind = Kind::Local;
+  std::shared_ptr<const Csr<float>> csr;  ///< Kind::Csr only
+  LocalParams local{};
+  Dilated1DParams dilated{};
+  GlobalMinusLocalParams global{};
+
+  static MaskSpec make_csr(std::shared_ptr<const Csr<float>> mask) {
+    GPA_CHECK(mask != nullptr && mask->rows == mask->cols,
+              "session CSR mask must be a square matrix");
+    MaskSpec s;
+    s.kind = Kind::Csr;
+    s.csr = std::move(mask);
+    return s;
+  }
+  static MaskSpec make_local(LocalParams p) {
+    GPA_CHECK(p.window >= 1, "local window must be >= 1");
+    MaskSpec s;
+    s.kind = Kind::Local;
+    s.local = p;
+    return s;
+  }
+  static MaskSpec make_dilated1d(Dilated1DParams p) {
+    GPA_CHECK(p.window >= 1 && p.dilation >= 0, "bad dilated-1D parameters");
+    MaskSpec s;
+    s.kind = Kind::Dilated1d;
+    s.dilated = p;
+    return s;
+  }
+  static MaskSpec make_global(GlobalMinusLocalParams p) {
+    GPA_CHECK(p.local.window >= 1, "global kernel's subtracted window must be >= 1");
+    MaskSpec s;
+    s.kind = Kind::Global;
+    s.global = p;
+    return s;
+  }
+
+  /// Hard session-length ceiling (-1 = unbounded).
+  Index max_len() const noexcept { return kind == Kind::Csr ? csr->rows : Index{-1}; }
+
+  /// Calls `edge(j, gate)` for every causal neighbor j <= i of row i,
+  /// ascending, in the order the one-shot kernels' causal branches use.
+  /// `gate` is the stored mask value for CSR, 1.0f for implicit kinds.
+  template <typename Fn>
+  void for_each_causal(Index i, Fn&& edge) const {
+    switch (kind) {
+      case Kind::Csr: {
+        const Csr<float>& m = *csr;
+        const Index e = m.row_end(i);
+        for (Index kk = m.row_begin(i); kk < e; ++kk) {
+          const Index j = m.col_idx[static_cast<std::size_t>(kk)];
+          if (j > i) break;  // columns are sorted: done with this row
+          edge(j, m.values[static_cast<std::size_t>(kk)]);
+        }
+        return;
+      }
+      case Kind::Local: {
+        const Index lo = std::max<Index>(0, i - (local.window - 1));
+        for (Index j = lo; j <= i; ++j) edge(j, 1.0f);
+        return;
+      }
+      case Kind::Dilated1d: {
+        const Index step = dilated.dilation + 1;
+        const Index max_d = dilated.window - 1;
+        for (Index d = (max_d / step) * step; d >= step; d -= step) {
+          if (i - d >= 0) edge(i - d, 1.0f);
+        }
+        edge(i, 1.0f);
+        return;
+      }
+      case Kind::Global: {
+        // global_minus_local_neighbors with seq_len = i + 1: the causal
+        // cut makes forward columns invisible, so the current length is
+        // the only extent the row slice needs.
+        const Index w = global.local.window;
+        const Index win_lo = i - (w - 1);
+        if (global.global.is_global(i)) {
+          for (Index j = 0; j < win_lo && j <= i; ++j) edge(j, 1.0f);
+        } else {
+          for (const Index j : global.global.tokens) {
+            if (j > i) break;  // tokens are sorted
+            if (j < win_lo) edge(j, 1.0f);
+          }
+        }
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace gpa::kvcache

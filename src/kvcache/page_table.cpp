@@ -1,0 +1,55 @@
+#include "kvcache/page_table.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gpa::kvcache {
+
+bool PageTable::append(BlockPool& pool, const float* k_row, const float* v_row) {
+  const Index ps = pool.page_size();
+  GPA_CHECK(stride_ == 0 || stride_ == ps, "page table bound to a different page size");
+  stride_ = ps;
+  const Index slot = len_ % ps;
+
+  if (slot == 0) {
+    // Page boundary: the token opens a fresh page.
+    const Index page = pool.allocate();
+    if (page == BlockPool::kNoPage) return false;
+    pages_.push_back(page);
+  } else if (pool.ref_count(pages_.back()) > 1) {
+    // Shared tail page (post-fork): copy-on-write the used slots into an
+    // exclusive page before touching slot `slot`.
+    const Index fresh = pool.allocate();
+    if (fresh == BlockPool::kNoPage) return false;
+    const Index old = pages_.back();
+    const std::size_t used = static_cast<std::size_t>(slot) * 2 *
+                             static_cast<std::size_t>(pool.head_dim());
+    std::memcpy(pool.k_row(fresh, 0), pool.k_row(old, 0), used * sizeof(float));
+    pool.release(old);
+    pages_.back() = fresh;
+  }
+
+  const Index d = pool.head_dim();
+  std::memcpy(pool.k_row(pages_.back(), slot), k_row, static_cast<std::size_t>(d) * sizeof(float));
+  std::memcpy(pool.v_row(pages_.back(), slot), v_row, static_cast<std::size_t>(d) * sizeof(float));
+  ++len_;
+  return true;
+}
+
+PageTable PageTable::fork(BlockPool& pool) const {
+  PageTable child;
+  child.pages_ = pages_;
+  child.len_ = len_;
+  child.stride_ = stride_;
+  for (const Index p : pages_) pool.retain(p);
+  return child;
+}
+
+void PageTable::release_all(BlockPool& pool) {
+  for (const Index p : pages_) pool.release(p);
+  pages_.clear();
+  len_ = 0;
+}
+
+}  // namespace gpa::kvcache

@@ -1,0 +1,55 @@
+#pragma once
+// Per-session logical→physical token mapping: token position t lives in
+// page pages_[t / page_size], slot t % page_size.
+//
+// Append is the only mutation. The copy-on-write rule lives here: an
+// append into a partially-filled tail page that is *shared* (refcount
+// > 1 after a fork) first copies the used slots into a fresh exclusive
+// page. Full pages are never copied — two sessions forked after a long
+// shared prompt keep sharing every full prompt page while their tails
+// diverge.
+
+#include <vector>
+
+#include "kvcache/block_pool.hpp"
+
+namespace gpa::kvcache {
+
+class PageTable {
+ public:
+  /// Cached tokens.
+  Index length() const noexcept { return len_; }
+  Index num_pages() const noexcept { return static_cast<Index>(pages_.size()); }
+  const std::vector<Index>& pages() const noexcept { return pages_; }
+
+  /// Appends one token's K/V rows (each `pool.head_dim()` floats).
+  /// Returns false when the pool is exhausted (nothing is appended; the
+  /// caller may evict and retry).
+  bool append(BlockPool& pool, const float* k_row, const float* v_row);
+
+  /// K/V row of cached token `pos` (0 <= pos < length(), unchecked).
+  const float* k_row(const BlockPool& pool, Index pos) const noexcept {
+    return pool.k_row(page_of(pos), slot_of(pool, pos));
+  }
+  const float* v_row(const BlockPool& pool, Index pos) const noexcept {
+    return pool.v_row(page_of(pos), slot_of(pool, pos));
+  }
+
+  /// A table sharing every page of this one (refcounts bumped).
+  PageTable fork(BlockPool& pool) const;
+
+  /// Releases every page reference and empties the table.
+  void release_all(BlockPool& pool);
+
+ private:
+  Index page_of(Index pos) const noexcept {
+    return pages_[static_cast<std::size_t>(pos) / static_cast<std::size_t>(stride_)];
+  }
+  Index slot_of(const BlockPool&, Index pos) const noexcept { return pos % stride_; }
+
+  std::vector<Index> pages_;
+  Index len_ = 0;
+  Index stride_ = 0;  ///< page_size memo (set on first append / fork)
+};
+
+}  // namespace gpa::kvcache

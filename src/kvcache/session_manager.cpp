@@ -1,0 +1,248 @@
+#include "kvcache/session_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/kernel_common.hpp"
+#include "core/state.hpp"
+
+namespace gpa::kvcache {
+
+SessionManager::SessionManager(Config cfg) : cfg_(cfg), pool_(cfg.pool) {}
+
+SessionManager::~SessionManager() = default;
+
+void SessionManager::create(std::uint64_t id, MaskSpec mask) { create(id, std::move(mask), cfg_.opts); }
+
+void SessionManager::create(std::uint64_t id, MaskSpec mask, const AttentionOptions& opts) {
+  auto s = std::make_shared<Session>();
+  s->mask = std::move(mask);
+  s->opts = opts;
+  std::lock_guard<std::mutex> lk(mu_);
+  GPA_CHECK(sessions_.find(id) == sessions_.end(), "session id already exists");
+  s->last_touch = ++lru_clock_;
+  sessions_.emplace(id, std::move(s));
+}
+
+bool SessionManager::contains(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sessions_.find(id) != sessions_.end();
+}
+
+Index SessionManager::length(std::uint64_t id) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) throw SessionNotFound(id);
+    s = it->second;
+  }
+  std::lock_guard<std::mutex> op(s->op_mu);
+  if (s->evicted) throw SessionEvicted(id);
+  return s->table.length();
+}
+
+void SessionManager::release(std::uint64_t id) {
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // A racing decode may still hold the shared_ptr: take the op mutex so
+  // the pages go back to the pool only once the operation drained.
+  std::lock_guard<std::mutex> op(s->op_mu);
+  if (!s->evicted) {
+    s->evicted = true;
+    s->table.release_all(pool_);
+  }
+}
+
+void SessionManager::set_pinned(std::uint64_t id, bool pinned) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) throw SessionNotFound(id);
+  it->second->pinned = pinned;
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find_and_touch(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) throw SessionNotFound(id);
+  it->second->last_touch = ++lru_clock_;
+  return it->second;
+}
+
+bool SessionManager::evict_one(const Session* self) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Oldest-first candidate order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (touch, id)
+  order.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    if (s.get() != self && !s->pinned) order.emplace_back(s->last_touch, id);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [touch, id] : order) {
+    (void)touch;
+    const auto it = sessions_.find(id);
+    auto& s = it->second;
+    // A session mid-prefill/decode holds its op mutex: try_lock fails
+    // and the session survives — eviction only ever takes idle sessions.
+    std::unique_lock<std::mutex> op(s->op_mu, std::try_to_lock);
+    if (!op.owns_lock()) continue;
+    s->evicted = true;
+    s->table.release_all(pool_);
+    op.unlock();
+    sessions_.erase(it);
+    ++evictions_;
+    return true;
+  }
+  return false;
+}
+
+void SessionManager::append_or_evict(Session& s, const float* k_row, const float* v_row) {
+  while (!s.table.append(pool_, k_row, v_row)) {
+    if (!evict_one(&s)) throw CacheFull();
+  }
+}
+
+void SessionManager::fork(std::uint64_t parent, std::uint64_t child) {
+  std::shared_ptr<Session> p;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(parent);
+    if (it == sessions_.end()) throw SessionNotFound(parent);
+    GPA_CHECK(sessions_.find(child) == sessions_.end(), "fork target id already exists");
+    p = it->second;
+  }
+  auto c = std::make_shared<Session>();
+  {
+    std::lock_guard<std::mutex> op(p->op_mu);
+    if (p->evicted) throw SessionEvicted(parent);
+    c->mask = p->mask;
+    c->opts = p->opts;
+    c->table = p->table.fork(pool_);  // pages shared, refcounts bumped
+    c->m = p->m;
+    c->l = p->l;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (sessions_.find(child) != sessions_.end()) {
+    c->table.release_all(pool_);  // lost the id race
+    throw InvalidArgument("fork target id already exists");
+  }
+  c->last_touch = ++lru_clock_;
+  sessions_.emplace(child, std::move(c));
+}
+
+void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Matrix<float>& k,
+                             const Matrix<float>& v, Matrix<float>& out) {
+  const auto s = find_and_touch(id);
+  std::lock_guard<std::mutex> op(s->op_mu);
+  if (s->evicted) throw SessionEvicted(id);
+  GPA_CHECK(s->table.length() == 0, "prefill requires an empty session (decode extends it)");
+  const Index L = q.rows();
+  const Index d = q.cols();
+  GPA_CHECK(d == pool_.head_dim(), "payload width must match the pool's head dimension");
+  GPA_CHECK(s->mask.max_len() < 0 || L <= s->mask.max_len(),
+            "prompt longer than the session's CSR mask");
+
+  // Cache first: if the pool cannot hold the prompt even after evicting
+  // every idle session, fail before any attention work.
+  try {
+    for (Index i = 0; i < L; ++i) append_or_evict(*s, k.row(i), v.row(i));
+  } catch (...) {
+    s->table.release_all(pool_);  // leave the session empty and reusable
+    throw;
+  }
+
+  // The prompt pass reads the contiguous inputs (cheaper than paging)
+  // through the same shared fold and causal row order as the one-shot
+  // kernels, so prefill output is bit-identical to a full kernel call.
+  SoftmaxState state(L, d);
+  AttentionOptions opts = s->opts;
+  opts.causal = true;  // sessions are autoregressive by construction
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    s->mask.for_each_causal(i, [&](Index j, float gate) { edge(j, gate); });
+  });
+  if (!(out.rows() == L && out.cols() == d)) out = Matrix<float>(L, d);
+  state.finalize_into(out);
+
+  s->m.resize(static_cast<std::size_t>(L));
+  s->l.resize(static_cast<std::size_t>(L));
+  for (Index i = 0; i < L; ++i) {
+    s->m[static_cast<std::size_t>(i)] = state.m(i);
+    s->l[static_cast<std::size_t>(i)] = state.l(i);
+  }
+}
+
+Index SessionManager::decode_step(std::uint64_t id, const float* q_new, const float* k_new,
+                                  const float* v_new, float* out_row) {
+  const auto s = find_and_touch(id);
+  std::lock_guard<std::mutex> op(s->op_mu);
+  if (s->evicted) throw SessionEvicted(id);
+  const Index t = s->table.length();
+  GPA_CHECK(s->mask.max_len() < 0 || t < s->mask.max_len(),
+            "session reached its CSR mask length — cannot decode further");
+
+  append_or_evict(*s, k_new, v_new);
+
+  const Index d = pool_.head_dim();
+  const float scale = detail::resolve_scale(s->opts.scale, d);
+  const bool use_gate = s->opts.use_mask_values;
+  const simd::VecOps& vo = simd::ops(s->opts.policy.simd);
+
+  s->acc.assign(static_cast<std::size_t>(d), 0.0f);
+  float* acc = s->acc.data();
+  OnlineSoftmaxRow osr;
+  Index edges = 0;
+  s->mask.for_each_causal(t, [&](Index j, float gate) {
+    detail::fold_edge_rows(q_new, s->table.k_row(pool_, j), s->table.v_row(pool_, j), d, scale,
+                           gate, use_gate, osr, acc, vo);
+    ++edges;
+  });
+
+  // Same normalisation expression as SoftmaxState::finalize_into, so a
+  // decode stream is bit-identical to the full-sequence kernel call.
+  const float inv = osr.inv_l();
+  for (Index p = 0; p < d; ++p) out_row[p] = acc[p] * inv;
+
+  s->m.push_back(osr.m);
+  s->l.push_back(osr.l);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++decode_steps_;
+    decode_edges_ += static_cast<Size>(edges);
+  }
+  return edges;
+}
+
+Index SessionManager::decode_step(std::uint64_t id, const Matrix<float>& q_new,
+                                  const Matrix<float>& k_new, const Matrix<float>& v_new,
+                                  Matrix<float>& out_row) {
+  GPA_CHECK(q_new.rows() == 1 && k_new.rows() == 1 && v_new.rows() == 1,
+            "decode_step takes one token (1×d payloads)");
+  GPA_CHECK(q_new.cols() == pool_.head_dim() && q_new.same_shape(k_new) &&
+                q_new.same_shape(v_new),
+            "decode payload width must match the pool's head dimension");
+  if (!out_row.same_shape(q_new)) out_row = Matrix<float>(1, q_new.cols());
+  return decode_step(id, q_new.row(0), k_new.row(0), v_new.row(0), out_row.row(0));
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  Stats st;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    st.sessions = sessions_.size();
+    st.evictions = evictions_;
+    st.decode_steps = decode_steps_;
+    st.decode_edges = decode_edges_;
+  }
+  st.pages_in_use = pool_.pages_in_use();
+  st.pages_free = pool_.pages_free();
+  return st;
+}
+
+}  // namespace gpa::kvcache

@@ -118,4 +118,18 @@ Table2Row table2_row(const DeviceSpec& device, const ModelConfig& cfg) {
   return row;
 }
 
+Size kv_bytes_per_token(const ModelConfig& cfg) {
+  GPA_CHECK(cfg.embed_dim > 0, "kv_bytes_per_token needs a positive packed width");
+  return 2 * static_cast<Size>(cfg.embed_dim) * dtype_size(cfg.dtype);
+}
+
+Index max_cached_tokens(const DeviceSpec& device, const ModelConfig& cfg,
+                        double budget_fraction) {
+  GPA_CHECK(budget_fraction > 0.0 && budget_fraction <= 1.0,
+            "KV budget fraction must be in (0, 1]");
+  const Size budget =
+      static_cast<Size>(static_cast<double>(device.memory_bytes) * budget_fraction);
+  return static_cast<Index>(budget / kv_bytes_per_token(cfg));
+}
+
 }  // namespace gpa::memmodel

@@ -64,6 +64,17 @@ struct Table2Row {
 };
 Table2Row table2_row(const DeviceSpec& device, const ModelConfig& cfg);
 
+/// Bytes of KV-cache storage one cached token occupies: one K row plus
+/// one V row at the packed width (heads · head_dim), at the configured
+/// dtype. This is the sizing unit for the paged cache in src/kvcache/.
+Size kv_bytes_per_token(const ModelConfig& cfg);
+
+/// Largest number of tokens a paged KV cache can hold on `device` when
+/// granted `budget_fraction` of its capacity (the rest is reserved for
+/// weights / activations / prefill working set).
+Index max_cached_tokens(const DeviceSpec& device, const ModelConfig& cfg,
+                        double budget_fraction = 1.0);
+
 /// The paper's §II-D LongNet sparsity-factor table: Sf = 2730/L for
 /// L ∈ {16k, 32k, 1M, ..., 160M, 1B}.
 struct SparsityTableEntry {

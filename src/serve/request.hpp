@@ -40,11 +40,19 @@ struct RequestData {
   Matrix<float> q, k, v;
 };
 
+/// What the request asks the server to run.
+///   Attention — one-shot attention over the carried Q/K/V and mask.
+///   Decode    — one incremental token against a cached session: Q/K/V
+///               are 1×d rows, the mask lives with the session, and the
+///               kernel is SessionManager::decode_step (O(row-nnz)).
+enum class RequestKind : std::uint8_t { Attention, Decode };
+
 enum class ResponseStatus : std::uint8_t {
   Ok,                 ///< output holds the attention result
   RejectedQueueFull,  ///< admission control: queue at capacity
   RejectedDeadline,   ///< deadline passed before dispatch
   RejectedShutdown,   ///< server stopping; request not executed
+  RejectedSession,    ///< decode: session unknown/evicted, or no manager
   InternalError,      ///< kernel raised; see server log
 };
 
@@ -54,6 +62,7 @@ constexpr std::string_view status_name(ResponseStatus s) {
     case ResponseStatus::RejectedQueueFull: return "rejected-queue-full";
     case ResponseStatus::RejectedDeadline: return "rejected-deadline";
     case ResponseStatus::RejectedShutdown: return "rejected-shutdown";
+    case ResponseStatus::RejectedSession: return "rejected-session";
     case ResponseStatus::InternalError: return "internal-error";
   }
   return "?";
@@ -71,8 +80,15 @@ struct Response {
 };
 
 struct Request {
+  RequestKind kind = RequestKind::Attention;
   std::shared_ptr<const RequestData> data;
+  /// Attention only; decode requests carry no mask (the session owns it).
   std::shared_ptr<const Csr<float>> mask;
+  /// Decode only: the SessionManager session this token extends.
+  std::uint64_t session_id = 0;
+  /// Scheduling priority: higher pops first, FIFO within a priority
+  /// level (see RequestQueue).
+  int priority = 0;
   /// head_dim 0 means "one head over the full packed width".
   MultiHeadDims dims{1, 0};
   AttentionOptions opts{};
@@ -99,6 +115,20 @@ inline Request make_request(Matrix<float> q, Matrix<float> k, Matrix<float> v,
   r.data = std::move(data);
   r.mask = std::move(mask);
   r.dims = dims;
+  return r;
+}
+
+/// Convenience builder for one decode token against a cached session.
+inline Request make_decode_request(std::uint64_t session_id, Matrix<float> q_row,
+                                   Matrix<float> k_row, Matrix<float> v_row) {
+  Request r;
+  r.kind = RequestKind::Decode;
+  r.session_id = session_id;
+  auto data = std::make_shared<RequestData>();
+  data->q = std::move(q_row);
+  data->k = std::move(k_row);
+  data->v = std::move(v_row);
+  r.data = std::move(data);
   return r;
 }
 

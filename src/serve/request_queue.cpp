@@ -43,24 +43,38 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
   expired.clear();
   std::unique_lock<std::mutex> lk(mu_);
 
-  // Acquire a lead request (the oldest non-expired one). Expired
-  // requests met on the way are handed back for rejection; if the scan
-  // leaves the queue empty, deliver those before reporting closure.
+  // Acquire a lead request: the oldest member of the highest priority
+  // level present (deque order is arrival order, so the first maximum
+  // found is the oldest — FIFO within a level, which is what keeps
+  // equal-priority traffic starvation-free). Expired requests met
+  // during the scan are swept out and handed back for rejection; if
+  // the sweep empties the queue, deliver those before reporting closure.
   while (batch.empty()) {
     cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
     if (q_.empty()) {
       return !expired.empty();  // closed_ must hold here
     }
+    // Sweep expired first, as a single compaction pass: per-element
+    // erase would shift the tail once per expired request (O(n²) under
+    // the queue mutex when a burst of deadlines lapses).
     const TimePoint now = Clock::now();
-    while (!q_.empty()) {
-      if (now >= q_.front().deadline) {
-        expired.push_back(std::move(q_.front()));
-        q_.pop_front();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      if (now >= q_[i].deadline) {
+        expired.push_back(std::move(q_[i]));
       } else {
-        batch.push_back(std::move(q_.front()));
-        q_.pop_front();
-        break;
+        if (keep != i) q_[keep] = std::move(q_[i]);
+        ++keep;
       }
+    }
+    q_.resize(keep);
+    std::size_t lead = q_.size();
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      if (lead == q_.size() || q_[i].priority > q_[lead].priority) lead = i;
+    }
+    if (lead < q_.size()) {
+      batch.push_back(std::move(q_[lead]));
+      q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(lead));
     }
     // Everything scanned had expired: deliver those immediately rather
     // than sleeping on them (prompt rejection beats a stale future).

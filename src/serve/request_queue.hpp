@@ -5,11 +5,15 @@
 // offered load exceeds capacity (shedding beats unbounded queueing).
 //
 // pop_batch is the batching primitive: it removes the oldest admissible
-// request, then keeps collecting requests with the SAME BatchKey —
-// skipping over incompatible ones, which stay queued for other workers —
-// until the batch is full or max_wait elapses. Deadline-expired requests
-// encountered during the scan are returned separately so the worker can
-// reject them without running the kernel.
+// request of the HIGHEST priority present (FIFO within a priority
+// level — arrival order breaks ties, so equal-priority traffic is
+// starvation-free), then keeps collecting requests with the SAME
+// BatchKey — skipping over incompatible ones, which stay queued for
+// other workers — until the batch is full or max_wait elapses. The
+// key-compatible fill keeps arrival order regardless of priority:
+// priority chooses which batch goes NEXT, not who rides along in it.
+// Deadline-expired requests encountered during the scan are returned
+// separately so the worker can reject them without running the kernel.
 
 #include <chrono>
 #include <condition_variable>

@@ -59,13 +59,26 @@ std::future<Response> Server::submit(Request r) {
   auto fut = r.promise.get_future();
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
 
-  GPA_CHECK(r.data != nullptr && r.mask != nullptr, "request needs payload and mask");
+  GPA_CHECK(r.data != nullptr, "request needs a payload");
   const RequestData& d = *r.data;
   GPA_CHECK(d.q.same_shape(d.k) && d.q.same_shape(d.v), "request Q/K/V must share one shape");
-  GPA_CHECK(d.q.rows() == r.mask->rows, "request length must match the mask");
-  if (r.dims.head_dim == 0) r.dims = MultiHeadDims{1, d.q.cols()};
-  GPA_CHECK(r.dims.num_heads >= 1 && r.dims.num_heads * r.dims.head_dim == d.q.cols(),
-            "head geometry must tile the packed width");
+  if (r.kind == RequestKind::Decode) {
+    // One token against a cached session: no mask travels with the
+    // request (the session owns it) and the payload is a single row.
+    GPA_CHECK(d.q.rows() == 1, "decode requests carry one token (1×d payloads)");
+    // Width must match the pool here at admission: dispatch_decode uses
+    // the raw-pointer decode_step (no shape re-check), so a mismatched
+    // row would read/write out of bounds, not reject.
+    GPA_CHECK(cfg_.sessions == nullptr || d.q.cols() == cfg_.sessions->pool().head_dim(),
+              "decode payload width must match the session pool's head dimension");
+    r.dims = MultiHeadDims{1, d.q.cols()};
+  } else {
+    GPA_CHECK(r.mask != nullptr, "attention requests need a mask");
+    GPA_CHECK(d.q.rows() == r.mask->rows, "request length must match the mask");
+    if (r.dims.head_dim == 0) r.dims = MultiHeadDims{1, d.q.cols()};
+    GPA_CHECK(r.dims.num_heads >= 1 && r.dims.num_heads * r.dims.head_dim == d.q.cols(),
+              "head geometry must tile the packed width");
+  }
   if (!r.output.same_shape(d.q)) r.output = Matrix<float>(d.q.rows(), d.q.cols());
 
   // Past validation: from here every path gives the request a terminal
@@ -73,6 +86,13 @@ std::future<Response> Server::submit(Request r) {
   // stays balanced.
   stats_.record_submitted();
 
+  if (r.kind == RequestKind::Decode && cfg_.sessions == nullptr) {
+    // Defensive, not an assert: a deployment without a session backend
+    // sheds decode traffic with a typed cause the client can read.
+    stats_.record_rejected(ResponseStatus::RejectedSession);
+    resolve(r, ResponseStatus::RejectedSession);
+    return fut;
+  }
   if (stopping_.load(std::memory_order_acquire)) {
     stats_.record_rejected(ResponseStatus::RejectedShutdown);
     resolve(r, ResponseStatus::RejectedShutdown);
@@ -84,8 +104,15 @@ std::future<Response> Server::submit(Request r) {
     resolve(r, ResponseStatus::RejectedDeadline);
     return fut;
   }
-  r.key = BatchKey{fingerprint_of(r.mask), d.q.rows(), d.q.cols(), r.dims.num_heads,
-                   DType::F32};
+  if (r.kind == RequestKind::Decode) {
+    // Decode steps coalesce across sessions and lengths: the key only
+    // carries the dispatch family and the packed width (see BatchKey).
+    r.key = BatchKey{0, 0, d.q.cols(), 1, DType::F32,
+                     static_cast<std::uint8_t>(RequestKind::Decode)};
+  } else {
+    r.key = BatchKey{fingerprint_of(r.mask), d.q.rows(), d.q.cols(), r.dims.num_heads,
+                     DType::F32, static_cast<std::uint8_t>(RequestKind::Attention)};
+  }
   r.enqueue_time = now;
 
   switch (queue_.try_push(r)) {
@@ -104,7 +131,70 @@ std::future<Response> Server::submit(Request r) {
   return fut;
 }
 
+void Server::dispatch_decode(std::vector<Request>& batch) {
+  const auto b = static_cast<Index>(batch.size());
+  const TimePoint t0 = Clock::now();
+
+  // Group the batch's items by session, keeping each session's steps in
+  // arrival (queue) order: folds for one session must land in token
+  // order, while different sessions decode concurrently — this loop is
+  // the cross-session batching the paged cache exists for. The order
+  // guarantee is per-dispatch only: a client that pipelines token t+1
+  // before token t resolves can see the two land in different batches
+  // and fold out of order (see the ordering contract in
+  // kvcache/session_manager.hpp — await each step).
+  std::map<std::uint64_t, std::vector<std::size_t>> by_session;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    by_session[batch[i].session_id].push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> groups;
+  groups.reserve(by_session.size());
+  for (const auto& [sid, idx] : by_session) groups.push_back(&idx);
+
+  std::vector<ResponseStatus> status(batch.size(), ResponseStatus::Ok);
+  kvcache::SessionManager& mgr = *cfg_.sessions;
+  parallel_for(0, static_cast<Index>(groups.size()), cfg_.batch_policy, [&](Index g) {
+    for (const std::size_t i : *groups[static_cast<std::size_t>(g)]) {
+      Request& r = batch[i];
+      try {
+        mgr.decode_step(r.session_id, r.data->q.row(0), r.data->k.row(0), r.data->v.row(0),
+                        r.output.row(0));
+      } catch (const kvcache::SessionError&) {
+        status[i] = ResponseStatus::RejectedSession;  // unknown / evicted / cache full
+      } catch (const std::exception&) {
+        status[i] = ResponseStatus::InternalError;
+      }
+    }
+  });
+
+  const TimePoint t1 = Clock::now();
+  stats_.record_batch(b);
+  const double service_us = micros_between(t0, t1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& r = batch[i];
+    if (status[i] != ResponseStatus::Ok) {
+      stats_.record_rejected(status[i]);
+      resolve(r, status[i]);
+      continue;
+    }
+    const double queue_us = micros_between(r.enqueue_time, t0);
+    stats_.record_completion(queue_us + service_us, service_us);
+    Response resp;
+    resp.status = ResponseStatus::Ok;
+    resp.id = r.id;
+    resp.output = std::move(r.output);
+    resp.queue_us = queue_us;
+    resp.service_us = service_us;
+    resp.batch_size = b;
+    r.promise.set_value(std::move(resp));
+  }
+}
+
 void Server::dispatch(std::vector<Request>& batch) {
+  if (batch.front().kind == RequestKind::Decode) {
+    dispatch_decode(batch);
+    return;
+  }
   const auto b = static_cast<Index>(batch.size());
   const TimePoint t0 = Clock::now();
   try {

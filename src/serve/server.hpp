@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "kvcache/session_manager.hpp"
 #include "parallel/exec_policy.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request_queue.hpp"
@@ -45,6 +46,10 @@ struct ServerConfig {
   /// Per-item kernel policy (default serial: items don't oversubscribe
   /// each other; raise it for few-large-request deployments).
   ExecPolicy item_policy = ExecPolicy::serial();
+  /// Session backend for RequestKind::Decode. Without one, every decode
+  /// request resolves to RejectedSession at admission (a server can opt
+  /// out of stateful traffic entirely).
+  std::shared_ptr<kvcache::SessionManager> sessions;
 };
 
 class Server {
@@ -68,9 +73,14 @@ class Server {
   std::size_t queue_depth() const { return queue_.size(); }
   const ServerConfig& config() const noexcept { return cfg_; }
 
+  const std::shared_ptr<kvcache::SessionManager>& sessions() const noexcept {
+    return cfg_.sessions;
+  }
+
  private:
   void worker_loop();
   void dispatch(std::vector<Request>& batch);
+  void dispatch_decode(std::vector<Request>& batch);
   std::uint64_t fingerprint_of(const std::shared_ptr<const Csr<float>>& mask);
   static void resolve(Request& r, ResponseStatus status);
 

@@ -13,6 +13,7 @@ void ServerStats::record_rejected(ResponseStatus cause) {
     case ResponseStatus::RejectedQueueFull: ++rejected_queue_full_; break;
     case ResponseStatus::RejectedDeadline: ++rejected_deadline_; break;
     case ResponseStatus::RejectedShutdown: ++rejected_shutdown_; break;
+    case ResponseStatus::RejectedSession: ++rejected_session_; break;
     case ResponseStatus::InternalError: ++internal_errors_; break;
     case ResponseStatus::Ok: break;  // not a rejection
   }
@@ -53,6 +54,7 @@ StatsSnapshot ServerStats::snapshot() const {
     s.rejected_queue_full = rejected_queue_full_;
     s.rejected_deadline = rejected_deadline_;
     s.rejected_shutdown = rejected_shutdown_;
+    s.rejected_session = rejected_session_;
     s.internal_errors = internal_errors_;
     s.batches = batches_;
     s.occupancy = occupancy_;

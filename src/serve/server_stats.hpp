@@ -20,6 +20,7 @@ struct StatsSnapshot {
   Size rejected_queue_full = 0;
   Size rejected_deadline = 0;
   Size rejected_shutdown = 0;
+  Size rejected_session = 0;
   Size internal_errors = 0;
 
   Size batches = 0;
@@ -54,6 +55,7 @@ class ServerStats {
   Size rejected_queue_full_ = 0;
   Size rejected_deadline_ = 0;
   Size rejected_shutdown_ = 0;
+  Size rejected_session_ = 0;
   Size internal_errors_ = 0;
   Size batches_ = 0;
   std::vector<Size> occupancy_;

@@ -187,4 +187,23 @@ Csr<float> coo_to_csr(const Coo<float>& coo) {
   return csr;
 }
 
+Csr<float> csr_leading_slice(const Csr<float>& mask, Index n) {
+  GPA_CHECK(n >= 0 && n <= mask.rows && n <= mask.cols,
+            "slice extent must fit inside the mask");
+  Csr<float> s;
+  s.rows = n;
+  s.cols = n;
+  s.row_offsets.assign(1, 0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index kk = mask.row_begin(i); kk < mask.row_end(i); ++kk) {
+      const Index j = mask.col_idx[static_cast<std::size_t>(kk)];
+      if (j >= n) break;  // columns sorted: rest of the row is outside
+      s.col_idx.push_back(j);
+      s.values.push_back(mask.values[static_cast<std::size_t>(kk)]);
+    }
+    s.row_offsets.push_back(static_cast<Index>(s.col_idx.size()));
+  }
+  return s;
+}
+
 }  // namespace gpa

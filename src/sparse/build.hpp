@@ -33,6 +33,13 @@ Csr<float> build_csr_global(Index seq_len, const GlobalParams& p);
 /// (deterministic given p.seed). O(NNZ) via geometric gap sampling.
 Csr<float> build_csr_random(Index seq_len, const RandomParams& p);
 
+/// Leading n×n principal sub-mask of a canonical CSR (rows 0..n-1,
+/// columns < n; relies on sorted columns per row). This is how the
+/// KV-cache surfaces compare a session decoding under a big mask with
+/// a full recompute at the current length — the causal row slices of
+/// the two agree by construction.
+Csr<float> csr_leading_slice(const Csr<float>& mask, Index n);
+
 /// Dense 0/1 mask (row-major bytes) -> sparse, and back.
 Csr<float> dense_to_csr(const Matrix<std::uint8_t>& mask);
 Matrix<std::uint8_t> csr_to_dense(const Csr<float>& csr);

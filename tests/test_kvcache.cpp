@@ -1,0 +1,432 @@
+// KV-cache subsystem tests: paged allocator invariants (refcounts, CoW,
+// no double free), LRU eviction policy (idle-only, pinned exempt), and
+// the load-bearing numerics claim — a stream of decode_step folds is
+// BIT-IDENTICAL (float path) to one full-sequence causal kernel call,
+// across explicit (CSR) and implicit (local/global) masks and head dims
+// that exercise every SIMD remainder-lane count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/graph_attention.hpp"
+#include "kvcache/kvcache.hpp"
+#include "sparse/build.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa::kvcache {
+namespace {
+
+// --- BlockPool -------------------------------------------------------
+
+TEST(BlockPoolTest, AllocateExhaustRelease) {
+  BlockPool pool({/*page_size=*/4, /*head_dim=*/8, /*num_pages=*/3});
+  EXPECT_EQ(pool.pages_free(), 3);
+  const Index a = pool.allocate();
+  const Index b = pool.allocate();
+  const Index c = pool.allocate();
+  EXPECT_NE(a, BlockPool::kNoPage);
+  EXPECT_NE(b, BlockPool::kNoPage);
+  EXPECT_NE(c, BlockPool::kNoPage);
+  EXPECT_EQ(pool.allocate(), BlockPool::kNoPage);  // exhausted, not an error
+  EXPECT_EQ(pool.pages_in_use(), 3);
+  pool.release(b);
+  EXPECT_EQ(pool.pages_free(), 1);
+  EXPECT_EQ(pool.allocate(), b);  // the freed page comes back
+}
+
+TEST(BlockPoolTest, RefcountSharingAndDoubleFree) {
+  BlockPool pool({4, 8, 2});
+  const Index p = pool.allocate();
+  EXPECT_EQ(pool.ref_count(p), 1);
+  pool.retain(p);
+  EXPECT_EQ(pool.ref_count(p), 2);
+  pool.release(p);
+  EXPECT_EQ(pool.ref_count(p), 1);
+  EXPECT_EQ(pool.pages_in_use(), 1);  // still held
+  pool.release(p);
+  EXPECT_EQ(pool.pages_in_use(), 0);
+  EXPECT_THROW(pool.release(p), InvalidArgument);  // double free
+  EXPECT_THROW(pool.retain(p), InvalidArgument);   // retain of a dead page
+  EXPECT_THROW(pool.release(99), InvalidArgument); // out of range
+}
+
+TEST(BlockPoolTest, DeviceSizedConfigUsesTheMemoryModel) {
+  // 1 MiB budget, d=64 fp32: 512 bytes/token -> 2048 tokens -> 128
+  // pages of 16.
+  const DeviceSpec dev = DeviceSpec::host(1ull << 20);
+  const BlockPoolConfig cfg = pool_config_for_device(dev, /*head_dim=*/64,
+                                                     /*page_size=*/16,
+                                                     /*budget_fraction=*/1.0);
+  EXPECT_EQ(cfg.num_pages, 128);
+  EXPECT_EQ(cfg.head_dim, 64);
+  // Half the budget -> half the pages.
+  EXPECT_EQ(pool_config_for_device(dev, 64, 16, 0.5).num_pages, 64);
+}
+
+// --- PageTable -------------------------------------------------------
+
+std::vector<float> token_row(Index t, Index d, float salt) {
+  std::vector<float> r(static_cast<std::size_t>(d));
+  for (Index p = 0; p < d; ++p) {
+    r[static_cast<std::size_t>(p)] = salt + static_cast<float>(t) * 100.0f +
+                                     static_cast<float>(p);
+  }
+  return r;
+}
+
+TEST(PageTableTest, AppendAndReadAcrossPageBoundaries) {
+  BlockPool pool({/*page_size=*/4, /*head_dim=*/8, /*num_pages=*/8});
+  PageTable table;
+  const Index n = 10;  // 2.5 pages
+  for (Index t = 0; t < n; ++t) {
+    const auto k = token_row(t, 8, 1.0f);
+    const auto v = token_row(t, 8, 2.0f);
+    ASSERT_TRUE(table.append(pool, k.data(), v.data()));
+  }
+  EXPECT_EQ(table.length(), n);
+  EXPECT_EQ(table.num_pages(), 3);
+  for (Index t = 0; t < n; ++t) {
+    const auto k = token_row(t, 8, 1.0f);
+    const auto v = token_row(t, 8, 2.0f);
+    for (Index p = 0; p < 8; ++p) {
+      EXPECT_EQ(table.k_row(pool, t)[p], k[static_cast<std::size_t>(p)]);
+      EXPECT_EQ(table.v_row(pool, t)[p], v[static_cast<std::size_t>(p)]);
+    }
+  }
+  table.release_all(pool);
+  EXPECT_EQ(pool.pages_in_use(), 0);
+}
+
+TEST(PageTableTest, ForkSharesFullPagesAndCopiesOnlyTheTailOnWrite) {
+  BlockPool pool({4, 8, 8});
+  PageTable parent;
+  for (Index t = 0; t < 6; ++t) {  // one full page + half a page
+    const auto k = token_row(t, 8, 1.0f);
+    const auto v = token_row(t, 8, 2.0f);
+    ASSERT_TRUE(parent.append(pool, k.data(), v.data()));
+  }
+  PageTable child = parent.fork(pool);
+  EXPECT_EQ(child.length(), 6);
+  EXPECT_EQ(pool.pages_in_use(), 2);  // fully shared, no copies yet
+  EXPECT_EQ(pool.ref_count(parent.pages()[0]), 2);
+  EXPECT_EQ(pool.ref_count(parent.pages()[1]), 2);
+
+  // Child appends: the shared, partially-filled tail page is CoW'd;
+  // the full page stays shared.
+  const auto k6 = token_row(6, 8, 5.0f);
+  const auto v6 = token_row(6, 8, 6.0f);
+  ASSERT_TRUE(child.append(pool, k6.data(), v6.data()));
+  EXPECT_EQ(pool.pages_in_use(), 3);
+  EXPECT_EQ(pool.ref_count(parent.pages()[0]), 2);  // shared prefix intact
+  EXPECT_EQ(pool.ref_count(parent.pages()[1]), 1);  // parent's tail, exclusive again
+  EXPECT_NE(child.pages()[1], parent.pages()[1]);
+
+  // Parent's view is untouched; child sees prefix + its new token.
+  for (Index t = 0; t < 6; ++t) {
+    const auto k = token_row(t, 8, 1.0f);
+    EXPECT_EQ(parent.k_row(pool, t)[3], k[3]);
+    EXPECT_EQ(child.k_row(pool, t)[3], k[3]);
+  }
+  EXPECT_EQ(child.k_row(pool, 6)[0], k6[0]);
+
+  child.release_all(pool);
+  parent.release_all(pool);
+  EXPECT_EQ(pool.pages_in_use(), 0);
+}
+
+// --- decode vs full recompute: bit identity --------------------------
+
+struct IdentityCase {
+  std::string name;
+  MaskSpec spec;
+  std::function<void(const Matrix<float>&, const Matrix<float>&, const Matrix<float>&,
+                     Matrix<float>&)>
+      full_causal;  ///< one-shot causal kernel over the whole sequence
+};
+
+std::vector<IdentityCase> identity_cases(Index n) {
+  std::vector<IdentityCase> cases;
+  {
+    auto mask = std::make_shared<const Csr<float>>(build_csr_random(n, RandomParams{0.25, 9}));
+    cases.push_back({"csr", MaskSpec::make_csr(mask),
+                     [mask](const auto& q, const auto& k, const auto& v, auto& o) {
+                       AttentionOptions opts;
+                       opts.causal = true;
+                       csr_attention(q, k, v, *mask, o, opts);
+                     }});
+  }
+  {
+    const LocalParams p{5};
+    cases.push_back({"local", MaskSpec::make_local(p),
+                     [p](const auto& q, const auto& k, const auto& v, auto& o) {
+                       AttentionOptions opts;
+                       opts.causal = true;
+                       local_attention(q, k, v, p, o, opts);
+                     }});
+  }
+  {
+    GlobalMinusLocalParams p;
+    p.global.tokens = {0, 3, 9};
+    p.local.window = 2;
+    cases.push_back({"global", MaskSpec::make_global(p),
+                     [p](const auto& q, const auto& k, const auto& v, auto& o) {
+                       AttentionOptions opts;
+                       opts.causal = true;
+                       global_attention(q, k, v, p, o, opts);
+                     }});
+  }
+  return cases;
+}
+
+/// N single-row decode folds must equal one full-sequence causal kernel
+/// call bit for bit, for any prefill/decode split of the sequence.
+void check_decode_identity(Index n, Index d, Index prefill_len) {
+  for (auto& c : identity_cases(n)) {
+    SCOPED_TRACE(c.name + " d=" + std::to_string(d) +
+                 " prefill=" + std::to_string(prefill_len));
+    Rng rng(static_cast<std::uint64_t>(n * 1000 + d));
+    Matrix<float> q(n, d), k(n, d), v(n, d);
+    fill_uniform(q, rng);
+    fill_uniform(k, rng);
+    fill_uniform(v, rng);
+
+    Matrix<float> expected(n, d);
+    c.full_causal(q, k, v, expected);
+
+    SessionManager::Config mc;
+    mc.pool.page_size = 4;  // deliberately small: decode crosses pages
+    mc.pool.head_dim = d;
+    mc.pool.num_pages = n / 4 + 2;
+    SessionManager mgr(mc);
+    mgr.create(1, c.spec);
+
+    Matrix<float> got(n, d);
+    if (prefill_len > 0) {
+      Matrix<float> qp(prefill_len, d), kp(prefill_len, d), vp(prefill_len, d);
+      for (Index i = 0; i < prefill_len; ++i) {
+        for (Index p = 0; p < d; ++p) {
+          qp(i, p) = q(i, p);
+          kp(i, p) = k(i, p);
+          vp(i, p) = v(i, p);
+        }
+      }
+      Matrix<float> out(prefill_len, d);
+      mgr.prefill(1, qp, kp, vp, out);
+      for (Index i = 0; i < prefill_len; ++i) {
+        for (Index p = 0; p < d; ++p) got(i, p) = out(i, p);
+      }
+    }
+    for (Index t = prefill_len; t < n; ++t) {
+      mgr.decode_step(1, q.row(t), k.row(t), v.row(t), got.row(t));
+    }
+
+    for (Index i = 0; i < n; ++i) {
+      for (Index p = 0; p < d; ++p) {
+        ASSERT_EQ(got(i, p), expected(i, p))
+            << "row " << i << " col " << p << " (rows 0.." << prefill_len - 1
+            << " prefilled, rest decoded)";
+      }
+    }
+  }
+}
+
+TEST(DecodeBitIdentity, PrefillPlusDecodeMatchesFullKernel) {
+  for (const Index d : {32, 64, 67}) check_decode_identity(24, d, 12);
+}
+
+TEST(DecodeBitIdentity, PureDecodeStreamMatchesFullKernel) {
+  // No prefill at all: the whole sequence arrives token by token.
+  for (const Index d : {32, 64, 67}) check_decode_identity(16, d, 0);
+}
+
+TEST(DecodeBitIdentity, ForkedSessionContinuesBitIdentically) {
+  const Index n = 20, d = 32, split = 10;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_random(n, RandomParams{0.3, 17}));
+  Rng rng(71);
+  Matrix<float> q(n, d), k(n, d), v(n, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  Matrix<float> qp(split, d), kp(split, d), vp(split, d), out(split, d);
+  for (Index i = 0; i < split; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      qp(i, p) = q(i, p);
+      kp(i, p) = k(i, p);
+      vp(i, p) = v(i, p);
+    }
+  }
+
+  SessionManager::Config mc;
+  mc.pool.page_size = 4;
+  mc.pool.head_dim = d;
+  mc.pool.num_pages = 32;
+  SessionManager mgr(mc);
+  mgr.create(1, MaskSpec::make_csr(mask));
+  mgr.prefill(1, qp, kp, vp, out);
+  mgr.fork(1, 2);
+
+  // Parent decodes a decoy continuation first (its CoW tail must not
+  // leak into the child), then the child decodes the real one.
+  std::vector<float> decoy(static_cast<std::size_t>(d), 0.25f);
+  std::vector<float> scratch(static_cast<std::size_t>(d));
+  mgr.decode_step(1, decoy.data(), decoy.data(), decoy.data(), scratch.data());
+
+  SessionManager ref_mgr(mc);
+  ref_mgr.create(7, MaskSpec::make_csr(mask));
+  Matrix<float> ref_out(split, d);
+  ref_mgr.prefill(7, qp, kp, vp, ref_out);
+
+  for (Index t = split; t < n; ++t) {
+    std::vector<float> got(static_cast<std::size_t>(d)), want(static_cast<std::size_t>(d));
+    mgr.decode_step(2, q.row(t), k.row(t), v.row(t), got.data());
+    ref_mgr.decode_step(7, q.row(t), k.row(t), v.row(t), want.data());
+    for (Index p = 0; p < d; ++p) ASSERT_EQ(got[static_cast<std::size_t>(p)],
+                                            want[static_cast<std::size_t>(p)]);
+  }
+}
+
+// --- sessions: lifecycle, eviction, errors ---------------------------
+
+SessionManager::Config small_config(Index d, Index num_pages) {
+  SessionManager::Config mc;
+  mc.pool.page_size = 2;
+  mc.pool.head_dim = d;
+  mc.pool.num_pages = num_pages;
+  return mc;
+}
+
+void prefill_n(SessionManager& mgr, std::uint64_t id, Index n, Index d) {
+  Rng rng(id * 13 + 5);
+  Matrix<float> q(n, d), k(n, d), v(n, d), out(n, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  mgr.prefill(id, q, k, v, out);
+}
+
+TEST(SessionEviction, LruEvictsOnlyIdleAndOldest) {
+  const Index d = 8;
+  // 8 pages of 2 tokens: two 4-token sessions twice over.
+  SessionManager mgr(small_config(d, 8));
+  mgr.create(1, MaskSpec::make_local(LocalParams{2}));
+  mgr.create(2, MaskSpec::make_local(LocalParams{2}));
+  prefill_n(mgr, 1, 4, d);
+  prefill_n(mgr, 2, 4, d);
+  EXPECT_EQ(mgr.pool().pages_free(), 4);
+
+  // Touch 1 (decode one token) so 2 becomes LRU, then demand more
+  // pages than remain free.
+  std::vector<float> row(static_cast<std::size_t>(d), 0.5f);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  mgr.decode_step(1, row.data(), row.data(), row.data(), out.data());
+  mgr.create(3, MaskSpec::make_local(LocalParams{2}));
+  prefill_n(mgr, 3, 10, d);  // needs 5 pages -> must evict session 2
+
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+  EXPECT_TRUE(mgr.contains(1));
+  EXPECT_FALSE(mgr.contains(2));  // evicted -> gone (client re-prefills)
+  EXPECT_THROW(mgr.length(2), SessionNotFound);
+  EXPECT_EQ(mgr.length(3), 10);
+}
+
+TEST(SessionEviction, PinnedSessionsSurviveAndCacheFullIsTyped) {
+  const Index d = 8;
+  SessionManager mgr(small_config(d, 4));
+  mgr.create(1, MaskSpec::make_local(LocalParams{2}));
+  prefill_n(mgr, 1, 8, d);  // entire pool
+  mgr.set_pinned(1, true);
+
+  mgr.create(2, MaskSpec::make_local(LocalParams{2}));
+  EXPECT_THROW(prefill_n(mgr, 2, 4, d), CacheFull);
+  EXPECT_TRUE(mgr.contains(1));          // pinned: never evicted
+  EXPECT_EQ(mgr.length(2), 0);           // failed prefill left it empty
+  EXPECT_EQ(mgr.stats().evictions, 0u);
+
+  mgr.set_pinned(1, false);
+  prefill_n(mgr, 2, 4, d);  // now eviction can reclaim session 1
+  EXPECT_FALSE(mgr.contains(1));
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+}
+
+TEST(SessionApi, LifecycleAndErrorTaxonomy) {
+  const Index d = 8;
+  SessionManager mgr(small_config(d, 8));
+  EXPECT_THROW(prefill_n(mgr, 42, 2, d), SessionNotFound);
+
+  auto mask = std::make_shared<const Csr<float>>(build_csr_random(4, RandomParams{0.5, 3}));
+  mgr.create(1, MaskSpec::make_csr(mask));
+  EXPECT_THROW(mgr.create(1, MaskSpec::make_local(LocalParams{1})), InvalidArgument);
+  prefill_n(mgr, 1, 4, d);
+  EXPECT_THROW(prefill_n(mgr, 1, 2, d), InvalidArgument);  // non-empty session
+
+  // The 4×4 CSR mask is exhausted: decoding token 4 has no mask row.
+  std::vector<float> row(static_cast<std::size_t>(d), 0.5f);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  EXPECT_THROW(mgr.decode_step(1, row.data(), row.data(), row.data(), out.data()),
+               InvalidArgument);
+
+  EXPECT_THROW(mgr.fork(9, 10), SessionNotFound);
+  mgr.fork(1, 2);
+  EXPECT_THROW(mgr.fork(1, 2), InvalidArgument);  // id taken
+  mgr.release(1);
+  EXPECT_FALSE(mgr.contains(1));
+  EXPECT_TRUE(mgr.contains(2));       // fork owns its own page refs
+  EXPECT_EQ(mgr.length(2), 4);
+  mgr.release(1);  // idempotent
+}
+
+TEST(SessionConcurrency, ParallelDecodeAcrossSessionsWithEvictionChurn) {
+  const Index d = 16;
+  // 4 decoders × 48 tokens = 96 pages of 2; the headroom above that is
+  // what the churn thread and the evictor fight over.
+  SessionManager mgr(small_config(d, 112));
+  constexpr int kSessions = 4;
+  constexpr Index kSteps = 48;
+  for (int s = 1; s <= kSessions; ++s) {
+    mgr.create(static_cast<std::uint64_t>(s), MaskSpec::make_local(LocalParams{4}));
+    mgr.set_pinned(static_cast<std::uint64_t>(s), true);  // decoders never vanish
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int s = 1; s <= kSessions; ++s) {
+    threads.emplace_back([&mgr, s, d] {
+      Rng rng(static_cast<std::uint64_t>(s) * 99);
+      Matrix<float> row(1, d), out(1, d);
+      for (Index t = 0; t < kSteps; ++t) {
+        fill_uniform(row, rng);
+        mgr.decode_step(static_cast<std::uint64_t>(s), row, row, row, out);
+      }
+    });
+  }
+  // Churn thread: transient sessions claim pages and die, forcing the
+  // allocator + eviction machinery under the decoders' feet.
+  threads.emplace_back([&mgr, d, &stop] {
+    for (std::uint64_t id = 100; !stop.load(); ++id) {
+      mgr.create(id, MaskSpec::make_local(LocalParams{2}));
+      try {
+        prefill_n(mgr, id, 6, d);
+      } catch (const SessionError&) {
+        // CacheFull under pressure is an acceptable outcome here.
+      }
+      mgr.release(id);
+    }
+  });
+  for (int s = 0; s < kSessions; ++s) threads[static_cast<std::size_t>(s)].join();
+  stop.store(true);
+  threads.back().join();
+
+  for (int s = 1; s <= kSessions; ++s) {
+    EXPECT_EQ(mgr.length(static_cast<std::uint64_t>(s)), kSteps);
+  }
+  EXPECT_EQ(mgr.stats().decode_steps, static_cast<Size>(kSessions) * kSteps);
+}
+
+}  // namespace
+}  // namespace gpa::kvcache

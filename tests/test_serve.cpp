@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "core/graph_attention.hpp"
 #include "core/multihead.hpp"
+#include "kvcache/kvcache.hpp"
 #include "serve/serve.hpp"
 #include "sparse/build.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -32,6 +33,16 @@ std::shared_ptr<const RequestData> make_payload(Index L, Index d, std::uint64_t 
   return data;
 }
 
+/// ServerConfig from the three knobs the suites vary (the rest stay
+/// at their defaults, including the absent session backend).
+ServerConfig make_config(int workers, std::size_t queue_capacity, BatchPolicy policy = {}) {
+  ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue_capacity;
+  cfg.policy = policy;
+  return cfg;
+}
+
 Request make_test_request(std::shared_ptr<const RequestData> data,
                           std::shared_ptr<const Csr<float>> mask,
                           MultiHeadDims dims = {1, 0}) {
@@ -49,7 +60,7 @@ TEST(ServeParity, SingleRequestMatchesDirectKernelCall) {
   auto mask = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.2, 5}));
   auto payload = make_payload(L, d, 901);
 
-  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{1, 0us}});
+  Server server(make_config(1, 8, BatchPolicy{1, 0us}));
   auto fut = server.submit(make_test_request(payload, mask));
   const Response resp = fut.get();
   ASSERT_EQ(resp.status, ResponseStatus::Ok);
@@ -65,7 +76,7 @@ TEST(ServeParity, MultiHeadAndCausalRequestsMatchDirectCalls) {
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{4}));
   auto payload = make_payload(L, heads * hd, 902);
 
-  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{4, 0us}});
+  Server server(make_config(1, 8, BatchPolicy{4, 0us}));
 
   Request mh = make_test_request(payload, mask, MultiHeadDims{heads, hd});
   const Response mh_resp = server.submit(std::move(mh)).get();
@@ -95,7 +106,7 @@ TEST(ServeParity, MixedMaskTrafficStaysIsolated) {
   auto mask_b = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.3, 9}));
   ASSERT_NE(mask_fingerprint(*mask_a), mask_fingerprint(*mask_b));
 
-  Server server({/*workers=*/2, /*queue_capacity=*/64, BatchPolicy{8, 500us}});
+  Server server(make_config(2, 64, BatchPolicy{8, 500us}));
   std::vector<std::shared_ptr<const RequestData>> payloads;
   std::vector<std::future<Response>> futures;
   for (int i = 0; i < 24; ++i) {
@@ -241,7 +252,7 @@ TEST(DynamicBatcherTest, DeadlineTighterThanWindowDispatchesImmediately) {
 TEST(ServeAdmission, ExpiredDeadlineRejectedAtSubmit) {
   const Index L = 16, d = 4;
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
-  Server server({/*workers=*/1, /*queue_capacity=*/8});
+  Server server(make_config(1, 8));
   Request r = make_test_request(make_payload(L, d, 11), mask);
   r.deadline = Clock::now() - 1ms;
   const Response resp = server.submit(std::move(r)).get();
@@ -288,7 +299,7 @@ TEST(ServeAdmission, ZeroCapacityQueueShedsEverythingAndShutsDownCleanly) {
 TEST(ServeAdmission, SubmitAfterShutdownIsRejected) {
   const Index L = 8, d = 4;
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
-  Server server({/*workers=*/1, /*queue_capacity=*/8});
+  Server server(make_config(1, 8));
   server.shutdown();
   const Response resp = server.submit(make_test_request(make_payload(L, d, 14), mask)).get();
   EXPECT_EQ(resp.status, ResponseStatus::RejectedShutdown);
@@ -297,7 +308,7 @@ TEST(ServeAdmission, SubmitAfterShutdownIsRejected) {
 TEST(ServeAdmission, MalformedRequestsThrow) {
   const Index L = 8, d = 4;
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{1}));
-  Server server({/*workers=*/0, /*queue_capacity=*/8});
+  Server server(make_config(0, 8));
 
   Request no_mask = make_test_request(make_payload(L, d, 15), nullptr);
   EXPECT_THROW(server.submit(std::move(no_mask)), InvalidArgument);
@@ -315,9 +326,9 @@ TEST(ServeAdmission, MalformedRequestsThrow) {
 
 TEST(ServeShutdown, ZeroRequestLifecycleIsClean) {
   {
-    Server server({/*workers=*/2, /*queue_capacity=*/16});
+    Server server(make_config(2, 16));
   }  // destructor only
-  Server server({/*workers=*/2, /*queue_capacity=*/16});
+  Server server(make_config(2, 16));
   server.shutdown();
   server.shutdown();  // idempotent
 }
@@ -326,7 +337,7 @@ TEST(ServeShutdown, InFlightRequestsAllResolve) {
   const Index L = 64, d = 16;
   auto mask = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.3, 21}));
   auto payload = make_payload(L, d, 18);
-  Server server({/*workers=*/2, /*queue_capacity=*/128, BatchPolicy{4, 100us}});
+  Server server(make_config(2, 128, BatchPolicy{4, 100us}));
 
   std::vector<std::future<Response>> futures;
   for (int i = 0; i < 64; ++i) futures.push_back(server.submit(make_test_request(payload, mask)));
@@ -356,7 +367,7 @@ TEST(ServeStats, FunnelAndOccupancyInvariants) {
   const Index L = 32, d = 8;
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
   auto payload = make_payload(L, d, 19);
-  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{8, 2000us}});
+  Server server(make_config(1, 64, BatchPolicy{8, 2000us}));
 
   std::vector<std::future<Response>> futures;
   for (int i = 0; i < 32; ++i) futures.push_back(server.submit(make_test_request(payload, mask)));
@@ -385,7 +396,7 @@ TEST(ServeStats, PreallocatedOutputRoundTripsWithoutRealloc) {
   const Index L = 16, d = 4;
   auto mask = std::make_shared<const Csr<float>>(build_csr_local(L, LocalParams{2}));
   auto payload = make_payload(L, d, 20);
-  Server server({/*workers=*/1, /*queue_capacity=*/8, BatchPolicy{1, 0us}});
+  Server server(make_config(1, 8, BatchPolicy{1, 0us}));
 
   Request r = make_test_request(payload, mask);
   r.output = Matrix<float>(L, d);
@@ -399,7 +410,7 @@ TEST(ServeStats, PreallocatedOutputRoundTripsWithoutRealloc) {
 
 TEST(LoadGen, ClosedLoopCompletesEveryRequest) {
   auto wl = make_csr_workload(32, 8, 0.1, 33, /*pool=*/2);
-  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{4, 100us}});
+  Server server(make_config(1, 64, BatchPolicy{4, 100us}));
   LoadGenConfig cfg;
   cfg.requests = 40;
   cfg.clients = 4;
@@ -411,7 +422,7 @@ TEST(LoadGen, ClosedLoopCompletesEveryRequest) {
 
 TEST(LoadGen, OpenLoopHonorsScheduleAndCollectsAll) {
   auto wl = make_csr_workload(32, 8, 0.1, 34, /*pool=*/2);
-  Server server({/*workers=*/1, /*queue_capacity=*/64, BatchPolicy{4, 100us}});
+  Server server(make_config(1, 64, BatchPolicy{4, 100us}));
   LoadGenConfig cfg;
   cfg.requests = 20;
   cfg.arrival_hz = 2000.0;
@@ -419,6 +430,164 @@ TEST(LoadGen, OpenLoopHonorsScheduleAndCollectsAll) {
   EXPECT_EQ(res.completed + res.rejected, 20u);
   EXPECT_EQ(res.rejected, 0u);  // capacity 64 queue cannot shed 20 requests
   EXPECT_GE(res.wall_s, 19.0 / 2000.0);  // schedule actually paced arrivals
+}
+
+// --- priority scheduling ----------------------------------------------
+
+/// A queue-only request: pop_batch reads key/priority/deadline, nothing
+/// else, so the payload can stay empty. Distinct keys keep every pop a
+/// single request (no coalescing), isolating the pop ORDER under test.
+Request bare_request(std::uint64_t id, int priority) {
+  Request r;
+  r.id = id;
+  r.priority = priority;
+  r.key = BatchKey{/*mask_fp=*/id, 1, 1, 1, DType::F32};
+  return r;
+}
+
+TEST(RequestQueuePriority, HigherPriorityPopsFirstFifoWithinLevel) {
+  RequestQueue q(16);
+  // Arrival order: low, low, HIGH, low, HIGH — service order must be
+  // HIGH(3), HIGH(5), then the lows in arrival order 1, 2, 4.
+  for (const auto& [id, prio] : std::vector<std::pair<std::uint64_t, int>>{
+           {1, 0}, {2, 0}, {3, 5}, {4, 0}, {5, 5}}) {
+    Request r = bare_request(id, prio);
+    ASSERT_EQ(q.try_push(r), RequestQueue::Push::Ok);
+  }
+  std::vector<std::uint64_t> order;
+  std::vector<Request> batch, expired;
+  while (q.size() > 0) {
+    ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+    ASSERT_EQ(batch.size(), 1u);
+    order.push_back(batch.front().id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 5, 1, 2, 4}));
+}
+
+TEST(RequestQueuePriority, EqualPriorityIsStarvationFreeFifo) {
+  // With one priority level the queue must be plain FIFO: no request is
+  // ever overtaken, so every request is served after at most (queue
+  // length at its arrival) pops — starvation-freedom for equal priority.
+  RequestQueue q(64);
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    Request r = bare_request(id, 3);
+    ASSERT_EQ(q.try_push(r), RequestQueue::Push::Ok);
+  }
+  std::vector<Request> batch, expired;
+  for (std::uint64_t expect = 1; expect <= 20; ++expect) {
+    ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.front().id, expect);
+  }
+}
+
+// --- decode requests (KV-cache sessions) ------------------------------
+
+kvcache::SessionManager::Config decode_manager_config(Index d) {
+  kvcache::SessionManager::Config mc;
+  mc.pool.page_size = 4;
+  mc.pool.head_dim = d;
+  mc.pool.num_pages = 64;
+  return mc;
+}
+
+TEST(ServeDecode, DecodeThroughServerMatchesDirectManagerCall) {
+  const Index L = 12, d = 16, steps = 8;
+  auto mask =
+      std::make_shared<const Csr<float>>(build_csr_random(L + steps, RandomParams{0.3, 21}));
+  Rng rng(501);
+  Matrix<float> q(L + steps, d), k(L + steps, d), v(L + steps, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  Matrix<float> qp(L, d), kp(L, d), vp(L, d), out(L, d);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      qp(i, p) = q(i, p);
+      kp(i, p) = k(i, p);
+      vp(i, p) = v(i, p);
+    }
+  }
+
+  // Reference: a manager driven directly.
+  kvcache::SessionManager direct(decode_manager_config(d));
+  direct.create(1, kvcache::MaskSpec::make_csr(mask));
+  direct.prefill(1, qp, kp, vp, out);
+
+  // Same session state behind a server.
+  ServerConfig cfg = make_config(2, 32, BatchPolicy{4, 50us});
+  cfg.sessions = std::make_shared<kvcache::SessionManager>(decode_manager_config(d));
+  cfg.sessions->create(1, kvcache::MaskSpec::make_csr(mask));
+  cfg.sessions->prefill(1, qp, kp, vp, out);
+  Server server(std::move(cfg));
+
+  for (Index t = L; t < L + steps; ++t) {
+    Matrix<float> qr(1, d), kr(1, d), vr(1, d), want(1, d);
+    for (Index p = 0; p < d; ++p) {
+      qr(0, p) = q(t, p);
+      kr(0, p) = k(t, p);
+      vr(0, p) = v(t, p);
+    }
+    direct.decode_step(1, qr, kr, vr, want);
+    const Response resp =
+        server.submit(make_decode_request(1, std::move(qr), std::move(kr), std::move(vr)))
+            .get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok);
+    ASSERT_EQ(resp.output.rows(), 1);
+    for (Index p = 0; p < d; ++p) ASSERT_EQ(resp.output(0, p), want(0, p)) << "col " << p;
+  }
+  EXPECT_EQ(server.sessions()->length(1), L + steps);
+}
+
+TEST(ServeDecode, UnknownSessionAndMissingManagerRejectCleanly) {
+  const Index d = 8;
+  Matrix<float> row(1, d);
+  row.fill(0.5f);
+
+  // No session backend configured: typed rejection at admission.
+  {
+    Server server(make_config(1, 8, BatchPolicy{1, 0us}));
+    const Response resp =
+        server.submit(make_decode_request(9, row, row, row)).get();
+    EXPECT_EQ(resp.status, ResponseStatus::RejectedSession);
+    EXPECT_EQ(server.stats().rejected_session, 1u);
+  }
+  // Backend present but the session id was never created (or was
+  // evicted): typed rejection at dispatch; other requests unaffected.
+  {
+    ServerConfig cfg = make_config(1, 8, BatchPolicy{1, 0us});
+    cfg.sessions = std::make_shared<kvcache::SessionManager>(decode_manager_config(d));
+    Server server(std::move(cfg));
+    const Response resp =
+        server.submit(make_decode_request(9, row, row, row)).get();
+    EXPECT_EQ(resp.status, ResponseStatus::RejectedSession);
+    const auto s = server.stats();
+    EXPECT_EQ(s.rejected_session, 1u);
+    EXPECT_EQ(s.internal_errors, 0u);  // a missing session is not a crash
+  }
+  // Width mismatch against the pool is a contract violation caught at
+  // admission — dispatch_decode uses the unchecked raw-pointer
+  // decode_step, so letting it through would corrupt memory.
+  {
+    ServerConfig cfg = make_config(1, 8, BatchPolicy{1, 0us});
+    cfg.sessions = std::make_shared<kvcache::SessionManager>(decode_manager_config(d));
+    Server server(std::move(cfg));
+    Matrix<float> wide(1, d * 2);
+    wide.fill(0.5f);
+    EXPECT_THROW(server.submit(make_decode_request(1, wide, wide, wide)), InvalidArgument);
+  }
+}
+
+TEST(ServeDecode, DecodeAndAttentionKeysNeverCompareEqual) {
+  // Same width/heads/dtype, but different dispatch families: the batch
+  // key MUST keep them apart (a decode row under an attention kernel
+  // would read a mask it does not have).
+  const BatchKey attention{/*mask_fp=*/0, /*seq_len=*/0, /*width=*/64, 1, DType::F32,
+                           static_cast<std::uint8_t>(RequestKind::Attention)};
+  const BatchKey decode{0, 0, 64, 1, DType::F32,
+                        static_cast<std::uint8_t>(RequestKind::Decode)};
+  EXPECT_FALSE(attention == decode);
+  EXPECT_NE(attention.hash(), decode.hash());
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include "baselines/sdp_masked.hpp"
 #include "common/rng.hpp"
 #include "core/graph_attention.hpp"
+#include "core/spmm_attention.hpp"
 #include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "tensor/gemm.hpp"
@@ -185,6 +186,22 @@ TEST(SimdKernelParity, CsrRandomMaskAllHeadDims) {
     const auto mask = build_csr_random(L, RandomParams{0.3, 11});
     expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
       csr_attention(in.q, in.k, in.v, mask, out, opts);
+    });
+  }
+}
+
+TEST(SimdKernelParity, SpmmAttentionSddmmDots) {
+  // The two-phase spmm_attention path: its SDDMM stage now routes the
+  // Q·K dots through the dispatched ops (csr_row_softmax and the SpMM
+  // accumulate stay scalar on both arms), so whole-pipeline outputs
+  // must agree across arms like the fused kernels do.
+  const Index L = 48;
+  for (const Index d : head_dims()) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(L, d, 250 + static_cast<std::uint64_t>(d));
+    const auto mask = build_csr_random(L, RandomParams{0.3, 19});
+    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
+      spmm_attention(in.q, in.k, in.v, mask, out, opts);
     });
   }
 }

@@ -9,19 +9,25 @@
 //                [--device a100|l40|v100|h100|rtx4090]
 //   gpa serve-bench --length 512 --dim 64 --sf 0.001 --workers 1 --max-batch 8
 //                   [--clients 8] [--requests 2000] [--rate HZ] [--deadline-us N]
+//                   [--decode --sessions 4]   (stateful KV-cache decode traffic)
+//   gpa decode-bench --pattern local --length 1024 --dim 64 --steps 32
 //
 // Exit code 0 on success (and verification OK for `run`), 1 otherwise.
 
+#include <atomic>
 #include <chrono>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/reference_attention.hpp"
 #include "common/rng.hpp"
 #include "common/version.hpp"
 #include "core/graph_attention.hpp"
 #include "graph/degree.hpp"
+#include "kvcache/kvcache.hpp"
 #include "memmodel/memory_model.hpp"
 #include "parallel/parallel_for.hpp"
 #include "serve/serve.hpp"
@@ -249,6 +255,98 @@ int cmd_memmodel(const Args& args) {
   return 0;
 }
 
+/// serve-bench --decode: stateful decode traffic through the server's
+/// SessionManager. One client thread per session submits its tokens
+/// strictly in order (the autoregressive discipline); tokens from
+/// different sessions coalesce into shared decode dispatches. With
+/// --sessions 0 no session is ever prefilled, so every request comes
+/// back `rejected-session` — the defensive path for unknown sessions
+/// (a typed rejection plus a hint, never an assert).
+int cmd_serve_bench_decode(const Args& args, serve::ServerConfig cfg, Size requests) {
+  const Index L = args.get_index("length", 512);
+  const Index d = args.get_index("dim", 64);
+  const double sf = args.get_double("sf", 0.001);
+  const Index sessions = args.get_index("sessions", 4);
+  const Index clients = std::max<Index>(sessions, 1);
+  const Size per_client = std::max<Size>(requests / static_cast<Size>(clients), 1);
+
+  const Index mask_len = L + static_cast<Index>(per_client) + 1;
+  auto mask = std::make_shared<const Csr<float>>(
+      build_csr_random(mask_len, RandomParams{sf, 7}));
+
+  kvcache::SessionManager::Config mc;
+  mc.pool.page_size = 16;
+  mc.pool.head_dim = d;
+  mc.pool.num_pages =
+      (mask_len * std::max<Index>(sessions, 1)) / mc.pool.page_size + 2 * clients;
+  auto mgr = std::make_shared<kvcache::SessionManager>(mc);
+  cfg.sessions = mgr;
+
+  Rng rng(11);
+  Matrix<float> prompt_q(L, d), prompt_k(L, d), prompt_v(L, d), prompt_out(L, d);
+  fill_uniform(prompt_q, rng);
+  fill_uniform(prompt_k, rng);
+  fill_uniform(prompt_v, rng);
+  for (Index s = 1; s <= sessions; ++s) {
+    mgr->create(static_cast<std::uint64_t>(s), kvcache::MaskSpec::make_csr(mask));
+    mgr->prefill(static_cast<std::uint64_t>(s), prompt_q, prompt_k, prompt_v, prompt_out);
+  }
+
+  std::cout << "workload:    decode steps, L0=" << L << ", d=" << d << ", Sf=" << sf
+            << ", sessions=" << sessions << " (" << per_client << " tokens each)\n"
+            << "policy:      workers=" << cfg.workers << ", max_batch=" << cfg.policy.max_batch
+            << ", max_wait=" << cfg.policy.max_wait.count() << "us\n";
+
+  serve::Server server(cfg);
+  std::atomic<Size> ok{0}, rejected{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (Index c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng trng(100 + static_cast<std::uint64_t>(c));
+      // Session ids 1..sessions are live; with --sessions 0 the id is
+      // never created, exercising the rejected-session path.
+      const std::uint64_t sid = static_cast<std::uint64_t>(c % std::max<Index>(sessions, 1)) + 1;
+      Matrix<float> qr(1, d), kr(1, d), vr(1, d);
+      for (Size i = 0; i < per_client; ++i) {
+        fill_uniform(qr, trng);
+        fill_uniform(kr, trng);
+        fill_uniform(vr, trng);
+        auto fut = server.submit(serve::make_decode_request(sid, qr, kr, vr));
+        const auto resp = fut.get();  // strict order: token t before t+1
+        if (resp.status == serve::ResponseStatus::Ok) {
+          ++ok;
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.shutdown();
+  const auto s = server.stats();
+
+  std::cout << "completed:   " << ok.load() << " ok, " << rejected.load() << " rejected ("
+            << s.rejected_session << " session, " << s.rejected_queue_full << " full, "
+            << s.rejected_deadline << " deadline)\n"
+            << "throughput:  " << (static_cast<double>(ok.load()) / wall) << " tokens/s over "
+            << wall << " s\n"
+            << "latency ms:  p50 " << s.latency_ms.p50 << ", p95 " << s.latency_ms.p95
+            << ", p99 " << s.latency_ms.p99 << "\n"
+            << "batching:    " << s.batches << " dispatches, mean occupancy "
+            << s.mean_batch_occupancy << "\n"
+            << "kvcache:     " << mgr->stats().pages_in_use << " pages in use, "
+            << mgr->stats().evictions << " evictions\n";
+  if (s.rejected_session > 0) {
+    std::cout << "note:        " << s.rejected_session
+              << " decode requests named a session the server does not hold "
+                 "(unknown or evicted) — prefill sessions first (--sessions N)\n";
+  }
+  return ok.load() > 0 || sessions == 0 ? 0 : 1;
+}
+
 int cmd_serve_bench(const Args& args) {
   const Index L = args.get_index("length", 512);
   const Index d = args.get_index("dim", 64);
@@ -261,6 +359,11 @@ int cmd_serve_bench(const Args& args) {
   cfg.queue_capacity = static_cast<std::size_t>(args.get_index("queue", 1024));
   cfg.policy.max_batch = args.get_index("max-batch", 8);
   cfg.policy.max_wait = std::chrono::microseconds{args.get_index("max-wait-us", 200)};
+
+  if (args.flag("decode")) {
+    return cmd_serve_bench_decode(args, cfg,
+                                  static_cast<Size>(args.get_index("requests", 512)));
+  }
 
   serve::LoadGenConfig lg;
   lg.requests = static_cast<Size>(args.get_index("requests", 2000));
@@ -301,6 +404,82 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+/// Quick KV-cache probe: prefill L tokens of the chosen pattern, time
+/// `--steps` cached decode steps, then time the uncached alternative
+/// (full causal recompute at L+1) and print the per-token ratio. The
+/// full sweep with JSON output lives in bench_decode_throughput.
+int cmd_decode_bench(const Args& args) {
+  const Index L = args.get_index("length", 512);
+  const Index d = args.get_index("dim", 64);
+  const Index steps = args.get_index("steps", 32);
+  GPA_CHECK(L >= 1 && steps >= 1, "decode-bench needs --length >= 1 and --steps >= 1");
+
+  // Any pattern the mask builder knows works: the session sees the
+  // (L+steps)-sized mask, the recompute arm its (L+1)-leading slice.
+  Args mask_args = args;
+  mask_args.kv["--length"] = std::to_string(L + steps);
+  auto mask = std::make_shared<const Csr<float>>(build_mask(mask_args));
+
+  kvcache::SessionManager::Config mc;
+  mc.pool.page_size = 16;
+  mc.pool.head_dim = d;
+  mc.pool.num_pages = (L + steps) / mc.pool.page_size + 2;
+  mc.opts.policy = ExecPolicy::serial();
+  kvcache::SessionManager mgr(mc);
+  mgr.create(1, kvcache::MaskSpec::make_csr(mask));
+
+  Rng rng(static_cast<std::uint64_t>(args.get_index("seed", 1)));
+  Matrix<float> q(L + steps, d), k(L + steps, d), v(L + steps, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  Matrix<float> qp(L, d), kp(L, d), vp(L, d), out(L, d);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      qp(i, p) = q(i, p);
+      kp(i, p) = k(i, p);
+      vp(i, p) = v(i, p);
+    }
+  }
+  mgr.prefill(1, qp, kp, vp, out);
+
+  std::vector<float> out_row(static_cast<std::size_t>(d));
+  Index edges = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Index s = 0; s < steps; ++s) {
+    edges = mgr.decode_step(1, q.row(L + s), k.row(L + s), v.row(L + s), out_row.data());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double cached_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / static_cast<double>(steps);
+
+  // Uncached arm: the (L+1)-leading slice of the same mask, full causal
+  // recompute to produce one token.
+  const Csr<float> sliced = csr_leading_slice(*mask, L + 1);
+  Matrix<float> qf(L + 1, d), kf(L + 1, d), vf(L + 1, d), of(L + 1, d);
+  for (Index i = 0; i <= L; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      qf(i, p) = q(i, p);
+      kf(i, p) = k(i, p);
+      vf(i, p) = v(i, p);
+    }
+  }
+  AttentionOptions copts;
+  copts.policy = ExecPolicy::serial();
+  copts.causal = true;
+  const auto t2 = std::chrono::steady_clock::now();
+  csr_attention(qf, kf, vf, sliced, of, copts);
+  const auto t3 = std::chrono::steady_clock::now();
+  const double recompute_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+
+  std::cout << "decode:      L=" << L << " -> " << (L + steps) << ", d=" << d << ", "
+            << edges << " edges/row (last step)\n"
+            << "cached:      " << cached_us << " us/token (paged K/V, O(row-nnz))\n"
+            << "recompute:   " << recompute_us << " us/token (full causal call at L+1)\n"
+            << "speedup:     " << (cached_us > 0.0 ? recompute_us / cached_us : 0.0) << "x\n";
+  return 0;
+}
+
 int cmd_version() {
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
             << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
@@ -308,12 +487,14 @@ int cmd_version() {
 }
 
 void usage() {
-  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|version> [--key value ...]\n"
+  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|decode-bench|version> [--key value ...]\n"
             << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
             << "  gpa info --in mask.bin\n"
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
             << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n"
-            << "  gpa serve-bench --length 512 --dim 64 --sf 0.001 --max-batch 8 --workers 1\n";
+            << "  gpa serve-bench --length 512 --dim 64 --sf 0.001 --max-batch 8 --workers 1\n"
+            << "  gpa serve-bench --decode --sessions 4 --requests 512 --length 256\n"
+            << "  gpa decode-bench --pattern bigbird --length 1024 --dim 64 --steps 32\n";
 }
 
 }  // namespace
@@ -326,6 +507,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "memmodel") return cmd_memmodel(args);
     if (args.command == "serve-bench") return cmd_serve_bench(args);
+    if (args.command == "decode-bench") return cmd_decode_bench(args);
     if (args.command == "version" || args.command == "--version") return cmd_version();
     usage();
     return args.command.empty() ? 1 : (std::cerr << "unknown command: " << args.command << "\n", 1);
