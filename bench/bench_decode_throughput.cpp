@@ -4,11 +4,13 @@
 // whole sequence to produce one new token.
 //
 // Cells: seq_len ∈ {128, 512, 2048} × the fig3 mask-pattern family
-// (random CSR, local window, dilated-1D, global-minus-local). For each
-// cell the session is prefilled to L tokens, then decode steps are
-// timed appending tokens L..L+iters (cost O(row-nnz·d) against paged
-// K/V); the recompute arm times one full causal kernel call at length
-// L+1 (cost O(causal-nnz·d)). Both arms run single-threaded on the
+// (random CSR, local window, dilated-1D, global-minus-local) plus the
+// composed local ∘ global longformer chain (a chained-mask session
+// folding both components per decode step). For each cell the session
+// is prefilled to L tokens, then decode steps are timed appending
+// tokens L..L+iters (cost O(row-nnz·d) against paged K/V); the
+// recompute arm times one full causal kernel call at length L+1 (cost
+// O(causal-nnz·d)). Both arms run single-threaded on the
 // same dispatch arm, so the ratio isolates the cache, not the
 // parallelism — the acceptance gate wants cached ≥10× cheaper at
 // L ≥ 512 on at least one pattern.
@@ -27,6 +29,7 @@
 #include "benchutil/runner.hpp"
 #include "benchutil/table.hpp"
 #include "common/rng.hpp"
+#include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "kvcache/kvcache.hpp"
 #include "parallel/parallel_for.hpp"
@@ -81,6 +84,18 @@ std::vector<PatternCase> make_patterns(Index L) {
                      [p](const auto& q, const auto& k, const auto& v, auto& o,
                          const AttentionOptions& opts) {
                        global_attention(q, k, v, p, o, opts);
+                     }});
+  }
+  {
+    // Chained-mask session: longformer local ∘ global, both components
+    // implicit (reach 32 each side, 4 global prefix tokens). The
+    // recompute arm is one full composed kernel call at L+1.
+    const Index reach = 32, num_global = 4;
+    auto lf1 = std::make_shared<const ComposedMask>(make_longformer(L + 1, reach, num_global));
+    cases.push_back({"composed", kvcache::MaskSpec::compose(*lf1),
+                     [lf1](const auto& q, const auto& k, const auto& v, auto& o,
+                           const AttentionOptions& opts) {
+                       composed_attention(q, k, v, *lf1, o, opts);
                      }});
   }
   return cases;

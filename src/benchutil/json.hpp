@@ -78,7 +78,7 @@ void write_schedule_bench_json(const std::string& path,
 /// one (mask pattern, seq_len, head_dim). The ratio is the KV-cache
 /// claim the acceptance gate reads.
 struct DecodeBenchRecord {
-  std::string pattern;  ///< "csr" / "local" / "dilated1d" / "global"
+  std::string pattern;  ///< "csr" / "local" / "dilated1d" / "global" / "composed"
   Index seq_len = 0;
   Index head_dim = 0;
   Index row_nnz = 0;   ///< edges the measured decode row folds

@@ -1,0 +1,20 @@
+#pragma once
+// FNV-1a folding 64-bit words byte-wise — the structural-fingerprint
+// primitive shared by core/batched (CSR mask fingerprints) and
+// core/traversal (per-family traversal fingerprints).
+
+#include <cstdint>
+
+namespace gpa {
+
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void mix(std::uint64_t word) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (word >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+};
+
+}  // namespace gpa

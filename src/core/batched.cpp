@@ -1,24 +1,10 @@
 #include "core/batched.hpp"
 
 #include "common/error.hpp"
+#include "common/fnv1a.hpp"
 #include "core/graph_attention.hpp"
 
 namespace gpa {
-
-namespace {
-
-/// FNV-1a, folding 64-bit words byte-wise.
-struct Fnv1a {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  void mix(std::uint64_t word) {
-    for (int b = 0; b < 8; ++b) {
-      h ^= (word >> (8 * b)) & 0xffu;
-      h *= 0x100000001b3ull;
-    }
-  }
-};
-
-}  // namespace
 
 std::uint64_t mask_fingerprint(const Csr<float>& mask) {
   Fnv1a f;

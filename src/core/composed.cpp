@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -11,29 +13,20 @@ void composed_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>&
                         const AttentionOptions& opts) {
   GPA_CHECK(mask.seq_len == q.rows(), "composed mask length mismatch");
   SoftmaxState state(q.rows(), v.cols());
-  for (const MaskComponent& c : mask.components) {
-    switch (c.kind) {
-      case MaskComponent::Kind::Local:
-        local_attention_accumulate(q, k, v, c.local, state, opts);
-        break;
-      case MaskComponent::Kind::Dilated1D:
-        dilated1d_attention_accumulate(q, k, v, c.dilated, state, opts);
-        break;
-      case MaskComponent::Kind::GlobalMinusLocal:
-        // The dilated-Longformer preset subtracts a non-window component
-        // from the global mask, which the implicit kernel cannot express;
-        // those components carry their exact edges in c.csr instead.
-        if (c.global.local.window > 1) {
-          global_attention_accumulate(q, k, v, c.global, state, opts);
-        } else {
-          csr_attention_accumulate(q, k, v, c.csr, state, opts);
-        }
-        break;
-      case MaskComponent::Kind::RandomCsr:
-        csr_attention_accumulate(q, k, v, c.csr, state, opts);
-        break;
+  // One row-parallel pass folding every component's edges per row, in
+  // composition order. Per row this is the same fold sequence as the
+  // historical one-kernel-call-per-component chain (rows are
+  // independent, so interleaving across rows cannot reorder a row's
+  // folds) — bit-identical output — but Q is swept once instead of once
+  // per component, and each row's (m, l) stays in registers across the
+  // whole union.
+  const std::vector<MaskTraversal> components = traversals_of(mask, /*owning=*/false);
+  const Index seq_len = q.rows();
+  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
+    for (const MaskTraversal& tr : components) {
+      tr.for_each_edge(i, seq_len, opts.causal, edge);
     }
-  }
+  });
   state.finalize_into(out);
 }
 

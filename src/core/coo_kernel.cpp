@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -9,20 +9,8 @@ void coo_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matr
                               const Coo<float>& mask, SoftmaxState& state,
                               const AttentionOptions& opts) {
   GPA_CHECK(mask.rows == q.rows() && mask.cols == k.rows(), "COO mask shape mismatch");
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    // Each row first locates its extent within the coordinate arrays.
-    // The paper's kernel does this with a scan from index zero, which is
-    // exactly the cost §V-C blames for COO's poor microbenchmark
-    // performance; Binary is the ablation repair.
-    const CooRowBounds b = opts.coo_search == CooSearch::Linear
-                               ? coo_row_bounds_linear(mask, i)
-                               : coo_row_bounds_binary(mask, i);
-    for (Index kk = b.first; kk < b.last; ++kk) {
-      const Index j = mask.col_idx[static_cast<std::size_t>(kk)];
-      if (opts.causal && j > i) break;  // columns sorted within the row
-      edge(j, mask.values[static_cast<std::size_t>(kk)]);
-    }
-  });
+  const MaskTraversal tr = MaskTraversal::over(mask, opts.coo_search);
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, q.rows(), opts.causal));
 }
 
 template <typename T>

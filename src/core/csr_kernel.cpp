@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -9,15 +9,8 @@ void csr_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matr
                               const Csr<float>& mask, SoftmaxState& state,
                               const AttentionOptions& opts) {
   GPA_CHECK(mask.rows == q.rows() && mask.cols == k.rows(), "CSR mask shape mismatch");
-  const bool causal = opts.causal;
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    const Index e = mask.row_end(i);
-    for (Index kk = mask.row_begin(i); kk < e; ++kk) {
-      const Index j = mask.col_idx[static_cast<std::size_t>(kk)];
-      if (causal && j > i) break;  // columns are sorted: done with this row
-      edge(j, mask.values[static_cast<std::size_t>(kk)]);
-    }
-  });
+  const MaskTraversal tr = MaskTraversal::over(mask);
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, q.rows(), opts.causal));
 }
 
 template <typename T>

@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -8,23 +8,8 @@ template <typename T>
 void dilated1d_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
                                     const Dilated1DParams& p, SoftmaxState& state,
                                     const AttentionOptions& opts) {
-  GPA_CHECK(p.window >= 1 && p.dilation >= 0, "bad dilated-1D parameters");
-  const Index seq_len = q.rows();
-  if (opts.causal) {
-    // Only the backward strides and self survive the causal cut.
-    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-      const Index step = p.dilation + 1;
-      const Index max_d = p.window - 1;
-      for (Index d = (max_d / step) * step; d >= step; d -= step) {
-        if (i - d >= 0) edge(i - d, 1.0f);
-      }
-      edge(i, 1.0f);
-    });
-    return;
-  }
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    dilated1d_neighbors(i, seq_len, p, [&](Index j) { edge(j, 1.0f); });
-  });
+  const MaskTraversal tr = MaskTraversal::dilated1d(p);  // validates (w, r)
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, q.rows(), opts.causal));
 }
 
 template <typename T>

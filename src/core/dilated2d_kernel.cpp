@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -9,21 +9,8 @@ void dilated2d_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, cons
                                     const Dilated2DParams& p, SoftmaxState& state,
                                     const AttentionOptions& opts) {
   GPA_CHECK(p.seq_len == q.rows(), "Dilated2DParams.seq_len must equal the input length");
-  GPA_CHECK(p.block >= 1 && p.seq_len % p.block == 0, "bad dilated-2D parameters");
-  if (opts.causal) {
-    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-      if ((i % p.block) % (p.dilation + 1) != 0) return;
-      const Index g = p.group_size();
-      const Index lo = (i / g) * g;
-      for (Index j = lo; j <= i; ++j) {  // group columns never exceed i+... stop at i
-        if ((j % p.block) % (p.dilation + 1) == 0) edge(j, 1.0f);
-      }
-    });
-    return;
-  }
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    dilated2d_neighbors(i, p, [&](Index j) { edge(j, 1.0f); });
-  });
+  const MaskTraversal tr = MaskTraversal::dilated2d(p);  // validates (L, b, r)
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, q.rows(), opts.causal));
 }
 
 template <typename T>

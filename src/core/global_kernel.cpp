@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -8,22 +8,12 @@ template <typename T>
 void global_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
                                  const GlobalMinusLocalParams& p, SoftmaxState& state,
                                  const AttentionOptions& opts) {
-  GPA_CHECK(p.local.window >= 1, "global kernel's subtracted window must be >= 1");
   const Index seq_len = q.rows();
   for (const Index t : p.global.tokens) {
     GPA_CHECK(t >= 0 && t < seq_len, "global token index out of range");
   }
-  if (opts.causal) {
-    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-      global_minus_local_neighbors(i, seq_len, p, [&](Index j) {
-        if (j <= i) edge(j, 1.0f);
-      });
-    });
-    return;
-  }
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    global_minus_local_neighbors(i, seq_len, p, [&](Index j) { edge(j, 1.0f); });
-  });
+  const MaskTraversal tr = MaskTraversal::global(p);  // validates the window
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, seq_len, opts.causal));
 }
 
 template <typename T>

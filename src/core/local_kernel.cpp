@@ -1,6 +1,6 @@
 #include "core/graph_attention.hpp"
 #include "core/kernel_common.hpp"
-#include "graph/neighbors.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa {
 
@@ -8,20 +8,8 @@ template <typename T>
 void local_attention_accumulate(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
                                 const LocalParams& p, SoftmaxState& state,
                                 const AttentionOptions& opts) {
-  GPA_CHECK(p.window >= 1, "local window must be >= 1");
-  const Index seq_len = q.rows();
-  if (opts.causal) {
-    // Sliding-window causal attention: clamp the forward half of the
-    // window instead of enumerating and discarding.
-    detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-      const Index lo = std::max<Index>(0, i - (p.window - 1));
-      for (Index j = lo; j <= i; ++j) edge(j, 1.0f);
-    });
-    return;
-  }
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    local_neighbors(i, seq_len, p, [&](Index j) { edge(j, 1.0f); });
-  });
+  const MaskTraversal tr = MaskTraversal::local(p);  // validates the window
+  detail::run_rows(q, k, v, opts, state, detail::traversal_rows(tr, q.rows(), opts.causal));
 }
 
 template <typename T>

@@ -50,20 +50,22 @@ Csr<float> sddmm(const Matrix<T>& q, const Matrix<T>& k, const Csr<float>& mask,
 }
 
 void csr_row_softmax(Csr<float>& scores, const ExecPolicy& policy) {
+  // A CSR row's values are contiguous, so the max / sum / rescale passes
+  // go straight through the dispatched reductions (lane contract: both
+  // arms bit-identical). Only the exp pass stays a scalar loop — there
+  // is no vector exp in the arms, and a polynomial one would break the
+  // bit-identity story.
+  const simd::VecOps& vo = simd::ops(policy.simd);
   parallel_for(0, scores.rows, policy, [&](Index i) {
     const Index b = scores.row_begin(i);
     const Index e = scores.row_end(i);
     if (b == e) return;
-    float m = -std::numeric_limits<float>::infinity();
-    for (Index k = b; k < e; ++k) m = std::max(m, scores.values[static_cast<std::size_t>(k)]);
-    float l = 0.0f;
-    for (Index k = b; k < e; ++k) {
-      auto& v = scores.values[static_cast<std::size_t>(k)];
-      v = std::exp(v - m);
-      l += v;
-    }
-    const float inv = 1.0f / l;
-    for (Index k = b; k < e; ++k) scores.values[static_cast<std::size_t>(k)] *= inv;
+    float* row = scores.values.data() + static_cast<std::size_t>(b);
+    const Index n = e - b;
+    const float m = vo.reduce_max(row, n);
+    for (Index k = 0; k < n; ++k) row[k] = std::exp(row[k] - m);
+    const float l = vo.reduce_sum(row, n);
+    vo.scale(row, 1.0f / l, n);
   });
 }
 
@@ -72,6 +74,12 @@ void spmm(const Csr<float>& s, const Matrix<T>& v, Matrix<T>& out, const ExecPol
   GPA_CHECK(s.cols == v.rows(), "SpMM inner dimension mismatch");
   GPA_CHECK(out.rows() == s.rows && out.cols() == v.cols(), "SpMM output shape mismatch");
   const Index d = v.cols();
+  // The weighted V-row accumulation is the axpy of the fused kernels'
+  // fold; float storage rides the dispatched arm (same lane contract,
+  // so scalar and AVX2 dispatch stay bit-identical), half keeps the
+  // scalar convert-and-accumulate loop (F16C open, as in
+  // kernel_common's fold).
+  const simd::VecOps& vo = simd::ops(policy.simd);
   parallel_for(0, s.rows, policy, [&](Index i) {
     // Accumulate in float even for half storage.
     std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
@@ -79,7 +87,13 @@ void spmm(const Csr<float>& s, const Matrix<T>& v, Matrix<T>& out, const ExecPol
     for (Index k = s.row_begin(i); k < e; ++k) {
       const float w = s.values[static_cast<std::size_t>(k)];
       const T* vr = v.row(s.col_idx[static_cast<std::size_t>(k)]);
-      for (Index p = 0; p < d; ++p) acc[static_cast<std::size_t>(p)] += w * static_cast<float>(vr[p]);
+      if constexpr (std::is_same_v<T, float>) {
+        vo.axpy(acc.data(), w, vr, d);
+      } else {
+        for (Index p = 0; p < d; ++p) {
+          acc[static_cast<std::size_t>(p)] += w * static_cast<float>(vr[p]);
+        }
+      }
     }
     T* o = out.row(i);
     for (Index p = 0; p < d; ++p) o[p] = T(acc[static_cast<std::size_t>(p)]);

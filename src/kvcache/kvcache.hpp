@@ -2,7 +2,7 @@
 // Umbrella header for the paged KV-cache subsystem:
 //   block_pool.hpp      — refcounted fixed-size K/V pages (CoW sharing)
 //   page_table.hpp      — per-session token → (page, slot) mapping
-//   mask_spec.hpp       — causal row-slice view of the sparse patterns
+//   mask_spec.hpp       — session mask: composition of MaskTraversals
 //   session_manager.hpp — sessions: prefill / decode_step / fork / LRU
 //   errors.hpp          — SessionNotFound / SessionEvicted / CacheFull
 

@@ -1,115 +1,127 @@
 #pragma once
-// The sparse pattern a session decodes under, in row-slice form.
+// The sparse pattern a session decodes under — a thin adapter over the
+// shared MaskTraversal layer (core/traversal.hpp).
 //
 // Incremental decode needs exactly one thing from a mask: "row t's
-// causal neighborhood, in kernel order". Each variant here reproduces
-// the corresponding one-shot kernel's causal enumeration verbatim
-// (csr_kernel / local_kernel / dilated1d_kernel / global_kernel), so a
-// stream of decode_step folds visits the same edges in the same order
-// as one full-sequence kernel call — the precondition for the paths
-// being bit-identical on the float path, which test_kvcache pins down.
+// causal neighborhood, in kernel order". MaskSpec no longer defines any
+// iteration itself: it holds one traversal per mask component and
+// delegates every row slice to MaskTraversal::causal_row_slice — the
+// very enumerator the one-shot kernels drive their row loops through —
+// so a stream of decode_step folds visits the same edges in the same
+// order as one full-sequence kernel call by construction, not by
+// parallel reimplementation (test_kvcache pins the resulting bit
+// identity on the float path; test_traversal pins the slices).
 //
-// CSR masks bound the session length (the mask is L_max × L_max);
+// A spec may be a COMPOSITION (e.g. Longformer = local ∘ global): the
+// components' causal slices fold into one SoftmaxState row per decode
+// step, in composition order, exactly as composed_attention folds them
+// for the full sequence.
+//
+// Explicit masks (CSR/COO) and dilated-2D bound the session length;
 // implicit patterns are unbounded — their causal row slices only look
 // backward, so they are independent of any notional total length.
 
 #include <memory>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/fnv1a.hpp"
+#include "core/traversal.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/patterns.hpp"
+
+namespace gpa {
+struct ComposedMask;  // sparse/presets.hpp
+}
 
 namespace gpa::kvcache {
 
 struct MaskSpec {
-  enum class Kind : std::uint8_t { Csr, Local, Dilated1d, Global };
-
-  Kind kind = Kind::Local;
-  std::shared_ptr<const Csr<float>> csr;  ///< Kind::Csr only
-  LocalParams local{};
-  Dilated1DParams dilated{};
-  GlobalMinusLocalParams global{};
+  /// Folded per row in order; edge sets must be pairwise disjoint (as
+  /// the presets guarantee) for the union semantics to hold.
+  std::vector<MaskTraversal> components;
 
   static MaskSpec make_csr(std::shared_ptr<const Csr<float>> mask) {
-    GPA_CHECK(mask != nullptr && mask->rows == mask->cols,
-              "session CSR mask must be a square matrix");
-    MaskSpec s;
-    s.kind = Kind::Csr;
-    s.csr = std::move(mask);
-    return s;
+    return make_traversal(MaskTraversal::csr(std::move(mask)));
   }
   static MaskSpec make_local(LocalParams p) {
-    GPA_CHECK(p.window >= 1, "local window must be >= 1");
-    MaskSpec s;
-    s.kind = Kind::Local;
-    s.local = p;
-    return s;
+    return make_traversal(MaskTraversal::local(p));
   }
   static MaskSpec make_dilated1d(Dilated1DParams p) {
-    GPA_CHECK(p.window >= 1 && p.dilation >= 0, "bad dilated-1D parameters");
-    MaskSpec s;
-    s.kind = Kind::Dilated1d;
-    s.dilated = p;
-    return s;
+    return make_traversal(MaskTraversal::dilated1d(p));
   }
   static MaskSpec make_global(GlobalMinusLocalParams p) {
-    GPA_CHECK(p.local.window >= 1, "global kernel's subtracted window must be >= 1");
+    return make_traversal(MaskTraversal::global(p));
+  }
+
+  /// Any single traversal family (incl. COO / dilated-2D, which had no
+  /// session spelling before the traversal unification).
+  static MaskSpec make_traversal(MaskTraversal t) {
+    check_component(t);
     MaskSpec s;
-    s.kind = Kind::Global;
-    s.global = p;
+    s.components.push_back(std::move(t));
     return s;
   }
 
-  /// Hard session-length ceiling (-1 = unbounded).
-  Index max_len() const noexcept { return kind == Kind::Csr ? csr->rows : Index{-1}; }
+  /// A chained-mask session: the components fold in order, so the
+  /// decode stream equals the full composed kernel call bit for bit.
+  static MaskSpec compose(std::vector<MaskTraversal> ts) {
+    GPA_CHECK(!ts.empty(), "composed session mask needs at least one component");
+    for (const MaskTraversal& t : ts) check_component(t);
+    MaskSpec s;
+    s.components = std::move(ts);
+    return s;
+  }
+
+  /// From a preset ComposedMask (longformer / bigbird / ...), with the
+  /// same component→kernel routing composed_attention uses; explicit
+  /// components are copied so the session outlives the preset object.
+  static MaskSpec compose(const ComposedMask& mask) {
+    return compose(traversals_of(mask, /*owning=*/true));
+  }
+
+  /// Hard session-length ceiling (-1 = unbounded): the tightest bound
+  /// over all components.
+  Index max_len() const noexcept {
+    Index bound = -1;
+    for (const MaskTraversal& t : components) {
+      const Index m = t.max_len();
+      if (m >= 0 && (bound < 0 || m < bound)) bound = m;
+    }
+    return bound;
+  }
+
+  /// Structural fingerprint of the whole (ordered) composition — the
+  /// session mask's identity for diagnostics and for any future
+  /// batching/dedup key over composed masks (order-sensitive, since
+  /// the folds are ordered). Not consulted by today's decode BatchKey,
+  /// which deliberately coalesces across sessions regardless of mask.
+  std::uint64_t fingerprint() const {
+    Fnv1a f;
+    f.mix(static_cast<std::uint64_t>(components.size()));
+    for (const MaskTraversal& t : components) f.mix(t.fingerprint());
+    return f.h;
+  }
 
   /// Calls `edge(j, gate)` for every causal neighbor j <= i of row i,
-  /// ascending, in the order the one-shot kernels' causal branches use.
-  /// `gate` is the stored mask value for CSR, 1.0f for implicit kinds.
+  /// component by component in composition order — each component in
+  /// the order the one-shot kernels' causal branches use (it IS their
+  /// enumerator). `gate` is the stored mask value for explicit formats,
+  /// 1.0f for implicit kinds.
   template <typename Fn>
   void for_each_causal(Index i, Fn&& edge) const {
-    switch (kind) {
-      case Kind::Csr: {
-        const Csr<float>& m = *csr;
-        const Index e = m.row_end(i);
-        for (Index kk = m.row_begin(i); kk < e; ++kk) {
-          const Index j = m.col_idx[static_cast<std::size_t>(kk)];
-          if (j > i) break;  // columns are sorted: done with this row
-          edge(j, m.values[static_cast<std::size_t>(kk)]);
-        }
-        return;
-      }
-      case Kind::Local: {
-        const Index lo = std::max<Index>(0, i - (local.window - 1));
-        for (Index j = lo; j <= i; ++j) edge(j, 1.0f);
-        return;
-      }
-      case Kind::Dilated1d: {
-        const Index step = dilated.dilation + 1;
-        const Index max_d = dilated.window - 1;
-        for (Index d = (max_d / step) * step; d >= step; d -= step) {
-          if (i - d >= 0) edge(i - d, 1.0f);
-        }
-        edge(i, 1.0f);
-        return;
-      }
-      case Kind::Global: {
-        // global_minus_local_neighbors with seq_len = i + 1: the causal
-        // cut makes forward columns invisible, so the current length is
-        // the only extent the row slice needs.
-        const Index w = global.local.window;
-        const Index win_lo = i - (w - 1);
-        if (global.global.is_global(i)) {
-          for (Index j = 0; j < win_lo && j <= i; ++j) edge(j, 1.0f);
-        } else {
-          for (const Index j : global.global.tokens) {
-            if (j > i) break;  // tokens are sorted
-            if (j < win_lo) edge(j, 1.0f);
-          }
-        }
-        return;
-      }
-    }
+    for (const MaskTraversal& t : components) t.causal_row_slice(i, edge);
+  }
+
+ private:
+  /// Sessions outlive any caller-held mask object and bound their
+  /// length by the mask's row count, so components must own their
+  /// explicit storage and be square.
+  static void check_component(const MaskTraversal& t) {
+    GPA_CHECK(t.self_contained(),
+              "session traversals must own their explicit storage "
+              "(use MaskTraversal::csr/coo, not ::over views)");
+    GPA_CHECK(t.square_storage(), "session mask must be a square (L_max × L_max) matrix");
   }
 };
 

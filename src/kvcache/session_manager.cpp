@@ -16,6 +16,7 @@ SessionManager::~SessionManager() = default;
 void SessionManager::create(std::uint64_t id, MaskSpec mask) { create(id, std::move(mask), cfg_.opts); }
 
 void SessionManager::create(std::uint64_t id, MaskSpec mask, const AttentionOptions& opts) {
+  GPA_CHECK(!mask.components.empty(), "session mask needs at least one traversal component");
   auto s = std::make_shared<Session>();
   s->mask = std::move(mask);
   s->opts = opts;

@@ -10,7 +10,11 @@
 //                  sparse neighborhood (MaskSpec row slice) against the
 //                  paged cache, and returns that row's normalised
 //                  output: O(row-nnz · d) per token instead of a full
-//                  recompute.
+//                  recompute. A session's mask may be a COMPOSITION
+//                  (longformer = local ∘ global): each component's
+//                  causal slice folds into the same row state, in
+//                  composition order, bit-identical to one full
+//                  composed kernel call.
 //   fork         — copy-on-write clone sharing the parent's pages
 //                  (shared-prefix serving: N continuations of one
 //                  prompt cost one prompt's worth of cache).
@@ -115,10 +119,10 @@ class SessionManager {
     AttentionOptions opts;
     PageTable table;
     /// Running per-row online-softmax stats — the growable decode form
-    /// of SoftmaxState. decode_step's output needs only its own row,
-    /// but retaining (m, l) per token (2 floats vs the 2·d floats of
-    /// cached K/V) is what will let chained-mask sessions (longformer =
-    /// local ∘ global) fold a second edge set into already-emitted rows.
+    /// of SoftmaxState. decode_step's output needs only its own row;
+    /// retaining (m, l) per token (2 floats vs the 2·d floats of cached
+    /// K/V) keeps the door open for retro-folding edge sets into
+    /// already-emitted rows (prefix dedup, speculative repair).
     std::vector<float> m, l;
     std::vector<float> acc;   ///< head_dim decode scratch
     std::uint64_t last_touch = 0;

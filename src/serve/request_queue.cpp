@@ -20,6 +20,16 @@ RequestQueue::Push RequestQueue::try_push(Request& r) {
   return Push::Ok;
 }
 
+int RequestQueue::effective_priority(const Request& r, TimePoint now) const {
+  // kNoDeadline requests never age (TimePoint::max() minus now would
+  // also overflow the duration subtraction).
+  if (age_threshold_.count() > 0 && r.deadline != kNoDeadline &&
+      r.deadline - now <= age_threshold_) {
+    return r.priority + 1;
+  }
+  return r.priority;
+}
+
 void RequestQueue::collect_locked(const BatchKey& key, Index max_batch, TimePoint now,
                                   std::vector<Request>& batch, std::vector<Request>& expired) {
   for (auto it = q_.begin();
@@ -68,9 +78,18 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
       }
     }
     q_.resize(keep);
+    // Aging evaluated at selection time: a request that sat long enough
+    // for its deadline to close within the threshold competes one class
+    // up from here on (first maximum found is still the oldest of its
+    // effective class — FIFO within a level is preserved).
     std::size_t lead = q_.size();
+    int lead_prio = 0;
     for (std::size_t i = 0; i < q_.size(); ++i) {
-      if (lead == q_.size() || q_[i].priority > q_[lead].priority) lead = i;
+      const int prio = effective_priority(q_[i], now);
+      if (lead == q_.size() || prio > lead_prio) {
+        lead = i;
+        lead_prio = prio;
+      }
     }
     if (lead < q_.size()) {
       batch.push_back(std::move(q_[lead]));

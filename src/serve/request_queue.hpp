@@ -14,6 +14,14 @@
 // priority chooses which batch goes NEXT, not who rides along in it.
 // Deadline-expired requests encountered during the scan are returned
 // separately so the worker can reject them without running the kernel.
+//
+// Deadline-aware aging: with age_threshold > 0, a request whose
+// deadline is within the threshold of now is scheduled one priority
+// class higher than it was submitted with (a single bump — urgency
+// breaks class boundaries once, it does not trump every class). Aging
+// affects lead selection only; within the effective class, arrival
+// order still breaks ties, so aged traffic cannot be starved by
+// later-arriving requests of the class it aged into.
 
 #include <chrono>
 #include <condition_variable>
@@ -27,7 +35,10 @@ namespace gpa::serve {
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// `age_threshold` 0 disables deadline-aware aging.
+  explicit RequestQueue(std::size_t capacity,
+                        std::chrono::microseconds age_threshold = std::chrono::microseconds{0})
+      : capacity_(capacity), age_threshold_(age_threshold) {}
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
@@ -60,7 +71,12 @@ class RequestQueue {
   void collect_locked(const BatchKey& key, Index max_batch, TimePoint now,
                       std::vector<Request>& batch, std::vector<Request>& expired);
 
+  /// Scheduling priority after deadline-aware aging (submitted class +1
+  /// when the deadline is within age_threshold_ of `now`).
+  int effective_priority(const Request& r, TimePoint now) const;
+
   const std::size_t capacity_;
+  const std::chrono::microseconds age_threshold_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> q_;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "core/graph_attention.hpp"
+#include "core/traversal.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace gpa::serve {
@@ -17,7 +18,7 @@ double micros_between(TimePoint a, TimePoint b) {
 }  // namespace
 
 Server::Server(ServerConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity), batcher_(queue_, cfg.policy) {
+    : cfg_(cfg), queue_(cfg.queue_capacity, cfg.age_threshold), batcher_(queue_, cfg.policy) {
   GPA_CHECK(cfg_.workers >= 0, "worker count must be non-negative");
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w) {
@@ -42,8 +43,12 @@ std::uint64_t Server::fingerprint_of(const std::shared_ptr<const Csr<float>>& ma
     if (it != fp_cache_.end()) return it->second.second;
   }
   // Hash outside the lock: the O(nnz) fingerprint of a large mask must
-  // not stall every other client's admission behind fp_mu_.
-  const std::uint64_t fp = mask_fingerprint(*mask);
+  // not stall every other client's admission behind fp_mu_. The value
+  // comes from the mask's TRAVERSAL — the same enumerator the kernels
+  // iterate — so "fingerprints equal" means "the kernel visits the same
+  // (row → column sequence) map", which is exactly the batching
+  // compatibility contract.
+  const std::uint64_t fp = MaskTraversal::over(*mask).fingerprint();
   // Cache entries pin their mask, so the cache is capped: a client that
   // streams distinct masks degrades to hashing per submit instead of
   // growing the server's footprint without bound. (A racing submit of

@@ -41,6 +41,10 @@ struct ServerConfig {
   int workers = 1;
   std::size_t queue_capacity = 1024;
   BatchPolicy policy{};
+  /// Deadline-aware priority aging (see RequestQueue): a queued request
+  /// whose deadline is within this of now is scheduled one priority
+  /// class higher. 0 disables aging.
+  std::chrono::microseconds age_threshold{0};
   /// Across-items dispatch (default: all cores, one item per grab).
   ExecPolicy batch_policy{0, 1, Schedule::Dynamic};
   /// Per-item kernel policy (default serial: items don't oversubscribe

@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "kvcache/kvcache.hpp"
 #include "sparse/build.hpp"
+#include "sparse/presets.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace gpa::kvcache {
@@ -181,6 +183,26 @@ std::vector<IdentityCase> identity_cases(Index n) {
                        global_attention(q, k, v, p, o, opts);
                      }});
   }
+  {
+    // Chained mask (longformer serving scenario): local ∘ global folds
+    // both components' causal slices into one row state per decode
+    // step; the full arm is the equivalent two-kernel accumulate chain.
+    const LocalParams lp{3};
+    GlobalMinusLocalParams gp;
+    gp.global.tokens = {0, 2, 7};
+    gp.local.window = 3;
+    cases.push_back(
+        {"local∘global",
+         MaskSpec::compose({MaskTraversal::local(lp), MaskTraversal::global(gp)}),
+         [lp, gp](const auto& q, const auto& k, const auto& v, auto& o) {
+           AttentionOptions opts;
+           opts.causal = true;
+           SoftmaxState st(q.rows(), o.cols());
+           local_attention_accumulate(q, k, v, lp, st, opts);
+           global_attention_accumulate(q, k, v, gp, st, opts);
+           st.finalize_into(o);
+         }});
+  }
   return cases;
 }
 
@@ -243,6 +265,63 @@ TEST(DecodeBitIdentity, PrefillPlusDecodeMatchesFullKernel) {
 TEST(DecodeBitIdentity, PureDecodeStreamMatchesFullKernel) {
   // No prefill at all: the whole sequence arrives token by token.
   for (const Index d : {32, 64, 67}) check_decode_identity(16, d, 0);
+}
+
+/// A composed (local ∘ global) decode session's token stream must be
+/// bit-identical to the full composed kernel call — the acceptance pin
+/// for chained-mask sessions riding the shared traversal.
+TEST(DecodeBitIdentity, ComposedPresetSessionMatchesComposedKernelCall) {
+  const Index n = 24, d = 48, split = 10;
+  for (const bool bigbird : {false, true}) {
+    SCOPED_TRACE(bigbird ? "bigbird" : "longformer");
+    // Longformer exercises two implicit components (unbounded session);
+    // BigBird adds the explicit random-CSR component (owning copy,
+    // bounded session).
+    const ComposedMask preset = bigbird ? make_bigbird(n, /*reach=*/2, /*num_global=*/2, 0.15)
+                                        : make_longformer(n, /*reach=*/3, /*num_global=*/2);
+    Rng rng(bigbird ? 311u : 313u);
+    Matrix<float> q(n, d), k(n, d), v(n, d);
+    fill_uniform(q, rng);
+    fill_uniform(k, rng);
+    fill_uniform(v, rng);
+
+    AttentionOptions copts;
+    copts.causal = true;
+    Matrix<float> expected(n, d);
+    composed_attention(q, k, v, preset, expected, copts);
+
+    SessionManager::Config mc;
+    mc.pool.page_size = 4;
+    mc.pool.head_dim = d;
+    mc.pool.num_pages = n / 4 + 2;
+    SessionManager mgr(mc);
+    mgr.create(1, MaskSpec::compose(preset));
+    EXPECT_EQ(mgr.contains(1), true);
+
+    Matrix<float> got(n, d);
+    {
+      Matrix<float> qp(split, d), kp(split, d), vp(split, d), out(split, d);
+      for (Index i = 0; i < split; ++i) {
+        for (Index p = 0; p < d; ++p) {
+          qp(i, p) = q(i, p);
+          kp(i, p) = k(i, p);
+          vp(i, p) = v(i, p);
+        }
+      }
+      mgr.prefill(1, qp, kp, vp, out);
+      for (Index i = 0; i < split; ++i) {
+        for (Index p = 0; p < d; ++p) got(i, p) = out(i, p);
+      }
+    }
+    for (Index t = split; t < n; ++t) {
+      mgr.decode_step(1, q.row(t), k.row(t), v.row(t), got.row(t));
+    }
+    for (Index i = 0; i < n; ++i) {
+      for (Index p = 0; p < d; ++p) {
+        ASSERT_EQ(got(i, p), expected(i, p)) << "row " << i << " col " << p;
+      }
+    }
+  }
 }
 
 TEST(DecodeBitIdentity, ForkedSessionContinuesBitIdentically) {

@@ -481,6 +481,70 @@ TEST(RequestQueuePriority, EqualPriorityIsStarvationFreeFifo) {
   }
 }
 
+TEST(RequestQueuePriority, DeadlineAgingBumpsOneClassAndKeepsFifoWithinIt) {
+  // Aging enabled: a low-priority request whose deadline is closing in
+  // competes one class up, so a steady high-priority stream can no
+  // longer starve it past its deadline — cross-class starvation-freedom.
+  RequestQueue q(64, /*age_threshold=*/std::chrono::microseconds{60'000'000});
+  const TimePoint now = Clock::now();
+
+  // Arrival order: HIGH(1), low-with-near-deadline(2), HIGH(3), HIGH(4).
+  // The near-deadline low ages into the high class at selection time;
+  // FIFO within the (effective) class then orders 1, 2, 3, 4 — the aged
+  // request overtakes nobody that arrived before it, and every HIGH that
+  // arrived after it is served after it.
+  Request h1 = bare_request(1, 1);
+  Request low = bare_request(2, 0);
+  low.deadline = now + std::chrono::seconds{30};  // inside the threshold
+  Request h3 = bare_request(3, 1);
+  Request h4 = bare_request(4, 1);
+  for (Request* r : {&h1, &low, &h3, &h4}) ASSERT_EQ(q.try_push(*r), RequestQueue::Push::Ok);
+
+  std::vector<std::uint64_t> order;
+  std::vector<Request> batch, expired;
+  while (q.size() > 0) {
+    ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+    ASSERT_EQ(batch.size(), 1u);
+    ASSERT_TRUE(expired.empty());
+    order.push_back(batch.front().id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+
+  // The bump is ONE class: an aged priority-0 request does not leapfrog
+  // a priority-2 one.
+  Request top = bare_request(10, 2);
+  Request aged = bare_request(11, 0);
+  aged.deadline = now + std::chrono::seconds{30};
+  ASSERT_EQ(q.try_push(aged), RequestQueue::Push::Ok);
+  ASSERT_EQ(q.try_push(top), RequestQueue::Push::Ok);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 10u);
+
+  // A far deadline (outside the threshold) does not age: plain priority.
+  Request far = bare_request(20, 0);
+  far.deadline = now + std::chrono::seconds{120};
+  Request high = bare_request(21, 1);
+  // (drain the leftover aged request first)
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  ASSERT_EQ(q.try_push(far), RequestQueue::Push::Ok);
+  ASSERT_EQ(q.try_push(high), RequestQueue::Push::Ok);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 21u);
+}
+
+TEST(RequestQueuePriority, AgingDisabledByDefaultPreservesStrictClasses) {
+  RequestQueue q(16);  // no age_threshold: submitted classes are final
+  const TimePoint now = Clock::now();
+  Request low = bare_request(1, 0);
+  low.deadline = now + std::chrono::seconds{30};
+  Request high = bare_request(2, 1);
+  ASSERT_EQ(q.try_push(low), RequestQueue::Push::Ok);
+  ASSERT_EQ(q.try_push(high), RequestQueue::Push::Ok);
+  std::vector<Request> batch, expired;
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 2u);
+}
+
 // --- decode requests (KV-cache sessions) ------------------------------
 
 kvcache::SessionManager::Config decode_manager_config(Index d) {
@@ -534,6 +598,60 @@ TEST(ServeDecode, DecodeThroughServerMatchesDirectManagerCall) {
             .get();
     ASSERT_EQ(resp.status, ResponseStatus::Ok);
     ASSERT_EQ(resp.output.rows(), 1);
+    for (Index p = 0; p < d; ++p) ASSERT_EQ(resp.output(0, p), want(0, p)) << "col " << p;
+  }
+  EXPECT_EQ(server.sessions()->length(1), L + steps);
+}
+
+TEST(ServeDecode, ComposedMaskSessionDecodesThroughTheServer) {
+  // Composed-mask decode admission: a session whose mask is a chained
+  // local ∘ global (longformer) composition serves tokens through the
+  // server exactly as a direct manager drive — the serving layer needs
+  // no knowledge of the composition, it lives behind the session id.
+  const Index L = 10, d = 16, steps = 6;
+  const LocalParams lp{3};
+  GlobalMinusLocalParams gp;
+  gp.global.tokens = {0, 4};
+  gp.local.window = 3;
+  const auto spec = kvcache::MaskSpec::compose(
+      {MaskTraversal::local(lp), MaskTraversal::global(gp)});
+
+  Rng rng(733);
+  Matrix<float> q(L + steps, d), k(L + steps, d), v(L + steps, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  Matrix<float> qp(L, d), kp(L, d), vp(L, d), out(L, d);
+  for (Index i = 0; i < L; ++i) {
+    for (Index p = 0; p < d; ++p) {
+      qp(i, p) = q(i, p);
+      kp(i, p) = k(i, p);
+      vp(i, p) = v(i, p);
+    }
+  }
+
+  kvcache::SessionManager direct(decode_manager_config(d));
+  direct.create(1, spec);
+  direct.prefill(1, qp, kp, vp, out);
+
+  ServerConfig cfg = make_config(2, 32, BatchPolicy{4, 50us});
+  cfg.sessions = std::make_shared<kvcache::SessionManager>(decode_manager_config(d));
+  cfg.sessions->create(1, spec);
+  cfg.sessions->prefill(1, qp, kp, vp, out);
+  Server server(std::move(cfg));
+
+  for (Index t = L; t < L + steps; ++t) {
+    Matrix<float> qr(1, d), kr(1, d), vr(1, d), want(1, d);
+    for (Index p = 0; p < d; ++p) {
+      qr(0, p) = q(t, p);
+      kr(0, p) = k(t, p);
+      vr(0, p) = v(t, p);
+    }
+    direct.decode_step(1, qr, kr, vr, want);
+    const Response resp =
+        server.submit(make_decode_request(1, std::move(qr), std::move(kr), std::move(vr)))
+            .get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok);
     for (Index p = 0; p < d; ++p) ASSERT_EQ(resp.output(0, p), want(0, p)) << "col " << p;
   }
   EXPECT_EQ(server.sessions()->length(1), L + steps);

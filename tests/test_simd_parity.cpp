@@ -190,10 +190,10 @@ TEST(SimdKernelParity, CsrRandomMaskAllHeadDims) {
   }
 }
 
-TEST(SimdKernelParity, SpmmAttentionSddmmDots) {
-  // The two-phase spmm_attention path: its SDDMM stage now routes the
-  // Q·K dots through the dispatched ops (csr_row_softmax and the SpMM
-  // accumulate stay scalar on both arms), so whole-pipeline outputs
+TEST(SimdKernelParity, SpmmAttentionWholePipeline) {
+  // The two-phase spmm_attention path: all three stages now ride the
+  // dispatched ops — SDDMM's Q·K dots, csr_row_softmax's max/sum/rescale
+  // reductions, and the SpMM axpy accumulate — so whole-pipeline outputs
   // must agree across arms like the fused kernels do.
   const Index L = 48;
   for (const Index d : head_dims()) {
@@ -203,6 +203,51 @@ TEST(SimdKernelParity, SpmmAttentionSddmmDots) {
     expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
       spmm_attention(in.q, in.k, in.v, mask, out, opts);
     });
+  }
+}
+
+TEST(SimdKernelParity, CsrRowSoftmaxAndSpmmStagesBitwise) {
+  // The two freshly-vectorized spmm_attention stages in isolation, so a
+  // divergence is attributed to the stage, not the pipeline. Row
+  // lengths sweep the remainder-lane counts (row i of the widening
+  // local mask holds min(i+1, window) entries); both stages must be
+  // BITWISE equal across arms by the lane contract.
+  if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
+  const Index L = 40;
+  for (const Index w : {Index{1}, Index{5}, Index{8}, Index{17}, Index{33}}) {
+    SCOPED_TRACE(testing::Message() << "window=" << w);
+    Csr<float> scores = build_csr_local(L, LocalParams{w});
+    {
+      Rng rng(600 + static_cast<std::uint64_t>(w));
+      Matrix<float> vals(1, static_cast<Index>(scores.nnz()));
+      fill_uniform(vals, rng);
+      for (std::size_t k = 0; k < scores.values.size(); ++k) {
+        scores.values[k] = (vals(0, static_cast<Index>(k)) - 0.5f) * 8.0f;
+      }
+    }
+    Csr<float> scalar_scores = scores, avx2_scores = scores;
+    ExecPolicy scalar_policy = ExecPolicy::serial();
+    scalar_policy.simd = SimdLevel::Scalar;
+    ExecPolicy avx2_policy = ExecPolicy::serial();
+    avx2_policy.simd = SimdLevel::Avx2;
+    csr_row_softmax(scalar_scores, scalar_policy);
+    csr_row_softmax(avx2_scores, avx2_policy);
+    for (std::size_t k = 0; k < scores.values.size(); ++k) {
+      ASSERT_EQ(scalar_scores.values[k], avx2_scores.values[k]) << "softmax value " << k;
+    }
+
+    for (const Index d : {Index{1}, Index{7}, Index{16}, Index{67}}) {
+      SCOPED_TRACE(testing::Message() << "d=" << d);
+      const auto in = make_inputs(L, d, 650 + static_cast<std::uint64_t>(d));
+      Matrix<float> scalar_out(L, d), avx2_out(L, d);
+      spmm(scalar_scores, in.v, scalar_out, scalar_policy);
+      spmm(scalar_scores, in.v, avx2_out, avx2_policy);
+      for (Index i = 0; i < L; ++i) {
+        for (Index j = 0; j < d; ++j) {
+          ASSERT_EQ(scalar_out(i, j), avx2_out(i, j)) << "row " << i << " col " << j;
+        }
+      }
+    }
   }
 }
 

@@ -11,6 +11,8 @@
 //                   [--clients 8] [--requests 2000] [--rate HZ] [--deadline-us N]
 //                   [--decode --sessions 4]   (stateful KV-cache decode traffic)
 //   gpa decode-bench --pattern local --length 1024 --dim 64 --steps 32
+//   gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2
+//                    (chained local ∘ global longformer session)
 //
 // Exit code 0 on success (and verification OK for `run`), 1 otherwise.
 
@@ -25,6 +27,7 @@
 #include "baselines/reference_attention.hpp"
 #include "common/rng.hpp"
 #include "common/version.hpp"
+#include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "graph/degree.hpp"
 #include "kvcache/kvcache.hpp"
@@ -408,17 +411,20 @@ int cmd_serve_bench(const Args& args) {
 /// `--steps` cached decode steps, then time the uncached alternative
 /// (full causal recompute at L+1) and print the per-token ratio. The
 /// full sweep with JSON output lives in bench_decode_throughput.
+///
+/// `--mask composed` (alias of --pattern) runs a CHAINED-mask session —
+/// the longformer local ∘ global composition folded per decode step —
+/// against a full composed kernel call; the other patterns run through
+/// a CSR session as before.
 int cmd_decode_bench(const Args& args) {
   const Index L = args.get_index("length", 512);
   const Index d = args.get_index("dim", 64);
   const Index steps = args.get_index("steps", 32);
   GPA_CHECK(L >= 1 && steps >= 1, "decode-bench needs --length >= 1 and --steps >= 1");
-
-  // Any pattern the mask builder knows works: the session sees the
-  // (L+steps)-sized mask, the recompute arm its (L+1)-leading slice.
-  Args mask_args = args;
-  mask_args.kv["--length"] = std::to_string(L + steps);
-  auto mask = std::make_shared<const Csr<float>>(build_mask(mask_args));
+  const std::string pattern = args.get("pattern", args.get("mask", "local"));
+  const bool composed = pattern == "composed";
+  const Index reach = args.get_index("reach", 8);
+  const Index globals = args.get_index("globals", 2);
 
   kvcache::SessionManager::Config mc;
   mc.pool.page_size = 16;
@@ -426,7 +432,19 @@ int cmd_decode_bench(const Args& args) {
   mc.pool.num_pages = (L + steps) / mc.pool.page_size + 2;
   mc.opts.policy = ExecPolicy::serial();
   kvcache::SessionManager mgr(mc);
-  mgr.create(1, kvcache::MaskSpec::make_csr(mask));
+
+  // The session sees the (L+steps)-sized mask, the recompute arm its
+  // (L+1)-sized counterpart (leading CSR slice / re-built composition).
+  std::shared_ptr<const Csr<float>> mask;
+  if (composed) {
+    mgr.create(1, kvcache::MaskSpec::compose(make_longformer(L + steps, reach, globals)));
+  } else {
+    Args mask_args = args;
+    mask_args.kv["--pattern"] = pattern;  // honour the --mask alias
+    mask_args.kv["--length"] = std::to_string(L + steps);
+    mask = std::make_shared<const Csr<float>>(build_mask(mask_args));
+    mgr.create(1, kvcache::MaskSpec::make_csr(mask));
+  }
 
   Rng rng(static_cast<std::uint64_t>(args.get_index("seed", 1)));
   Matrix<float> q(L + steps, d), k(L + steps, d), v(L + steps, d);
@@ -453,9 +471,9 @@ int cmd_decode_bench(const Args& args) {
   const double cached_us =
       std::chrono::duration<double, std::micro>(t1 - t0).count() / static_cast<double>(steps);
 
-  // Uncached arm: the (L+1)-leading slice of the same mask, full causal
-  // recompute to produce one token.
-  const Csr<float> sliced = csr_leading_slice(*mask, L + 1);
+  // Uncached arm: the same mask at length L+1 (leading CSR slice, or
+  // the composition re-built at that length), full causal recompute to
+  // produce one token.
   Matrix<float> qf(L + 1, d), kf(L + 1, d), vf(L + 1, d), of(L + 1, d);
   for (Index i = 0; i <= L; ++i) {
     for (Index p = 0; p < d; ++p) {
@@ -467,13 +485,23 @@ int cmd_decode_bench(const Args& args) {
   AttentionOptions copts;
   copts.policy = ExecPolicy::serial();
   copts.causal = true;
-  const auto t2 = std::chrono::steady_clock::now();
-  csr_attention(qf, kf, vf, sliced, of, copts);
-  const auto t3 = std::chrono::steady_clock::now();
-  const double recompute_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+  double recompute_us = 0.0;
+  if (composed) {
+    const ComposedMask lf = make_longformer(L + 1, reach, globals);
+    const auto t2 = std::chrono::steady_clock::now();
+    composed_attention(qf, kf, vf, lf, of, copts);
+    const auto t3 = std::chrono::steady_clock::now();
+    recompute_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+  } else {
+    const Csr<float> sliced = csr_leading_slice(*mask, L + 1);
+    const auto t2 = std::chrono::steady_clock::now();
+    csr_attention(qf, kf, vf, sliced, of, copts);
+    const auto t3 = std::chrono::steady_clock::now();
+    recompute_us = std::chrono::duration<double, std::micro>(t3 - t2).count();
+  }
 
-  std::cout << "decode:      L=" << L << " -> " << (L + steps) << ", d=" << d << ", "
-            << edges << " edges/row (last step)\n"
+  std::cout << "decode:      " << pattern << ", L=" << L << " -> " << (L + steps) << ", d="
+            << d << ", " << edges << " edges/row (last step)\n"
             << "cached:      " << cached_us << " us/token (paged K/V, O(row-nnz))\n"
             << "recompute:   " << recompute_us << " us/token (full causal call at L+1)\n"
             << "speedup:     " << (cached_us > 0.0 ? recompute_us / cached_us : 0.0) << "x\n";
@@ -494,7 +522,8 @@ void usage() {
             << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n"
             << "  gpa serve-bench --length 512 --dim 64 --sf 0.001 --max-batch 8 --workers 1\n"
             << "  gpa serve-bench --decode --sessions 4 --requests 512 --length 256\n"
-            << "  gpa decode-bench --pattern bigbird --length 1024 --dim 64 --steps 32\n";
+            << "  gpa decode-bench --pattern bigbird --length 1024 --dim 64 --steps 32\n"
+            << "  gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2\n";
 }
 
 }  // namespace
