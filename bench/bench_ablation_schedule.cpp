@@ -63,7 +63,9 @@ int main(int argc, char** argv) {
     AttentionOptions opts;
     opts.policy = ExecPolicy{0, grain, sched};
     const auto st = benchutil::run_benchmark([&] { call(opts); }, args.run);
-    const char* sched_name = sched == Schedule::Static ? "static" : "dynamic";
+    const char* sched_name = sched == Schedule::Static   ? "static"
+                             : sched == Schedule::Dynamic ? "dynamic"
+                                                          : "auto";
     table.add_row({kernel, sched_name, std::to_string(grain), Table::fmt_seconds(st.mean),
                    Table::fmt_seconds(st.stddev)});
     benchutil::ScheduleBenchRecord rec;
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
     rec.schedule = sched_name;
     rec.grain = grain;
     rec.seq_len = L;
-    rec.threads = hw;
+    rec.hw_threads = hw;
     rec.mean_s = st.mean;
     rec.stddev_s = st.stddev;
     records.push_back(std::move(rec));
@@ -86,6 +88,14 @@ int main(int argc, char** argv) {
                [&](const AttentionOptions& o) { csr_attention(q, k, v, csr_mask, out, o); });
     }
   }
+  // The auto-tuned cells (grain 0 = derived): the point of the ablation
+  // grid is that auto should land near the best hand-picked cell of each
+  // kernel — dynamic for the skewed global mask, static for the uniform
+  // csr control.
+  run_cell("global_attention", Schedule::Auto, 0,
+           [&](const AttentionOptions& o) { global_attention(q, k, v, gp, out, o); });
+  run_cell("csr_attention", Schedule::Auto, 0,
+           [&](const AttentionOptions& o) { csr_attention(q, k, v, csr_mask, out, o); });
 
   table.print();
   table.write_csv(args.csv_path);

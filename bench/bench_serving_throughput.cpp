@@ -20,7 +20,9 @@
 //
 //   bench_serving_throughput [--smoke] [--paper-scale] [--csv f] [--json f]
 //
-// --json writes the gpa-bench-serving/v1 records (BENCH_serving.json).
+// --json writes the gpa-bench-serving/v2 records (BENCH_serving.json);
+// each record carries hw_threads so a committed file self-identifies
+// the machine class it was recorded on.
 
 #include <iostream>
 #include <thread>
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
     rec.head_dim = d;
     rec.sparsity = sf;
     rec.workers = workers;
+    rec.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
     rec.clients = cell_clients;
     rec.arrival_hz = arrival_hz;
     rec.max_batch = max_batch;

@@ -69,14 +69,15 @@ void write_serving_bench_json(const std::string& path,
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-serving/v1\",\n"
+      << "  \"schema\": \"gpa-bench-serving/v2\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     out << "    {\"mode\": \"" << escape(r.mode) << "\", \"L\": " << r.seq_len
         << ", \"d\": " << r.head_dim << ", \"sf\": " << fmt(r.sparsity)
-        << ", \"workers\": " << r.workers << ", \"clients\": " << r.clients
+        << ", \"workers\": " << r.workers << ", \"hw_threads\": " << r.hw_threads
+        << ", \"clients\": " << r.clients
         << ", \"arrival_hz\": " << fmt(r.arrival_hz) << ", \"max_batch\": " << r.max_batch
         << ", \"max_wait_us\": " << r.max_wait_us << ", \"completed\": " << r.completed
         << ", \"rejected\": " << r.rejected << ", \"wall_s\": " << fmt(r.wall_s)
@@ -94,14 +95,14 @@ void write_schedule_bench_json(const std::string& path,
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-schedule/v1\",\n"
+      << "  \"schema\": \"gpa-bench-schedule/v2\",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     out << "    {\"backend\": \"" << escape(r.backend) << "\", \"kernel\": \""
         << escape(r.kernel) << "\", \"schedule\": \"" << escape(r.schedule)
         << "\", \"grain\": " << r.grain << ", \"L\": " << r.seq_len
-        << ", \"threads\": " << r.threads << ", \"mean_s\": " << fmt(r.mean_s)
+        << ", \"hw_threads\": " << r.hw_threads << ", \"mean_s\": " << fmt(r.mean_s)
         << ", \"stddev_s\": " << fmt(r.stddev_s) << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }

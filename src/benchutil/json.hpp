@@ -40,6 +40,11 @@ struct ServingBenchRecord {
   double arrival_hz = 0.0; ///< open-loop offered load (0 for closed-loop)
   Index max_batch = 1;
   std::int64_t max_wait_us = 0;
+  /// Hardware threads of the recording host. Committed trajectory files
+  /// must self-identify their machine class: a 1-core CI recording of a
+  /// batching sweep is a latency trace, not a scaling claim, and the
+  /// reader should be able to tell without archaeology.
+  int hw_threads = 0;
   Size completed = 0;
   Size rejected = 0;
   double wall_s = 0.0;
@@ -50,7 +55,8 @@ struct ServingBenchRecord {
   double mean_batch_occupancy = 0.0;
 };
 
-/// Writes `{schema: "gpa-bench-serving/v1", parallel_backend, records}`.
+/// Writes `{schema: "gpa-bench-serving/v2", parallel_backend, records}`
+/// (v2 added per-record hw_threads).
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchRecord>& records,
                               const std::string& parallel_backend_name);
@@ -64,12 +70,16 @@ struct ScheduleBenchRecord {
   std::string schedule;  ///< "static" / "dynamic"
   Index grain = 0;
   Index seq_len = 0;
-  int threads = 0;
+  /// Hardware threads of the recording host (see ServingBenchRecord:
+  /// schedule ablations on a 1-core box measure dispatch overhead, not
+  /// load balancing, and the record must say so).
+  int hw_threads = 0;
   double mean_s = 0.0;
   double stddev_s = 0.0;
 };
 
-/// Writes `{schema: "gpa-bench-schedule/v1", records}`.
+/// Writes `{schema: "gpa-bench-schedule/v2", records}` (v2 renamed the
+/// per-record "threads" key to "hw_threads").
 void write_schedule_bench_json(const std::string& path,
                                const std::vector<ScheduleBenchRecord>& records);
 

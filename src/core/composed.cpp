@@ -21,12 +21,7 @@ void composed_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>&
   // per component, and each row's (m, l) stays in registers across the
   // whole union.
   const std::vector<MaskTraversal> components = traversals_of(mask, /*owning=*/false);
-  const Index seq_len = q.rows();
-  detail::run_rows(q, k, v, opts, state, [&](Index i, auto&& edge) {
-    for (const MaskTraversal& tr : components) {
-      tr.for_each_edge(i, seq_len, opts.causal, edge);
-    }
-  });
+  detail::run_rows(q, k, v, opts, state, components);  // Auto resolves over summed degrees
   state.finalize_into(out);
 }
 

@@ -21,6 +21,7 @@
 #include "common/error.hpp"
 #include "core/attention_options.hpp"
 #include "core/state.hpp"
+#include "core/traversal.hpp"
 #include "parallel/parallel_for.hpp"
 #include "simd/simd.hpp"
 #include "tensor/matrix.hpp"
@@ -126,6 +127,35 @@ void run_rows(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
     });
     state.m(i) = osr.m;
     state.l(i) = osr.l;
+  });
+}
+
+/// Traversal-driven driver: resolves Schedule::Auto from the mask's
+/// degree/skew statistics, then runs the generic row loop over the
+/// traversal's enumeration. Every kernel TU routes through this, so
+/// auto-tuned scheduling needs zero per-kernel code.
+template <typename T>
+void run_rows(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+              const AttentionOptions& opts, SoftmaxState& state, const MaskTraversal& tr) {
+  AttentionOptions o = opts;
+  o.policy = tr.resolved_policy(opts.policy, q.rows(), opts.causal);
+  run_rows(q, k, v, o, state, traversal_rows(tr, q.rows(), opts.causal));
+}
+
+/// Composition form (composed_attention): one row-parallel pass folding
+/// every component per row, schedule resolved over the components'
+/// summed degree profile.
+template <typename T>
+void run_rows(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
+              const AttentionOptions& opts, SoftmaxState& state,
+              const std::vector<MaskTraversal>& components) {
+  AttentionOptions o = opts;
+  const Index seq_len = q.rows();
+  o.policy = gpa::resolved_policy(opts.policy, components, seq_len, opts.causal);
+  run_rows(q, k, v, o, state, [&](Index i, auto&& edge) {
+    for (const MaskTraversal& tr : components) {
+      tr.for_each_edge(i, seq_len, opts.causal, edge);
+    }
   });
 }
 

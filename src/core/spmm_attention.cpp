@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "core/kernel_common.hpp"
+#include "core/traversal.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace gpa {
@@ -104,9 +105,13 @@ template <typename T>
 void spmm_attention(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
                     const Csr<float>& mask, Matrix<T>& out, const AttentionOptions& opts) {
   const float scale = detail::resolve_scale(opts.scale, q.cols());
-  Csr<float> s = sddmm(q, k, mask, scale, opts.policy);
-  csr_row_softmax(s, opts.policy);
-  spmm(s, v, out, opts.policy);
+  // All three stages iterate the same mask rows, so one Auto resolution
+  // against the mask's skew profile serves the whole pipeline.
+  const ExecPolicy policy =
+      MaskTraversal::over(mask).resolved_policy(opts.policy, mask.rows, /*causal=*/false);
+  Csr<float> s = sddmm(q, k, mask, scale, policy);
+  csr_row_softmax(s, policy);
+  spmm(s, v, out, policy);
 }
 
 template Csr<float> sddmm(const Matrix<float>&, const Matrix<float>&, const Csr<float>&, float,

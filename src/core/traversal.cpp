@@ -4,6 +4,7 @@
 
 #include "common/fnv1a.hpp"
 #include "core/batched.hpp"
+#include "parallel/auto_tune.hpp"
 #include "sparse/presets.hpp"
 
 namespace gpa {
@@ -82,6 +83,25 @@ std::vector<Index> MaskTraversal::degrees(Index seq_len, bool causal) const {
 
 DegreeStats MaskTraversal::stats(Index seq_len, bool causal) const {
   return degree_stats(degrees(seq_len, causal));
+}
+
+ExecPolicy MaskTraversal::resolved_policy(const ExecPolicy& p, Index seq_len,
+                                          bool causal) const {
+  if (p.schedule != Schedule::Auto) return p;
+  const DegreeStats st = stats(seq_len, causal);
+  return auto_tune(p, st.mean, st.imbalance);
+}
+
+ExecPolicy resolved_policy(const ExecPolicy& p, const std::vector<MaskTraversal>& components,
+                           Index seq_len, bool causal) {
+  if (p.schedule != Schedule::Auto) return p;
+  std::vector<Index> sum(static_cast<std::size_t>(seq_len), 0);
+  for (const MaskTraversal& tr : components) {
+    const std::vector<Index> d = tr.degrees(seq_len, causal);
+    for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += d[i];
+  }
+  const DegreeStats st = degree_stats(sum);
+  return auto_tune(p, st.mean, st.imbalance);
 }
 
 std::uint64_t MaskTraversal::fingerprint() const {

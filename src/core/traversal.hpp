@@ -204,6 +204,13 @@ class MaskTraversal {
   /// Degree statistics (skew profile) of the traversal at seq_len.
   DegreeStats stats(Index seq_len, bool causal = false) const;
 
+  /// Resolve a Schedule::Auto policy from this traversal's skew profile
+  /// at seq_len (see parallel/auto_tune.hpp for the decision rule);
+  /// non-Auto policies pass through untouched. The stats sweep is one
+  /// edge count — O(nnz) with no flops, ~1/head_dim of the kernel's
+  /// fold work — paid only when auto-tuning was requested.
+  ExecPolicy resolved_policy(const ExecPolicy& p, Index seq_len, bool causal) const;
+
   /// Structural fingerprint: two traversals fingerprint equally iff
   /// they enumerate the same (row → column sequence) map. Explicit
   /// formats hash shape + offsets + columns (values excluded, matching
@@ -232,6 +239,12 @@ class MaskTraversal {
 /// components so the result outlives the ComposedMask (session use);
 /// views them otherwise (single kernel call).
 std::vector<MaskTraversal> traversals_of(const ComposedMask& mask, bool owning = false);
+
+/// Auto-tuning over a composition: the per-row work of a composed mask
+/// is the sum of its components' degrees, so the skew profile (and the
+/// schedule it picks) is computed over that sum.
+ExecPolicy resolved_policy(const ExecPolicy& p, const std::vector<MaskTraversal>& components,
+                           Index seq_len, bool causal);
 
 namespace detail {
 

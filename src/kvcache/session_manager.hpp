@@ -109,6 +109,34 @@ class SessionManager {
   Index decode_step(std::uint64_t id, const Matrix<float>& q_new, const Matrix<float>& k_new,
                     const Matrix<float>& v_new, Matrix<float>& out_row);
 
+  /// One item of a cross-session decode batch. Payload pointers must
+  /// stay valid for the duration of decode_batch; `out` receives the
+  /// normalised head_dim output row on Outcome::Ok and is untouched
+  /// otherwise.
+  struct DecodeBatchItem {
+    std::uint64_t session_id = 0;
+    const float* q = nullptr;
+    const float* k = nullptr;
+    const float* v = nullptr;
+    float* out = nullptr;
+    enum class Outcome : std::uint8_t {
+      Ok = 0,
+      SessionError,  ///< unknown / evicted / cache full (typed reject)
+      Error,         ///< anything else — the item failed, batch continues
+    };
+    Outcome outcome = Outcome::Ok;
+    Index edges = 0;  ///< edges folded (0 unless Ok)
+  };
+
+  /// Batched decode across sessions: items are grouped by session id
+  /// (steps of ONE session run in item order — the autoregressive
+  /// ordering contract above), and the per-session groups fold
+  /// concurrently under `policy` through a parallel_reduce that sums
+  /// folded edges. Per-item failures are recorded in the item's
+  /// `outcome`, never thrown — one bad session must not poison the
+  /// batch. Returns the total edges folded by the Ok items.
+  Index decode_batch(std::vector<DecodeBatchItem>& items, const ExecPolicy& policy);
+
   Stats stats() const;
   const BlockPool& pool() const noexcept { return pool_; }
 

@@ -1,0 +1,18 @@
+#include "parallel/auto_tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpa {
+
+ExecPolicy auto_tune(const ExecPolicy& base, double mean_degree, double imbalance) noexcept {
+  if (base.schedule != Schedule::Auto) return base;
+  ExecPolicy p = base;
+  const double rows = static_cast<double>(kAutoGrainWork) / std::max(1.0, mean_degree);
+  p.grain = std::clamp(static_cast<Index>(rows), Index{1}, kAutoMaxGrain);
+  p.schedule =
+      imbalance >= kAutoImbalanceThreshold ? Schedule::Dynamic : Schedule::Static;
+  return p;
+}
+
+}  // namespace gpa

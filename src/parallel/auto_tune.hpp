@@ -1,0 +1,48 @@
+#pragma once
+// Traversal-driven schedule auto-tuning.
+//
+// §V-C: per-row work under a sparse mask is the row's degree, and with
+// static scheduling "the algorithm can only be as fast as its slowest
+// block" — the global mask's near-dense rows serialize behind one
+// worker. The traversal layer already computes the degree profile of
+// every mask family; this is the decision rule that turns that profile
+// into a schedule:
+//
+//   imbalance (max/mean) >= kAutoImbalanceThreshold
+//       → Dynamic, grain = clamp(kAutoGrainWork / mean_degree, 1, max)
+//         (each scheduling decision hands out ~kAutoGrainWork edge
+//          folds of work, à la ATen's GRAIN_SIZE — heavy rows give
+//          small chunks that rebalance, light rows give big chunks
+//          that amortize the handout)
+//   otherwise
+//       → Static with the same derived grain (uniform rows need no
+//         stealing, and contiguous slices are cache-friendliest).
+//
+// Kernels call this through MaskTraversal::resolved_policy at call
+// time, so ExecPolicy::auto_tuned() adapts per (mask, seq_len, causal)
+// with zero per-kernel code.
+
+#include "common/types.hpp"
+#include "parallel/exec_policy.hpp"
+
+namespace gpa {
+
+/// Skew at which stealing beats contiguous slices. The global mask
+/// drives max/mean toward L/g (≫ this); uniform masks sit near 1.
+inline constexpr double kAutoImbalanceThreshold = 4.0;
+
+/// Edge folds handed out per scheduling decision. One fold is O(d)
+/// flops, so at d = 64 a chunk is ~256k flops — enough to amortize a
+/// fetch_add / OpenMP dispatch, small enough to rebalance skew.
+inline constexpr Index kAutoGrainWork = 4096;
+
+/// Grain clamp: never hand out more rows than this at once (keeps some
+/// stealing granularity even for near-empty rows).
+inline constexpr Index kAutoMaxGrain = 256;
+
+/// Resolve a Schedule::Auto policy from a mask's per-row work profile
+/// (mean row degree and max/mean imbalance, from DegreeStats).
+/// Non-Auto policies pass through untouched.
+ExecPolicy auto_tune(const ExecPolicy& base, double mean_degree, double imbalance) noexcept;
+
+}  // namespace gpa

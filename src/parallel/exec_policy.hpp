@@ -19,12 +19,21 @@ namespace gpa {
 enum class Schedule : std::uint8_t {
   Static,   ///< contiguous row ranges per worker (CUDA grid-stride analogue)
   Dynamic,  ///< workers steal chunks of `grain` rows (load-balancing)
+  /// Resolved at kernel call time from the mask traversal's degree/skew
+  /// statistics (see parallel/auto_tune.hpp): skewed rows → Dynamic with
+  /// a grain derived from the mean degree, uniform rows → Static. If an
+  /// unresolved Auto reaches the substrate (no stats available — e.g. a
+  /// raw parallel_for), it falls back to Static, the balanced-work
+  /// assumption.
+  Auto,
 };
 
 struct ExecPolicy {
   /// 0 = use all hardware threads.
   int num_threads = 0;
-  /// Rows handed out per scheduling decision under Dynamic.
+  /// Rows handed out per scheduling decision under Dynamic; <= 0 means
+  /// "derive" (auto-tuning fills it from the mean row degree, the raw
+  /// substrate from range/threads).
   std::int64_t grain = 64;
   Schedule schedule = Schedule::Static;
   /// Which SIMD arm the kernel's inner loops take (Auto = runtime
@@ -32,6 +41,10 @@ struct ExecPolicy {
   SimdLevel simd = SimdLevel::Auto;
 
   static ExecPolicy serial() { return {1, 1, Schedule::Static}; }
+  /// Traversal-driven scheduling: kernels resolve schedule + grain from
+  /// the mask's skew profile at call time (§V-C: "the algorithm can
+  /// only be as fast as its slowest block").
+  static ExecPolicy auto_tuned() { return {0, 0, Schedule::Auto}; }
 };
 
 }  // namespace gpa

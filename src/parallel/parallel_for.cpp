@@ -1,5 +1,6 @@
 #include "parallel/parallel_for.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "parallel/parallel_region.hpp"
 
 namespace gpa {
 
@@ -20,6 +22,7 @@ std::string_view parallel_backend() noexcept {
 }
 
 int resolved_threads(const ExecPolicy& policy) noexcept {
+  if (in_parallel_region()) return 1;  // nested call: degrade to serial
   if (policy.num_threads > 0) return policy.num_threads;
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   return hw > 0 ? hw : 1;
@@ -27,66 +30,89 @@ int resolved_threads(const ExecPolicy& policy) noexcept {
 
 namespace {
 
+/// An unresolved Auto policy reaching the raw substrate has no degree
+/// stats to consult; Static is the balanced-work assumption.
+Schedule effective_schedule(const ExecPolicy& policy) noexcept {
+  return policy.schedule == Schedule::Auto ? Schedule::Static : policy.schedule;
+}
+
+/// First-wins exception capture shared by both backends. The mutex
+/// serializes the pointer store (multiple workers can fail at once);
+/// the `failed` flag is the cheap cooperative-cancellation signal the
+/// hot path polls. Reading the pointer afterwards is synchronized by
+/// the join / OpenMP barrier that precedes rethrow_if_failed().
+class ErrorCapture {
+ public:
+  bool failed() const noexcept { return failed_.load(std::memory_order_relaxed); }
+
+  /// Stash the in-flight exception; later failures are dropped.
+  void capture() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_) first_ = std::current_exception();
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Call only after every worker has finished (join / implicit barrier).
+  void rethrow_if_failed() {
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr first_;
+};
+
 #if !defined(GPA_HAVE_OPENMP)
 /// Shared fork/join driver. Under Static each worker owns one contiguous
 /// slice; under Dynamic workers pull `grain`-sized chunks from a shared
 /// counter (work stealing by atomic fetch-add).
-void run_workers(Index begin, Index end, const ExecPolicy& policy,
+void run_workers(Index begin, Index end, const ExecPolicy& policy, int threads, Schedule sched,
                  const std::function<void(Index, Index)>& chunk_body) {
   const Index n = end - begin;
-  if (n <= 0) return;
-  const int threads = resolved_threads(policy);
-
-  if (threads == 1) {
-    chunk_body(begin, end);
-    return;
-  }
-
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
-  std::mutex error_mu;
+  ErrorCapture err;
 
   auto guarded = [&](Index lo, Index hi) {
-    if (failed.load(std::memory_order_relaxed)) return;
+    if (err.failed()) return;
     try {
       chunk_body(lo, hi);
     } catch (...) {
-      bool expected = false;
-      if (failed.compare_exchange_strong(expected, true)) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        first_error = std::current_exception();
-      }
+      err.capture();
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
 
-  if (policy.schedule == Schedule::Static) {
-    const Index per = (n + threads - 1) / threads;
+  if (sched == Schedule::Static) {
+    const Index per = divup(n, threads);
     for (int t = 0; t < threads; ++t) {
       const Index lo = begin + static_cast<Index>(t) * per;
       const Index hi = lo + per < end ? lo + per : end;
       if (lo >= hi) break;
-      pool.emplace_back(guarded, lo, hi);
+      pool.emplace_back([&guarded, lo, hi] {
+        detail::ParallelRegionGuard region;
+        guarded(lo, hi);
+      });
     }
   } else {
     const Index grain = policy.grain > 0 ? policy.grain : 1;
     auto next = std::make_shared<std::atomic<Index>>(begin);
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&, next] {
+        detail::ParallelRegionGuard region;
         for (;;) {
           const Index lo = next->fetch_add(grain, std::memory_order_relaxed);
           if (lo >= end) return;
           const Index hi = lo + grain < end ? lo + grain : end;
           guarded(lo, hi);
-          if (failed.load(std::memory_order_relaxed)) return;
+          if (err.failed()) return;
         }
       });
     }
   }
   for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  err.rethrow_if_failed();
 }
 #endif  // !GPA_HAVE_OPENMP
 
@@ -94,48 +120,53 @@ void run_workers(Index begin, Index end, const ExecPolicy& policy,
 
 void parallel_for_chunks(Index begin, Index end, const ExecPolicy& policy,
                          const std::function<void(Index, Index)>& body) {
-#if defined(GPA_HAVE_OPENMP)
   const Index n = end - begin;
   if (n <= 0) return;
-  const int threads = resolved_threads(policy);
-  if (threads == 1) {
+  // resolved_threads returns 1 inside a region (nesting guard). The
+  // n == 1 case always runs inline on the caller — a single item gains
+  // nothing from a worker hop, and staying outside the region keeps the
+  // item's own nested loops free to parallelise (a batch of one).
+  const int threads = static_cast<int>(
+      std::min<Index>(static_cast<Index>(resolved_threads(policy)), n));
+  if (threads <= 1 || n == 1) {
     body(begin, end);
     return;
   }
-  const Index grain = policy.grain > 0 ? policy.grain : 1;
-  const Index chunks = (n + grain - 1) / grain;
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
-  if (policy.schedule == Schedule::Static) {
+  const Schedule sched = effective_schedule(policy);
+#if defined(GPA_HAVE_OPENMP)
+  const Index grain = policy.grain > 0 ? policy.grain : divup(n, static_cast<Index>(threads));
+  const Index chunks = divup(n, grain);
+  ErrorCapture err;
+  if (sched == Schedule::Static) {
 #pragma omp parallel for num_threads(threads) schedule(static)
     for (Index c = 0; c < chunks; ++c) {
-      if (failed.load(std::memory_order_relaxed)) continue;
+      detail::ParallelRegionGuard region;  // belt to omp_in_parallel's braces
+      if (err.failed()) continue;
       try {
         const Index lo = begin + c * grain;
         const Index hi = lo + grain < end ? lo + grain : end;
         body(lo, hi);
       } catch (...) {
-        bool expected = false;
-        if (failed.compare_exchange_strong(expected, true)) first_error = std::current_exception();
+        err.capture();
       }
     }
   } else {
 #pragma omp parallel for num_threads(threads) schedule(dynamic, 1)
     for (Index c = 0; c < chunks; ++c) {
-      if (failed.load(std::memory_order_relaxed)) continue;
+      detail::ParallelRegionGuard region;
+      if (err.failed()) continue;
       try {
         const Index lo = begin + c * grain;
         const Index hi = lo + grain < end ? lo + grain : end;
         body(lo, hi);
       } catch (...) {
-        bool expected = false;
-        if (failed.compare_exchange_strong(expected, true)) first_error = std::current_exception();
+        err.capture();
       }
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  err.rethrow_if_failed();
 #else
-  run_workers(begin, end, policy, body);
+  run_workers(begin, end, policy, threads, sched, body);
 #endif
 }
 

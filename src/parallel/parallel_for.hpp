@@ -2,6 +2,12 @@
 // Row-parallel loop: the CPU analogue of launching one CUDA block per
 // attention row. Dispatches to OpenMP when available, otherwise to a
 // std::thread fork/join implementation with the same semantics.
+//
+// Nesting contract (see parallel/parallel_region.hpp): a substrate call
+// made from inside another substrate call runs serially on the calling
+// worker instead of spawning threads² workers. A single-element range
+// runs inline on the caller — outside any region — so a batch of one
+// still lets the item's own loops parallelise.
 
 #include <functional>
 #include <string_view>
@@ -10,6 +16,10 @@
 #include "parallel/exec_policy.hpp"
 
 namespace gpa {
+
+/// Ceiling division — the chunk-count arithmetic every scheduling
+/// decision shares (ATen's divup).
+inline constexpr Index divup(Index x, Index y) { return (x + y - 1) / y; }
 
 /// Which substrate parallel_for dispatches to in this build:
 /// "openmp" when compiled with GPA_HAVE_OPENMP, "threads" otherwise.
@@ -26,7 +36,9 @@ void parallel_for(Index begin, Index end, const ExecPolicy& policy,
 void parallel_for_chunks(Index begin, Index end, const ExecPolicy& policy,
                          const std::function<void(Index, Index)>& body);
 
-/// Number of workers the policy resolves to on this machine.
+/// Number of workers the policy resolves to on this machine. Returns 1
+/// inside a parallel region (the nesting guard): nested loops degrade
+/// to serial rather than oversubscribe.
 int resolved_threads(const ExecPolicy& policy) noexcept;
 
 }  // namespace gpa

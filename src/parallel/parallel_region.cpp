@@ -1,0 +1,34 @@
+#include "parallel/parallel_region.hpp"
+
+#if defined(GPA_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace gpa {
+
+namespace {
+// One flag per thread: set while the thread executes a substrate worker
+// body. The OpenMP arm additionally consults omp_in_parallel() so a
+// kernel called from a caller's own `#pragma omp parallel` region (not
+// just from our loops) degrades to serial too.
+thread_local bool tls_in_region = false;
+}  // namespace
+
+bool in_parallel_region() noexcept {
+#if defined(GPA_HAVE_OPENMP)
+  if (omp_in_parallel()) return true;
+#endif
+  return tls_in_region;
+}
+
+namespace detail {
+
+ParallelRegionGuard::ParallelRegionGuard() noexcept : prev_(tls_in_region) {
+  tls_in_region = true;
+}
+
+ParallelRegionGuard::~ParallelRegionGuard() { tls_in_region = prev_; }
+
+}  // namespace detail
+
+}  // namespace gpa

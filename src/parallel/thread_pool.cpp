@@ -34,6 +34,12 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err;
+    std::swap(err, first_error_);  // pool stays usable after the rethrow
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -49,9 +55,18 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A task that throws must neither terminate the worker nor leak
+    // its in_flight_ slot (which would deadlock wait_idle): catch,
+    // stash first-wins, and always decrement.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

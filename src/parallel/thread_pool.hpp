@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,10 +23,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns immediately.
+  /// Enqueue a task; returns immediately. A throwing task does NOT
+  /// take down the worker (no std::terminate): the first exception is
+  /// stashed and rethrown from the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished, then rethrow the
+  /// first exception any task raised since the last wait (first wins;
+  /// later ones are dropped). The pool stays usable after the rethrow.
   void wait_idle();
 
   int size() const noexcept { return static_cast<int>(workers_.size()); }
@@ -40,6 +45,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::int64_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mu_; cleared by wait_idle
 };
 
 }  // namespace gpa

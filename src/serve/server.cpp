@@ -140,37 +140,36 @@ void Server::dispatch_decode(std::vector<Request>& batch) {
   const auto b = static_cast<Index>(batch.size());
   const TimePoint t0 = Clock::now();
 
-  // Group the batch's items by session, keeping each session's steps in
-  // arrival (queue) order: folds for one session must land in token
-  // order, while different sessions decode concurrently — this loop is
-  // the cross-session batching the paged cache exists for. The order
+  // Hand the whole batch to the session manager's cross-session decode:
+  // it groups by session (folds for one session land in arrival/token
+  // order, different sessions decode concurrently) and reduces the
+  // per-session fold counts through the parallel substrate. The order
   // guarantee is per-dispatch only: a client that pipelines token t+1
   // before token t resolves can see the two land in different batches
   // and fold out of order (see the ordering contract in
-  // kvcache/session_manager.hpp — await each step).
-  std::map<std::uint64_t, std::vector<std::size_t>> by_session;
+  // kvcache/session_manager.hpp — await each step). Per-item failures
+  // come back as typed outcomes, never as exceptions.
+  using Item = kvcache::SessionManager::DecodeBatchItem;
+  std::vector<Item> items(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    by_session[batch[i].session_id].push_back(i);
+    Request& r = batch[i];
+    items[i] = Item{r.session_id, r.data->q.row(0), r.data->k.row(0), r.data->v.row(0),
+                    r.output.row(0)};
   }
-  std::vector<const std::vector<std::size_t>*> groups;
-  groups.reserve(by_session.size());
-  for (const auto& [sid, idx] : by_session) groups.push_back(&idx);
+  cfg_.sessions->decode_batch(items, cfg_.batch_policy);
 
   std::vector<ResponseStatus> status(batch.size(), ResponseStatus::Ok);
-  kvcache::SessionManager& mgr = *cfg_.sessions;
-  parallel_for(0, static_cast<Index>(groups.size()), cfg_.batch_policy, [&](Index g) {
-    for (const std::size_t i : *groups[static_cast<std::size_t>(g)]) {
-      Request& r = batch[i];
-      try {
-        mgr.decode_step(r.session_id, r.data->q.row(0), r.data->k.row(0), r.data->v.row(0),
-                        r.output.row(0));
-      } catch (const kvcache::SessionError&) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    switch (items[i].outcome) {
+      case Item::Outcome::Ok: break;
+      case Item::Outcome::SessionError:
         status[i] = ResponseStatus::RejectedSession;  // unknown / evicted / cache full
-      } catch (const std::exception&) {
+        break;
+      case Item::Outcome::Error:
         status[i] = ResponseStatus::InternalError;
-      }
+        break;
     }
-  });
+  }
 
   const TimePoint t1 = Clock::now();
   stats_.record_batch(b);

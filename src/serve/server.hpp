@@ -12,9 +12,16 @@
 // Parallelism is two-level, mirroring how a batch fills a device:
 //   batch_policy — across batch items (one "SM" per sequence),
 //   item_policy  — inside one kernel call (rows of one sequence).
-// The defaults give each dispatch the whole machine across items and
-// keep items serial inside, so batched and unbatched dispatch are
-// directly comparable at equal worker count.
+// The two levels cannot multiply threads: the substrate's nesting guard
+// (parallel/parallel_region.hpp) makes a kernel called from inside the
+// cross-item loop run serial regardless of item_policy, so thread count
+// is max(batch_policy, item_policy) threads, never the product. A
+// batch of ONE item dispatches inline on the worker (no region opened),
+// so item_policy's parallelism survives exactly when there is no
+// cross-item parallelism to collide with. The defaults give each
+// dispatch the whole machine across items and keep items serial inside,
+// so batched and unbatched dispatch are directly comparable at equal
+// worker count.
 //
 // Shutdown drains: close() stops admissions, workers finish everything
 // already queued (in-flight requests complete Ok), then join. Requests

@@ -507,5 +507,106 @@ TEST(SessionConcurrency, ParallelDecodeAcrossSessionsWithEvictionChurn) {
   EXPECT_EQ(mgr.stats().decode_steps, static_cast<Size>(kSessions) * kSteps);
 }
 
+TEST(DecodeBatch, BatchedStepsMatchPerSessionStepsBitwise) {
+  // Cross-session batched decode must be bit-identical to issuing each
+  // session's steps one at a time: grouping only changes who folds a
+  // row, never the fold order within a session.
+  const Index d = 16;
+  constexpr int kSessions = 3;
+  constexpr Index kSteps = 12;
+  SessionManager batched(small_config(d, 64));
+  SessionManager reference(small_config(d, 64));
+  for (int s = 1; s <= kSessions; ++s) {
+    batched.create(static_cast<std::uint64_t>(s), MaskSpec::make_local(LocalParams{4}));
+    reference.create(static_cast<std::uint64_t>(s), MaskSpec::make_local(LocalParams{4}));
+  }
+
+  std::vector<Matrix<float>> rows, got, want;
+  for (int s = 0; s < kSessions; ++s) {
+    Rng rng(static_cast<std::uint64_t>(s) * 77 + 5);
+    Matrix<float> r(kSteps, d);
+    fill_uniform(r, rng);
+    rows.push_back(std::move(r));
+    got.emplace_back(kSteps, d);
+    want.emplace_back(kSteps, d);
+  }
+
+  Index batched_edges = 0;
+  for (Index t = 0; t < kSteps; ++t) {
+    // One batch per token step: one item per live session, plus one for
+    // a session that does not exist — its typed failure must not poison
+    // the others.
+    std::vector<SessionManager::DecodeBatchItem> items;
+    Matrix<float> junk(1, d);
+    for (int s = 0; s < kSessions; ++s) {
+      const float* row = rows[static_cast<std::size_t>(s)].row(t);
+      items.push_back({static_cast<std::uint64_t>(s + 1), row, row, row,
+                       got[static_cast<std::size_t>(s)].row(t)});
+    }
+    items.push_back({999, junk.row(0), junk.row(0), junk.row(0), junk.row(0)});
+    batched_edges += batched.decode_batch(items, ExecPolicy{2, 1, Schedule::Dynamic});
+    for (int s = 0; s < kSessions; ++s) {
+      EXPECT_EQ(items[static_cast<std::size_t>(s)].outcome,
+                SessionManager::DecodeBatchItem::Outcome::Ok);
+    }
+    EXPECT_EQ(items.back().outcome, SessionManager::DecodeBatchItem::Outcome::SessionError);
+  }
+
+  Index reference_edges = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    for (Index t = 0; t < kSteps; ++t) {
+      const float* row = rows[static_cast<std::size_t>(s)].row(t);
+      reference_edges += reference.decode_step(static_cast<std::uint64_t>(s + 1), row, row, row,
+                                               want[static_cast<std::size_t>(s)].row(t));
+    }
+  }
+
+  EXPECT_EQ(batched_edges, reference_edges);
+  for (int s = 0; s < kSessions; ++s) {
+    for (Index t = 0; t < kSteps; ++t) {
+      for (Index p = 0; p < d; ++p) {
+        ASSERT_EQ(got[static_cast<std::size_t>(s)](t, p),
+                  want[static_cast<std::size_t>(s)](t, p))
+            << "session " << s + 1 << " token " << t << " col " << p;
+      }
+    }
+  }
+}
+
+TEST(DecodeBatch, InSessionOrderIsPreservedWithinOneBatch) {
+  // Several tokens of ONE session inside one batch must fold in item
+  // order (the autoregressive contract) even while other sessions run
+  // concurrently.
+  const Index d = 16;
+  constexpr Index kTokens = 8;
+  SessionManager batched(small_config(d, 64));
+  SessionManager reference(small_config(d, 64));
+  batched.create(1, MaskSpec::make_local(LocalParams{3}));
+  batched.create(2, MaskSpec::make_local(LocalParams{3}));
+  reference.create(1, MaskSpec::make_local(LocalParams{3}));
+
+  Rng rng(4321);
+  Matrix<float> tokens(kTokens, d), other(kTokens, d);
+  fill_uniform(tokens, rng);
+  fill_uniform(other, rng);
+  Matrix<float> got(kTokens, d), want(kTokens, d), sink(kTokens, d);
+
+  std::vector<SessionManager::DecodeBatchItem> items;
+  for (Index t = 0; t < kTokens; ++t) {
+    items.push_back({1, tokens.row(t), tokens.row(t), tokens.row(t), got.row(t)});
+    items.push_back({2, other.row(t), other.row(t), other.row(t), sink.row(t)});
+  }
+  batched.decode_batch(items, ExecPolicy{2, 1, Schedule::Dynamic});
+
+  for (Index t = 0; t < kTokens; ++t) {
+    reference.decode_step(1, tokens.row(t), tokens.row(t), tokens.row(t), want.row(t));
+  }
+  for (Index t = 0; t < kTokens; ++t) {
+    for (Index p = 0; p < d; ++p) {
+      ASSERT_EQ(got(t, p), want(t, p)) << "token " << t << " col " << p;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace gpa::kvcache

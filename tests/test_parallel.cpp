@@ -1,18 +1,24 @@
 // Tests for the parallel runtime substrate: parallel_for semantics under
-// both schedules, exception propagation, the thread pool, and the
+// both schedules, exception propagation, nesting degradation,
+// parallel_reduce determinism, the thread pool, and the
 // device-capacity memory tracker.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/device_spec.hpp"
 #include "parallel/memory_tracker.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_region.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace gpa {
@@ -91,6 +97,119 @@ TEST(ParallelForTest, ResolvedThreadsHonorsExplicitCount) {
   EXPECT_GE(resolved_threads(ExecPolicy{0, 1, Schedule::Static}), 1);
 }
 
+TEST(ParallelRegionTest, FlagIsSetInsideAndClearedOutside) {
+  EXPECT_FALSE(in_parallel_region());
+  std::atomic<int> inside{0};
+  parallel_for(0, 8, ExecPolicy{2, 1, Schedule::Static}, [&](Index) {
+    if (in_parallel_region()) inside++;
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(in_parallel_region());  // guard restored on exit
+}
+
+TEST(ParallelRegionTest, NestedCallsDegradeToSerial) {
+  // The oversubscription regression: an outer parallel_for over batch
+  // items with an inner parallel_for per item must use the OUTER level's
+  // threads only, never the product. Census every thread id the inner
+  // loops run on.
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  parallel_for(0, 4, ExecPolicy{4, 1, Schedule::Static}, [&](Index) {
+    EXPECT_TRUE(in_parallel_region());
+    EXPECT_EQ(resolved_threads(ExecPolicy{4, 1, Schedule::Static}), 1);
+    parallel_for(0, 16, ExecPolicy{4, 1, Schedule::Dynamic}, [&](Index) {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  });
+  EXPECT_LE(ids.size(), 4u);  // outer width; 16 would mean threads multiplied
+}
+
+TEST(ParallelRegionTest, SingleItemRangeRunsInlineKeepingInnerParallelism) {
+  // A batch of one must not open a region: the item runs on the caller's
+  // thread and an inner kernel keeps its own parallelism.
+  const std::thread::id caller = std::this_thread::get_id();
+  bool checked = false;
+  parallel_for(0, 1, ExecPolicy{4, 1, Schedule::Dynamic}, [&](Index) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_FALSE(in_parallel_region());
+    EXPECT_GE(resolved_threads(ExecPolicy{4, 1, Schedule::Static}), 4);
+    checked = true;
+  });
+  EXPECT_TRUE(checked);
+}
+
+class ParallelReduceSchedules : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ParallelReduceSchedules, SumsTheRange) {
+  for (const int threads : {1, 2, 4}) {
+    for (const Index grain : {Index{1}, Index{7}, Index{64}}) {
+      ExecPolicy policy{threads, grain, GetParam()};
+      const std::int64_t got = parallel_reduce(
+          Index{0}, Index{257}, std::int64_t{0},
+          [](Index lo, Index hi, std::int64_t acc) {
+            for (Index i = lo; i < hi; ++i) acc += i;
+            return acc;
+          },
+          [](std::int64_t a, std::int64_t b) { return a + b; }, policy);
+      EXPECT_EQ(got, 257 * 256 / 2);
+    }
+  }
+}
+
+TEST_P(ParallelReduceSchedules, EmptyRangeReturnsIdentity) {
+  ExecPolicy policy{4, 8, GetParam()};
+  const auto body = [](Index, Index, int acc) { return acc + 1; };
+  const auto comb = [](int a, int b) { return a + b; };
+  EXPECT_EQ(parallel_reduce(Index{5}, Index{5}, 42, body, comb, policy), 42);
+  EXPECT_EQ(parallel_reduce(Index{9}, Index{5}, 42, body, comb, policy), 42);
+}
+
+TEST_P(ParallelReduceSchedules, ExceptionsPropagateToCaller) {
+  ExecPolicy policy{4, 4, GetParam()};
+  EXPECT_THROW(parallel_reduce(
+                   Index{0}, Index{100}, 0.0f,
+                   [](Index lo, Index hi, float acc) {
+                     for (Index i = lo; i < hi; ++i) {
+                       if (i == 61) throw std::runtime_error("partial failure");
+                       acc += static_cast<float>(i);
+                     }
+                     return acc;
+                   },
+                   [](float a, float b) { return a + b; }, policy),
+               std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ParallelReduceSchedules,
+                         ::testing::Values(Schedule::Static, Schedule::Dynamic));
+
+TEST(ParallelReduceTest, FloatSumIsBitIdenticalAcrossPoliciesAtFixedGrain) {
+  // The determinism contract: the reduction tree is fixed by (n, grain),
+  // so serial and any parallel policy produce bit-identical floats.
+  std::vector<float> xs(1000);
+  std::uint32_t s = 1u;
+  for (float& x : xs) {
+    s = s * 1664525u + 1013904223u;  // LCG: reproducible awkward floats
+    x = static_cast<float>(s >> 8) / 16777216.0f - 0.5f;
+  }
+  const auto body = [&](Index lo, Index hi, float acc) {
+    for (Index i = lo; i < hi; ++i) acc += xs[static_cast<std::size_t>(i)];
+    return acc;
+  };
+  const auto comb = [](float a, float b) { return a + b; };
+  const Index n = static_cast<Index>(xs.size());
+  for (const Index grain : {Index{1}, Index{7}, Index{64}}) {
+    const float serial =
+        parallel_reduce(Index{0}, n, 0.0f, body, comb, ExecPolicy{1, grain, Schedule::Static});
+    const float par_static =
+        parallel_reduce(Index{0}, n, 0.0f, body, comb, ExecPolicy{3, grain, Schedule::Static});
+    const float par_dynamic =
+        parallel_reduce(Index{0}, n, 0.0f, body, comb, ExecPolicy{3, grain, Schedule::Dynamic});
+    EXPECT_EQ(serial, par_static) << "grain " << grain;
+    EXPECT_EQ(serial, par_dynamic) << "grain " << grain;
+  }
+}
+
 TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
@@ -113,6 +232,32 @@ TEST(ThreadPoolTest, TasksCanBeSubmittedAfterWait) {
   pool.submit([&] { count++; });
   pool.wait_idle();
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskPropagatesFromWaitIdle) {
+  // The regression this pins: a throwing task used to escape
+  // worker_loop (std::terminate) and leave in_flight_ forever nonzero
+  // (wait_idle deadlock). Now the error is stashed and rethrown here,
+  // after everything in flight has drained.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&] { ran++; });
+  pool.submit([] { throw std::runtime_error("task failure"); });
+  for (int i = 0; i < 8; ++i) pool.submit([&] { ran++; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // the failure never cancels other tasks
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterTaskFailure) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failure"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error was consumed by the rethrow: the pool accepts new work
+  // and the next wait_idle is clean.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&] { count++; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 4);
 }
 
 TEST(DeviceSpecTest, PresetsMatchTable1Capacities) {

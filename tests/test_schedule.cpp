@@ -1,0 +1,255 @@
+// Traversal-driven auto-scheduling (parallel/auto_tune.hpp) and the
+// schedule-invariance property it relies on: the schedule decides who
+// computes a row, never what the row computes, so every kernel must be
+// bitwise identical across {Static, Dynamic, Auto} × grain × threads —
+// including the grain/schedule combinations Auto resolves to at call
+// time. The auto-pick tests pin the decision rule of §V-C: the global
+// mask's skewed rows ("the algorithm can only be as fast as its slowest
+// block") pick Dynamic, uniform rows pick Static.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/composed.hpp"
+#include "core/graph_attention.hpp"
+#include "core/spmm_attention.hpp"
+#include "core/traversal.hpp"
+#include "parallel/auto_tune.hpp"
+#include "sparse/build.hpp"
+#include "sparse/presets.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace gpa {
+namespace {
+
+// ---------------------------------------------------------------- //
+// Auto-pick decision rule, pinned.                                  //
+// ---------------------------------------------------------------- //
+
+TEST(AutoTuneTest, SkewedDegreesPickDynamic) {
+  const ExecPolicy p = auto_tune(ExecPolicy::auto_tuned(), 8.0, 64.0);
+  EXPECT_EQ(p.schedule, Schedule::Dynamic);
+  EXPECT_EQ(p.grain, kAutoMaxGrain);  // 4096/8 = 512 → clamped to the cap
+}
+
+TEST(AutoTuneTest, UniformDegreesPickStatic) {
+  const ExecPolicy p = auto_tune(ExecPolicy::auto_tuned(), 64.0, 1.1);
+  EXPECT_EQ(p.schedule, Schedule::Static);
+  EXPECT_EQ(p.grain, kAutoGrainWork / 64);  // 4096/64 = 64
+}
+
+TEST(AutoTuneTest, GrainClampsToBothEnds) {
+  // Tiny rows → huge derived grain, clamped to the cap.
+  EXPECT_EQ(auto_tune(ExecPolicy::auto_tuned(), 1.0, 1.0).grain, kAutoMaxGrain);
+  // Enormous rows → sub-1 derived grain, clamped up to one row.
+  EXPECT_EQ(auto_tune(ExecPolicy::auto_tuned(), 1.0e6, 1.0).grain, Index{1});
+}
+
+TEST(AutoTuneTest, ThresholdIsTheBoundary) {
+  EXPECT_EQ(auto_tune(ExecPolicy::auto_tuned(), 8.0, kAutoImbalanceThreshold).schedule,
+            Schedule::Dynamic);
+  EXPECT_EQ(auto_tune(ExecPolicy::auto_tuned(), 8.0, kAutoImbalanceThreshold - 0.01).schedule,
+            Schedule::Static);
+}
+
+TEST(AutoTuneTest, NonAutoPoliciesPassThroughUntouched) {
+  const ExecPolicy fixed{3, 7, Schedule::Dynamic};
+  const ExecPolicy p = auto_tune(fixed, 8.0, 64.0);
+  EXPECT_EQ(p.num_threads, 3);
+  EXPECT_EQ(p.grain, 7);
+  EXPECT_EQ(p.schedule, Schedule::Dynamic);
+}
+
+TEST(AutoPickTest, GlobalMaskResolvesToDynamic) {
+  // Eight hub rows attend to ~everything, the other 1016 rows to at
+  // most eight columns: imbalance ≈ L/mean ≫ threshold.
+  constexpr Index kL = 1024;
+  GlobalMinusLocalParams gp;
+  gp.global = make_global({0, 130, 260, 390, 520, 650, 780, 910}, kL);
+  gp.local = make_local(2);
+  const MaskTraversal tr = MaskTraversal::global(gp);
+  ASSERT_GE(tr.stats(kL, false).imbalance, kAutoImbalanceThreshold);
+
+  const ExecPolicy p = tr.resolved_policy(ExecPolicy::auto_tuned(), kL, /*causal=*/false);
+  EXPECT_EQ(p.schedule, Schedule::Dynamic);
+  EXPECT_GE(p.grain, Index{1});
+  EXPECT_LE(p.grain, kAutoMaxGrain);
+}
+
+TEST(AutoPickTest, UniformCsrResolvesToStatic) {
+  // A materialised sliding window: every interior row has the same
+  // degree, so imbalance ≈ 1.
+  constexpr Index kL = 1024;
+  const Csr<float> mask = build_csr_local(kL, LocalParams{8});
+  const MaskTraversal tr = MaskTraversal::over(mask);
+  ASSERT_LT(tr.stats(kL, false).imbalance, kAutoImbalanceThreshold);
+
+  const ExecPolicy p = tr.resolved_policy(ExecPolicy::auto_tuned(), kL, /*causal=*/false);
+  EXPECT_EQ(p.schedule, Schedule::Static);
+  EXPECT_GE(p.grain, Index{1});
+}
+
+TEST(AutoPickTest, ComposedResolutionSumsComponentDegrees) {
+  // Longformer = local window + global hubs: the window dominates the
+  // mean but the hubs dominate the max, so the summed profile stays
+  // skewed and the composition as a whole picks Dynamic.
+  constexpr Index kL = 512;
+  const ComposedMask mask = make_longformer(kL, 8, 4);
+  const std::vector<MaskTraversal> components = traversals_of(mask);
+  const ExecPolicy p =
+      resolved_policy(ExecPolicy::auto_tuned(), components, kL, /*causal=*/false);
+  EXPECT_EQ(p.schedule, Schedule::Dynamic);
+  // And a non-Auto policy passes through the composed resolver too.
+  const ExecPolicy fixed{3, 7, Schedule::Static};
+  const ExecPolicy same = resolved_policy(fixed, components, kL, /*causal=*/false);
+  EXPECT_EQ(same.schedule, Schedule::Static);
+  EXPECT_EQ(same.grain, 7);
+}
+
+// ---------------------------------------------------------------- //
+// Schedule invariance: bitwise-identical output across schedules,   //
+// grains, and the auto-tuned policy, for every kernel family.       //
+// ---------------------------------------------------------------- //
+
+struct Fixture {
+  static constexpr Index kL = 96;
+  static constexpr Index kD = 16;
+  Matrix<float> q{kL, kD}, k{kL, kD}, v{kL, kD};
+
+  Fixture() {
+    Rng rng(20250808);
+    fill_uniform(q, rng);
+    fill_uniform(k, rng);
+    fill_uniform(v, rng);
+  }
+};
+
+/// The schedule grid: serial is the baseline; every Static/Dynamic ×
+/// grain {1, 7, 64} combination at 3 threads, plus the auto-tuned
+/// policy (whatever it resolves to), must match it bitwise.
+std::vector<ExecPolicy> schedule_grid() {
+  std::vector<ExecPolicy> grid;
+  for (const Schedule sched : {Schedule::Static, Schedule::Dynamic}) {
+    for (const Index grain : {Index{1}, Index{7}, Index{64}}) {
+      grid.push_back(ExecPolicy{3, grain, sched});
+    }
+  }
+  grid.push_back(ExecPolicy::auto_tuned());
+  return grid;
+}
+
+template <typename CallFn>
+void expect_schedule_invariant(const CallFn& call) {
+  for (const bool causal : {false, true}) {
+    Matrix<float> baseline(Fixture::kL, Fixture::kD);
+    call(ExecPolicy::serial(), causal, baseline);
+    for (const ExecPolicy& policy : schedule_grid()) {
+      Matrix<float> out(Fixture::kL, Fixture::kD);
+      call(policy, causal, out);
+      EXPECT_EQ(max_abs_diff(out, baseline), 0.0)
+          << "causal=" << causal << " grain=" << policy.grain
+          << " sched=" << static_cast<int>(policy.schedule);
+    }
+  }
+}
+
+TEST(ScheduleInvariance, CsrKernel) {
+  Fixture f;
+  const Csr<float> mask = build_csr_random(Fixture::kL, RandomParams{0.15, 77});
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    csr_attention(f.q, f.k, f.v, mask, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, CooKernel) {
+  Fixture f;
+  const Coo<float> mask = csr_to_coo(build_csr_random(Fixture::kL, RandomParams{0.15, 77}));
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    coo_attention(f.q, f.k, f.v, mask, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, LocalKernel) {
+  Fixture f;
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    local_attention(f.q, f.k, f.v, LocalParams{7}, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, Dilated1DKernel) {
+  Fixture f;
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    dilated1d_attention(f.q, f.k, f.v, Dilated1DParams{9, 2}, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, Dilated2DKernel) {
+  Fixture f;
+  const auto params = make_dilated2d(Fixture::kL, 8, 1);
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    dilated2d_attention(f.q, f.k, f.v, params, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, GlobalKernel) {
+  Fixture f;
+  GlobalMinusLocalParams gp;
+  gp.global = make_global({0, 31, 64}, Fixture::kL);
+  gp.local = make_local(4);
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    global_attention(f.q, f.k, f.v, gp, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, ComposedKernel) {
+  Fixture f;
+  const ComposedMask mask = make_longformer(Fixture::kL, 6, 3);
+  expect_schedule_invariant([&](const ExecPolicy& p, bool causal, Matrix<float>& out) {
+    AttentionOptions opts;
+    opts.policy = p;
+    opts.causal = causal;
+    composed_attention(f.q, f.k, f.v, mask, out, opts);
+  });
+}
+
+TEST(ScheduleInvariance, SpmmPipeline) {
+  Fixture f;
+  const Csr<float> mask = build_csr_random(Fixture::kL, RandomParams{0.15, 77});
+  // spmm_attention has no causal switch — its mask carries the
+  // structure; exercise the non-causal arm only.
+  Matrix<float> baseline(Fixture::kL, Fixture::kD);
+  AttentionOptions base_opts;
+  base_opts.policy = ExecPolicy::serial();
+  spmm_attention(f.q, f.k, f.v, mask, baseline, base_opts);
+  for (const ExecPolicy& policy : schedule_grid()) {
+    Matrix<float> out(Fixture::kL, Fixture::kD);
+    AttentionOptions opts;
+    opts.policy = policy;
+    spmm_attention(f.q, f.k, f.v, mask, out, opts);
+    EXPECT_EQ(max_abs_diff(out, baseline), 0.0)
+        << "grain=" << policy.grain << " sched=" << static_cast<int>(policy.schedule);
+  }
+}
+
+}  // namespace
+}  // namespace gpa

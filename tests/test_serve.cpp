@@ -97,6 +97,35 @@ TEST(ServeParity, MultiHeadAndCausalRequestsMatchDirectCalls) {
   EXPECT_EQ(max_abs_diff(c_resp.output, direct_causal), 0.0);
 }
 
+TEST(ServeParity, NestedBatchAndItemPoliciesStayBitIdentical) {
+  // Both dispatch levels parallel at once: the substrate's nesting
+  // guard must degrade the per-item kernel to serial inside the
+  // cross-item loop (no thread multiplication) without changing a
+  // single bit of the output.
+  const Index L = 48, d = 16;
+  auto mask = std::make_shared<const Csr<float>>(build_csr_random(L, RandomParams{0.25, 11}));
+
+  ServerConfig cfg = make_config(1, 64, BatchPolicy{8, 2000us});
+  cfg.batch_policy = ExecPolicy{4, 1, Schedule::Dynamic};
+  cfg.item_policy = ExecPolicy{4, 16, Schedule::Static};
+  Server server(std::move(cfg));
+
+  std::vector<std::shared_ptr<const RequestData>> payloads;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) {
+    payloads.push_back(make_payload(L, d, 7000 + static_cast<std::uint64_t>(i)));
+    futures.push_back(server.submit(make_test_request(payloads.back(), mask)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const Response resp = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok) << "request " << i;
+    const auto& p = *payloads[static_cast<std::size_t>(i)];
+    Matrix<float> direct(L, d);
+    csr_attention(p.q, p.k, p.v, *mask, direct);
+    EXPECT_EQ(max_abs_diff(resp.output, direct), 0.0) << "request " << i;
+  }
+}
+
 TEST(ServeParity, MixedMaskTrafficStaysIsolated) {
   // Two same-shape masks interleaved: if the batcher ever mixed keys,
   // the minority mask's requests would be computed under the wrong mask
