@@ -18,9 +18,18 @@
 // remains (measured ~1.05–1.25×) — the printed hardware_concurrency
 // tells you which regime a recorded JSON came from.
 //
+// The second surface is the admission comparison: a mixed-length causal
+// pattern workload run open-loop up an arrival-rate ladder, once with
+// exact-length batch keys and once with seq_len buckets, until the
+// completed/offered ratio drops below the knee threshold. The highest
+// rate that held the threshold is the cell family's measured
+// max-sustainable-rps; bucketed admission coalesces near-length
+// requests that exact keys keep apart, which is worth real occupancy
+// (and a later knee) exactly when lengths are diverse.
+//
 //   bench_serving_throughput [--smoke] [--paper-scale] [--csv f] [--json f]
 //
-// --json writes the gpa-bench-serving/v2 records (BENCH_serving.json);
+// --json writes the gpa-bench-serving/v3 records (BENCH_serving.json);
 // each record carries hw_threads so a committed file self-identifies
 // the machine class it was recorded on.
 
@@ -50,18 +59,22 @@ struct Cell {
 constexpr std::int64_t batch_wait_us(Index max_batch) { return max_batch > 1 ? 50 : 0; }
 
 Cell run_cell(const serve::Workload& wl, Index max_batch, int workers, Size requests,
-              int clients, double arrival_hz) {
+              int clients, double arrival_hz, const std::vector<Index>& seq_buckets = {},
+              std::chrono::microseconds deadline = std::chrono::microseconds{0},
+              std::size_t queue_capacity = 4096) {
   serve::ServerConfig cfg;
   cfg.workers = workers;
-  cfg.queue_capacity = 4096;
+  cfg.queue_capacity = queue_capacity;
   cfg.policy.max_batch = max_batch;
   cfg.policy.max_wait = std::chrono::microseconds{batch_wait_us(max_batch)};
+  cfg.policy.seq_buckets = seq_buckets;
   serve::Server server(cfg);
 
   serve::LoadGenConfig lg;
   lg.requests = requests;
   lg.clients = clients;
   lg.arrival_hz = arrival_hz;
+  lg.deadline = deadline;
   Cell cell;
   cell.result = arrival_hz > 0.0 ? serve::run_open_loop(server, wl, lg)
                                  : serve::run_closed_loop(server, wl, lg);
@@ -156,6 +169,102 @@ int main(int argc, char** argv) {
     const Size n = args.smoke ? 128 : 4'000;
     const Cell cell = run_cell(wl, 8, workers, n, 0, rate);
     record_cell("open-loop", sf, 8, 0, rate, cell);
+  }
+
+  // Bucketed vs exact admission: a mixed-length pattern workload driven
+  // open-loop up an arrival ladder until the completed/offered ratio
+  // falls below the knee threshold. Equal everything except the
+  // seq_buckets knob; the knee each arm resolves is stamped on all of
+  // that arm's ladder records. The ladder is JOINT: both arms are
+  // probed at each rate back-to-back before the rate advances, so slow
+  // drift in background machine load (minutes-scale on a shared host)
+  // perturbs both arms the same way instead of biasing whichever arm
+  // ran second.
+  {
+    // 0.95 rather than 0.9: past the knee the completed ratio drops
+    // through the 0.90s quickly but noisily (deadline shedding under a
+    // growing backlog), and sustainable rungs hold ≥0.97 — so 0.95
+    // sits in the gap and 0.90 sits inside the noise band.
+    constexpr double kKneeThreshold = 0.95;
+    // Length diversity is the point: real mixed traffic has ~every
+    // length distinct, so exact keys fragment the queue into as many
+    // uncoalescable streams as there are lengths while the buckets
+    // fold them into two. The queue is kept shallow relative to the
+    // length count so a saturated backlog still holds only a few
+    // requests of any one exact length — with a deep queue both arms
+    // coalesce equally and the comparison measures nothing.
+    std::vector<Index> lengths;
+    const Index len_lo = args.smoke ? 20 : 100;
+    const Index len_step = 2;
+    const int n_lengths = args.smoke ? 16 : 48;
+    for (int i = 0; i < n_lengths; ++i) lengths.push_back(len_lo + len_step * i);
+    const std::vector<Index> buckets = args.smoke ? std::vector<Index>{35, 50}
+                                                  : std::vector<Index>{146, 194};
+    const Index pd = 32, window = 8;
+    const auto wl = serve::make_mixed_local_workload(lengths, pd, window, /*seed=*/11);
+    const double base_rate = args.smoke ? 250.0 : 500.0;
+    const double fine_base = args.smoke ? 1'000.0 : 8'000.0;  // the knee band starts above here
+    const double rung_seconds = args.smoke ? 0.4 : 2.5;  // short rungs are jitter-dominated near the knee
+    const auto deadline = std::chrono::microseconds{100'000};  // sheds under overload
+    const int kMaxRungs = args.smoke ? 6 : 10;  // fine 1.15x rungs through the knee band
+
+    std::cout << "\n=== Admission: exact vs bucketed keys (mixed-length local pattern, d="
+              << pd << ", open-loop ladder to the " << kKneeThreshold << " knee) ===\n";
+
+    struct Arm {
+      const char* name;
+      const std::vector<Index>* buckets;
+      double knee = 0.0;
+      bool alive = true;
+      std::vector<std::size_t> rung_records;
+    };
+    const std::vector<Index> no_buckets;
+    std::vector<Arm> arms = {{"exact", &no_buckets}, {"bucketed", &buckets}};
+
+    auto probe_once = [&](Arm& arm, double rate) {
+      const Size n = static_cast<Size>(rate * rung_seconds);
+      const Cell cell = run_cell(wl, /*max_batch=*/8, workers, n, /*clients=*/0, rate,
+                                 *arm.buckets, deadline, /*queue_capacity=*/160);
+      record_cell(arm.name, 0.0, 8, 0, rate, cell);
+      records.back().seq_len = lengths.back();  // the family's longest length
+      records.back().head_dim = pd;
+      records.back().admission = arm.name;
+      arm.rung_records.push_back(records.size() - 1);
+      return static_cast<double>(cell.result.completed) / static_cast<double>(n) >=
+             kKneeThreshold;
+    };
+    // One 2.5s open-loop rung is jitter-dominated near the knee (a
+    // ~250ms scheduler stall sheds ~10% of the rung's offer), so a
+    // rate's verdict is a 2-of-3 majority — symmetric, unlike a
+    // retry-on-failure rule, which would inflate the knee with lucky
+    // passes at oversaturated rates.
+    auto probe = [&](Arm& arm, double rate) {
+      int pass = 0, fail = 0;
+      while (pass < 2 && fail < 2) (probe_once(arm, rate) ? pass : fail) += 1;
+      return pass >= 2;
+    };
+
+    // Sub-saturation rates pass trivially at ratio ~1.0: sketch that
+    // part of the curve with coarse doubling rungs and single probes,
+    // then walk fine 1.15x rungs with majority verdicts through the
+    // knee band, both arms at each rate before it advances.
+    double rate = base_rate;
+    for (; rate < fine_base; rate *= 2.0)
+      for (Arm& arm : arms)
+        if (probe_once(arm, rate)) arm.knee = rate;
+    for (int rung = 0; rung < kMaxRungs && (arms[0].alive || arms[1].alive);
+         ++rung, rate *= 1.15)
+      for (Arm& arm : arms) {
+        if (!arm.alive) continue;
+        if (probe(arm, rate))
+          arm.knee = rate;
+        else
+          arm.alive = false;
+      }
+    for (const Arm& arm : arms) {
+      for (const std::size_t i : arm.rung_records) records[i].max_sustainable_rps = arm.knee;
+      std::cout << "  " << arm.name << ": max sustainable rate = " << arm.knee << " rps\n";
+    }
   }
 
   std::cout << '\n';

@@ -69,7 +69,7 @@ void write_serving_bench_json(const std::string& path,
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-serving/v2\",\n"
+      << "  \"schema\": \"gpa-bench-serving/v3\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -83,7 +83,9 @@ void write_serving_bench_json(const std::string& path,
         << ", \"rejected\": " << r.rejected << ", \"wall_s\": " << fmt(r.wall_s)
         << ", \"rps\": " << fmt(r.rps) << ", \"p50_ms\": " << fmt(r.p50_ms)
         << ", \"p95_ms\": " << fmt(r.p95_ms) << ", \"p99_ms\": " << fmt(r.p99_ms)
-        << ", \"mean_batch_occupancy\": " << fmt(r.mean_batch_occupancy) << "}"
+        << ", \"mean_batch_occupancy\": " << fmt(r.mean_batch_occupancy)
+        << ", \"admission\": \"" << escape(r.admission) << "\""
+        << ", \"max_sustainable_rps\": " << fmt(r.max_sustainable_rps) << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -53,10 +53,20 @@ struct ServingBenchRecord {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double mean_batch_occupancy = 0.0;
+  /// Admission policy of the cell: "" for plain CSR-attention cells,
+  /// "exact" / "bucketed" for the pattern-request comparison (bucketed
+  /// admission coalesces near-length requests; exact keys by length).
+  std::string admission;
+  /// The measured saturation knee of an open-loop arrival-rate sweep:
+  /// the highest offered rate whose completed/offered ratio stayed
+  /// above the sweep's threshold. 0 on non-sweep cells; sweep ladder
+  /// cells all carry the knee their ladder resolved to.
+  double max_sustainable_rps = 0.0;
 };
 
-/// Writes `{schema: "gpa-bench-serving/v2", parallel_backend, records}`
-/// (v2 added per-record hw_threads).
+/// Writes `{schema: "gpa-bench-serving/v3", parallel_backend, records}`
+/// (v2 added per-record hw_threads; v3 added admission and
+/// max_sustainable_rps for the open-loop saturation sweep).
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchRecord>& records,
                               const std::string& parallel_backend_name);

@@ -34,11 +34,16 @@ std::uint64_t mask_fingerprint(const Csr<float>& mask);
 ///
 /// `kind` discriminates dispatch families that must never share a
 /// kernel loop even when shapes agree — the serving layer maps its
-/// RequestKind here (0 = one-shot attention, 1 = incremental decode).
+/// RequestKind here (0 = one-shot attention, 1 = incremental decode,
+/// 2 = causal pattern attention with bucketed seq_len).
 /// Decode steps set seq_len = 0 and mask_fp = 0: each step is one row
 /// against its own session's cache, so steps from *different sessions*
 /// at *different lengths* still coalesce into one dispatch — exactly
 /// the cross-session batching the KV cache exists to enable.
+/// Pattern requests (kind 2) relax seq_len to a configured BUCKET
+/// ceiling: their causal row slices are length-independent and each
+/// item dispatches at its own true length, so near-length requests
+/// coalesce without padding or approximation.
 struct BatchKey {
   std::uint64_t mask_fp = 0;
   Index seq_len = 0;

@@ -3,6 +3,7 @@
 //   block_pool.hpp      — refcounted fixed-size K/V pages (CoW sharing)
 //   page_table.hpp      — per-session token → (page, slot) mapping
 //   mask_spec.hpp       — session mask: composition of MaskTraversals
+//   prefix_index.hpp    — pool-wide content-hash prompt cache
 //   session_manager.hpp — sessions: prefill / decode_step / fork / LRU
 //   errors.hpp          — SessionNotFound / SessionEvicted / CacheFull
 
@@ -10,4 +11,5 @@
 #include "kvcache/errors.hpp"
 #include "kvcache/mask_spec.hpp"
 #include "kvcache/page_table.hpp"
+#include "kvcache/prefix_index.hpp"
 #include "kvcache/session_manager.hpp"

@@ -37,6 +37,15 @@ bool PageTable::append(BlockPool& pool, const float* k_row, const float* v_row) 
   return true;
 }
 
+void PageTable::adopt_shared_page(const BlockPool& pool, Index page) {
+  const Index ps = pool.page_size();
+  GPA_CHECK(stride_ == 0 || stride_ == ps, "page table bound to a different page size");
+  GPA_CHECK(len_ % ps == 0, "shared pages adopt only on a page boundary");
+  stride_ = ps;
+  pages_.push_back(page);
+  len_ += ps;
+}
+
 PageTable PageTable::fork(BlockPool& pool) const {
   PageTable child;
   child.pages_ = pages_;

@@ -35,6 +35,15 @@ class PageTable {
     return pool.v_row(page_of(pos), slot_of(pool, pos));
   }
 
+  /// Appends a FULL page of already-cached tokens by reference: the
+  /// caller holds a reference on `page` (e.g. from PrefixIndex::acquire)
+  /// and transfers it to the table — no copy, no refcount change here.
+  /// Only legal on a page boundary (length() % page_size == 0), so the
+  /// adopted page is never the partial tail CoW writes into: adopted
+  /// pages are full and therefore immutable for as long as any table
+  /// maps them.
+  void adopt_shared_page(const BlockPool& pool, Index page);
+
   /// A table sharing every page of this one (refcounts bumped).
   PageTable fork(BlockPool& pool) const;
 

@@ -1,0 +1,98 @@
+#include "kvcache/prefix_index.hpp"
+
+#include "common/error.hpp"
+
+namespace gpa::kvcache {
+
+Index PrefixIndex::acquire(std::uint64_t chain, BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++st_.lookups;
+  const auto it = by_chain_.find(chain);
+  if (it == by_chain_.end()) return BlockPool::kNoPage;
+  // Retain while still under mu_: the index's own reference keeps the
+  // page live, so this can never race a concurrent free/recycle.
+  pool.retain(it->second);
+  ++st_.hits;
+  return it->second;
+}
+
+bool PrefixIndex::publish(std::uint64_t chain, Index page, BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (by_chain_.find(chain) != by_chain_.end()) return false;
+  GPA_CHECK(by_page_.find(page) == by_page_.end(),
+            "page already published under a different chain");
+  pool.retain(page);
+  by_chain_.emplace(chain, page);
+  by_page_.emplace(page, chain);
+  ++st_.published;
+  st_.entries = static_cast<Index>(by_chain_.size());
+  return true;
+}
+
+void PrefixIndex::drop_entry_locked(Index page, BlockPool& pool) {
+  const auto rit = by_page_.find(page);
+  by_chain_.erase(rit->second);
+  by_page_.erase(rit);
+  pool.release(page);
+  ++st_.reclaimed;
+  st_.entries = static_cast<Index>(by_chain_.size());
+}
+
+Size PrefixIndex::reclaim_one_orphan(BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [page, chain] : by_page_) {
+    (void)chain;
+    // refcount 1 == only the index holds it. Nothing can retain it
+    // behind our back: acquire() needs mu_ (held), and a session fork
+    // only retains pages the parent already references (count >= 2).
+    if (pool.ref_count(page) == 1) {
+      drop_entry_locked(page, pool);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+Size PrefixIndex::reclaim_orphans_among(const std::vector<Index>& pages, BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Size freed = 0;
+  for (const Index page : pages) {
+    if (by_page_.find(page) == by_page_.end()) continue;
+    if (pool.ref_count(page) != 1) continue;
+    drop_entry_locked(page, pool);
+    ++freed;
+  }
+  return freed;
+}
+
+Size PrefixIndex::reclaim_all_orphans(BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Size freed = 0;
+  for (auto it = by_page_.begin(); it != by_page_.end();) {
+    const Index page = it->first;
+    ++it;  // drop_entry_locked invalidates the entry's iterator
+    if (pool.ref_count(page) == 1) {
+      drop_entry_locked(page, pool);
+      ++freed;
+    }
+  }
+  return freed;
+}
+
+void PrefixIndex::clear(BlockPool& pool) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [page, chain] : by_page_) {
+    (void)chain;
+    pool.release(page);
+  }
+  by_chain_.clear();
+  by_page_.clear();
+  st_.entries = 0;
+}
+
+PrefixIndex::Stats PrefixIndex::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return st_;
+}
+
+}  // namespace gpa::kvcache

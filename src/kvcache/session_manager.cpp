@@ -1,18 +1,37 @@
 #include "kvcache/session_manager.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fnv1a.hpp"
 #include "core/kernel_common.hpp"
 #include "core/state.hpp"
 #include "parallel/parallel_reduce.hpp"
 
 namespace gpa::kvcache {
+namespace {
+
+/// Folds a float row's raw bits into a running chain hash.
+void mix_row(Fnv1a& f, const float* p, Index n) {
+  for (Index i = 0; i < n; ++i) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p + i, sizeof bits);
+    f.mix(bits);
+  }
+}
+
+}  // namespace
 
 SessionManager::SessionManager(Config cfg) : cfg_(cfg), pool_(cfg.pool) {}
 
-SessionManager::~SessionManager() = default;
+SessionManager::~SessionManager() {
+  // Drop the prompt cache's own page references so the pool's books
+  // balance for anyone inspecting it during teardown; sessions release
+  // through their normal lifecycle.
+  index_.clear(pool_);
+}
 
 void SessionManager::create(std::uint64_t id, MaskSpec mask) { create(id, std::move(mask), cfg_.opts); }
 
@@ -96,10 +115,21 @@ bool SessionManager::evict_one(const Session* self) {
     std::unique_lock<std::mutex> op(s->op_mu, std::try_to_lock);
     if (!op.owns_lock()) continue;
     s->evicted = true;
+    // Count how much this eviction will actually free BEFORE releasing:
+    // a page at refcount 1 goes back to the pool on release; a page the
+    // prompt-cache index co-holds becomes an orphan the sweep below
+    // frees. Anything else (fork-shared) survives the eviction and must
+    // not be counted — evicting a fully-shared session frees nothing.
+    const std::vector<Index> pages = s->table.pages();
+    Size freed = 0;
+    for (const Index p : pages) {
+      if (pool_.ref_count(p) == 1) ++freed;
+    }
     s->table.release_all(pool_);
+    freed += index_.reclaim_orphans_among(pages, pool_);
     op.unlock();
     sessions_.erase(it);
-    ++evictions_;
+    if (freed > 0) ++evictions_;
     return true;
   }
   return false;
@@ -107,6 +137,12 @@ bool SessionManager::evict_one(const Session* self) {
 
 void SessionManager::append_or_evict(Session& s, const float* k_row, const float* v_row) {
   while (!s.table.append(pool_, k_row, v_row)) {
+    // Cheapest first: an orphaned prompt-cache page (held only by the
+    // index — every session that wrote or adopted it is gone) frees a
+    // page without killing anyone. Only then evict live sessions. The
+    // loop terminates: each iteration removes an index entry or a
+    // session, both finite, else CacheFull.
+    if (index_.reclaim_one_orphan(pool_) > 0) continue;
     if (!evict_one(&s)) throw CacheFull();
   }
 }
@@ -153,10 +189,53 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
 
   // Cache first: if the pool cannot hold the prompt even after evicting
   // every idle session, fail before any attention work.
+  //
+  // With prefix dedup on, full prompt chunks go through the pool-wide
+  // index: the chain hash folds the session's mask fingerprint, storage
+  // dtype/shape, and every page's content in order, so equal chains mean
+  // "same mask family, byte-identical prefix up to here". A hit is
+  // byte-verified before adoption (an fnv1a collision degrades to a
+  // miss, never to wrong bytes); a miss writes the chunk normally and
+  // publishes the just-filled page for future sessions. The partial
+  // tail is always written privately — it is the page CoW/decode mutate.
+  const Index ps = pool_.page_size();
+  std::vector<Index> published;
+  Size adopted = 0;
   try {
-    for (Index i = 0; i < L; ++i) append_or_evict(*s, k.row(i), v.row(i));
+    Index i = 0;
+    if (cfg_.prefix_dedup) {
+      Fnv1a chain;
+      chain.mix(s->mask.fingerprint());
+      chain.mix(0xF32u);  // storage dtype tag (the pool is fp32 today)
+      chain.mix(static_cast<std::uint64_t>(d));
+      chain.mix(static_cast<std::uint64_t>(ps));
+      for (; i + ps <= L; i += ps) {
+        for (Index t = i; t < i + ps; ++t) {
+          mix_row(chain, k.row(t), d);
+          mix_row(chain, v.row(t), d);
+        }
+        const Index page = index_.acquire(chain.h, pool_);
+        if (page != BlockPool::kNoPage) {
+          if (page_matches(page, k, v, i)) {
+            s->table.adopt_shared_page(pool_, page);  // transfers the acquire ref
+            ++adopted;
+            continue;
+          }
+          pool_.release(page);  // collision: fall through to a private copy
+        }
+        for (Index t = i; t < i + ps; ++t) append_or_evict(*s, k.row(t), v.row(t));
+        if (index_.publish(chain.h, s->table.pages().back(), pool_)) {
+          published.push_back(s->table.pages().back());
+        }
+      }
+    }
+    for (; i < L; ++i) append_or_evict(*s, k.row(i), v.row(i));
   } catch (...) {
-    s->table.release_all(pool_);  // leave the session empty and reusable
+    // Leave the session empty and reusable, and withdraw the entries
+    // this prefill just published (they are orphans once the table
+    // lets go) — a failed prefill leaves no trace in the prompt cache.
+    s->table.release_all(pool_);
+    index_.reclaim_orphans_among(published, pool_);
     throw;
   }
 
@@ -178,6 +257,22 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
     s->m[static_cast<std::size_t>(i)] = state.m(i);
     s->l[static_cast<std::size_t>(i)] = state.l(i);
   }
+
+  if (adopted > 0) {
+    std::lock_guard<std::mutex> lk(mu_);
+    dedup_pages_ += adopted;
+  }
+}
+
+bool SessionManager::page_matches(Index page, const Matrix<float>& k, const Matrix<float>& v,
+                                  Index start) const {
+  const Index ps = pool_.page_size();
+  const std::size_t bytes = static_cast<std::size_t>(pool_.head_dim()) * sizeof(float);
+  for (Index t = 0; t < ps; ++t) {
+    if (std::memcmp(pool_.k_row(page, t), k.row(start + t), bytes) != 0) return false;
+    if (std::memcmp(pool_.v_row(page, t), v.row(start + t), bytes) != 0) return false;
+  }
+  return true;
 }
 
 Index SessionManager::decode_step(std::uint64_t id, const float* q_new, const float* k_new,
@@ -279,9 +374,16 @@ SessionManager::Stats SessionManager::stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     st.sessions = sessions_.size();
     st.evictions = evictions_;
+    st.pages_deduped = dedup_pages_;
     st.decode_steps = decode_steps_;
     st.decode_edges = decode_edges_;
   }
+  const PrefixIndex::Stats ix = index_.stats();
+  st.prefix_lookups = ix.lookups;
+  st.prefix_hits = ix.hits;
+  st.prefix_published = ix.published;
+  st.prefix_reclaimed = ix.reclaimed;
+  st.prefix_entries = ix.entries;
   st.pages_in_use = pool_.pages_in_use();
   st.pages_free = pool_.pages_free();
   return st;

@@ -48,6 +48,7 @@
 #include "kvcache/errors.hpp"
 #include "kvcache/mask_spec.hpp"
 #include "kvcache/page_table.hpp"
+#include "kvcache/prefix_index.hpp"
 #include "tensor/matrix.hpp"
 
 namespace gpa::kvcache {
@@ -59,15 +60,28 @@ class SessionManager {
     /// Default options for sessions created without an explicit set
     /// (scale / SIMD level / parallel policy of the prefill pass).
     AttentionOptions opts{};
+    /// Pool-wide content-hash prompt caching: prefill adopts full prompt
+    /// pages already published by any other session (same mask family +
+    /// byte-identical content) by reference instead of writing copies.
+    /// Numerics are unaffected either way — prefill attention reads the
+    /// contiguous inputs, and adopted pages are byte-verified.
+    bool prefix_dedup = true;
   };
 
   struct Stats {
     Size sessions = 0;
     Index pages_in_use = 0;
     Index pages_free = 0;
-    Size evictions = 0;       ///< sessions evicted by the LRU policy
+    Size evictions = 0;       ///< LRU evictions that actually freed pages
     Size decode_steps = 0;
     Size decode_edges = 0;    ///< edges folded by all decode steps
+    // Prompt-cache (prefix dedup) counters.
+    Size pages_deduped = 0;   ///< full prompt pages adopted, not written
+    Size prefix_lookups = 0;  ///< index probes issued by prefill
+    Size prefix_hits = 0;     ///< probes that found a candidate page
+    Size prefix_published = 0;  ///< pages ever registered in the index
+    Size prefix_reclaimed = 0;  ///< orphan cache pages freed under pressure
+    Index prefix_entries = 0;   ///< live index entries (cached pages)
   };
 
   explicit SessionManager(Config cfg);
@@ -160,18 +174,29 @@ class SessionManager {
 
   /// Looks up + LRU-touches under mu_; throws SessionNotFound.
   std::shared_ptr<Session> find_and_touch(std::uint64_t id);
-  /// Appends with evict-and-retry; caller holds s->op_mu.
+  /// Appends with evict-and-retry: reclaims an orphaned prompt-cache
+  /// page first (cheapest — no session dies), then evicts LRU sessions.
+  /// Caller holds s->op_mu.
   void append_or_evict(Session& s, const float* k_row, const float* v_row);
-  /// Evicts the LRU idle unpinned session other than `self`. Returns
-  /// false when nothing is evictable.
+  /// Evicts the LRU idle unpinned session other than `self`, sweeping
+  /// the prompt-cache entries its departure orphaned so the eviction
+  /// actually frees the session's un-shared pages. Returns false when
+  /// nothing is evictable; `evictions_` counts only evictions that
+  /// released at least one page (a fully fork-shared session frees
+  /// nothing and is not counted).
   bool evict_one(const Session* self);
+  /// True iff `page`'s slots byte-match rows [start, start+ps) of k/v.
+  bool page_matches(Index page, const Matrix<float>& k, const Matrix<float>& v,
+                    Index start) const;
 
   Config cfg_;
   BlockPool pool_;
+  PrefixIndex index_;  ///< pool-wide prompt cache (lock order: mu_ → index → pool)
   mutable std::mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::uint64_t lru_clock_ = 0;
   Size evictions_ = 0;
+  Size dedup_pages_ = 0;
   Size decode_steps_ = 0;
   Size decode_edges_ = 0;
 };

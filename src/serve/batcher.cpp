@@ -1,13 +1,25 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace gpa::serve {
+
+Index bucket_ceiling(const std::vector<Index>& buckets, Index len) {
+  const auto it = std::lower_bound(buckets.begin(), buckets.end(), len);
+  return it == buckets.end() ? len : *it;
+}
 
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, const BatchPolicy& policy)
     : queue_(queue), policy_(policy) {
   GPA_CHECK(policy_.max_batch >= 1, "BatchPolicy.max_batch must be at least 1");
   GPA_CHECK(policy_.max_wait.count() >= 0, "BatchPolicy.max_wait must be non-negative");
+  GPA_CHECK(std::is_sorted(policy_.seq_buckets.begin(), policy_.seq_buckets.end()),
+            "BatchPolicy.seq_buckets must be ascending");
+  for (const Index b : policy_.seq_buckets) {
+    GPA_CHECK(b >= 1, "BatchPolicy.seq_buckets entries must be positive");
+  }
 }
 
 bool DynamicBatcher::next_batch(PoppedBatch& out) {

@@ -25,7 +25,19 @@ namespace gpa::serve {
 struct BatchPolicy {
   Index max_batch = 8;
   std::chrono::microseconds max_wait{200};
+  /// seq_len bucket ceilings (ascending) for Pattern requests: a
+  /// request's BatchKey carries the smallest ceiling >= its true
+  /// length, so near-length requests under one pattern coalesce into
+  /// one dispatch. Each item still runs at its own true length (causal
+  /// pattern slices are length-independent), so bucketing changes WHO
+  /// batches together, never any result bit. Lengths above the last
+  /// ceiling — and all lengths when empty — key by exact length.
+  std::vector<Index> seq_buckets{};
 };
+
+/// The smallest bucket ceiling >= len, or len itself when none fits
+/// (empty buckets = exact-length batching).
+Index bucket_ceiling(const std::vector<Index>& buckets, Index len);
 
 struct PoppedBatch {
   std::vector<Request> batch;    ///< key-compatible, ready to dispatch

@@ -31,13 +31,39 @@ Workload make_csr_workload(Index seq_len, Index head_dim, double sf, std::uint64
   return wl;
 }
 
+Workload make_mixed_local_workload(const std::vector<Index>& lengths, Index head_dim,
+                                   Index window, std::uint64_t seed) {
+  GPA_CHECK(!lengths.empty(), "mixed workload needs at least one length");
+  Workload wl;
+  wl.pattern = std::make_shared<const kvcache::MaskSpec>(
+      kvcache::MaskSpec::make_local(LocalParams{window}));
+  Rng rng(seed);
+  for (const Index L : lengths) {
+    GPA_CHECK(L >= 1, "mixed workload lengths must be positive");
+    auto data = std::make_shared<RequestData>();
+    data->q = Matrix<float>(L, head_dim);
+    data->k = Matrix<float>(L, head_dim);
+    data->v = Matrix<float>(L, head_dim);
+    fill_uniform(data->q, rng);
+    fill_uniform(data->k, rng);
+    fill_uniform(data->v, rng);
+    wl.payloads.push_back(std::move(data));
+  }
+  return wl;
+}
+
 namespace {
 
 Request build_request(const Workload& wl, Size i, const LoadGenConfig& cfg,
                       Matrix<float>&& recycled_output) {
   Request r;
   r.data = wl.payloads[static_cast<std::size_t>(i) % wl.payloads.size()];
-  r.mask = wl.mask;
+  if (wl.pattern != nullptr) {
+    r.kind = RequestKind::Pattern;
+    r.pattern = wl.pattern;
+  } else {
+    r.mask = wl.mask;
+  }
   r.dims = wl.dims;
   r.output = std::move(recycled_output);
   if (cfg.deadline.count() > 0) r.deadline = Clock::now() + cfg.deadline;

@@ -22,10 +22,14 @@
 
 namespace gpa::serve {
 
-/// A serving workload: one mask shared by every request (patterns are
-/// architecture) plus a payload pool cycled round-robin.
+/// A serving workload: one mask OR one causal pattern shared by every
+/// request (patterns are architecture) plus a payload pool cycled
+/// round-robin. With `pattern` set, requests are RequestKind::Pattern
+/// and payload lengths MAY differ across the pool — that is the
+/// mixed-length workload seq_len bucketing exists for.
 struct Workload {
   std::shared_ptr<const Csr<float>> mask;
+  std::shared_ptr<const kvcache::MaskSpec> pattern;
   MultiHeadDims dims{1, 0};
   std::vector<std::shared_ptr<const RequestData>> payloads;
 };
@@ -34,6 +38,14 @@ struct Workload {
 /// `pool` payloads of shape L×d.
 Workload make_csr_workload(Index seq_len, Index head_dim, double sf, std::uint64_t seed,
                            int pool = 4);
+
+/// Mixed-length causal local-attention workload: one payload per entry
+/// of `lengths` (cycled round-robin by the generators), all under one
+/// local(window) pattern. Near-length requests only coalesce when the
+/// server's BatchPolicy::seq_buckets says so — this is the workload the
+/// bucketed-vs-exact admission comparison runs on.
+Workload make_mixed_local_workload(const std::vector<Index>& lengths, Index head_dim,
+                                   Index window, std::uint64_t seed);
 
 struct LoadGenConfig {
   Size requests = 1000;

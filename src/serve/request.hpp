@@ -24,6 +24,7 @@
 #include "core/attention_options.hpp"
 #include "core/batched.hpp"
 #include "core/multihead.hpp"
+#include "kvcache/mask_spec.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/matrix.hpp"
 
@@ -45,7 +46,14 @@ struct RequestData {
 ///   Decode    — one incremental token against a cached session: Q/K/V
 ///               are 1×d rows, the mask lives with the session, and the
 ///               kernel is SessionManager::decode_step (O(row-nnz)).
-enum class RequestKind : std::uint8_t { Attention, Decode };
+///   Pattern   — one-shot CAUSAL attention under an implicit/composed
+///               pattern (kvcache::MaskSpec) whose causal row slices are
+///               length-independent. Because each item dispatches at its
+///               own true length, near-length pattern requests may share
+///               a batch: admission keys them by a seq_len BUCKET
+///               ceiling (BatchPolicy::seq_buckets) instead of the exact
+///               length, with bit-exact per-item results (no padding).
+enum class RequestKind : std::uint8_t { Attention, Decode, Pattern };
 
 enum class ResponseStatus : std::uint8_t {
   Ok,                 ///< output holds the attention result
@@ -84,6 +92,11 @@ struct Request {
   std::shared_ptr<const RequestData> data;
   /// Attention only; decode requests carry no mask (the session owns it).
   std::shared_ptr<const Csr<float>> mask;
+  /// Pattern only: the causal pattern the request runs under. Shared —
+  /// a deployment has a handful of patterns, and requests batch iff
+  /// their patterns fingerprint identically (same structural identity
+  /// MaskTraversal gives the kernels).
+  std::shared_ptr<const kvcache::MaskSpec> pattern;
   /// Decode only: the SessionManager session this token extends.
   std::uint64_t session_id = 0;
   /// Scheduling priority: higher pops first, FIFO within a priority
@@ -115,6 +128,20 @@ inline Request make_request(Matrix<float> q, Matrix<float> k, Matrix<float> v,
   r.data = std::move(data);
   r.mask = std::move(mask);
   r.dims = dims;
+  return r;
+}
+
+/// Convenience builder for a causal pattern request (bucket-batchable).
+inline Request make_pattern_request(Matrix<float> q, Matrix<float> k, Matrix<float> v,
+                                    std::shared_ptr<const kvcache::MaskSpec> pattern) {
+  Request r;
+  r.kind = RequestKind::Pattern;
+  auto data = std::make_shared<RequestData>();
+  data->q = std::move(q);
+  data->k = std::move(k);
+  data->v = std::move(v);
+  r.data = std::move(data);
+  r.pattern = std::move(pattern);
   return r;
 }
 

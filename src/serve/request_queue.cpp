@@ -30,6 +30,48 @@ int RequestQueue::effective_priority(const Request& r, TimePoint now) const {
   return r.priority;
 }
 
+std::size_t RequestQueue::select_lead_locked(TimePoint now) {
+  if (weights_.empty()) {
+    // Strict priority: the first maximum found is the oldest of the
+    // highest effective class (deque order is arrival order).
+    std::size_t lead = q_.size();
+    int lead_prio = 0;
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      const int prio = effective_priority(q_[i], now);
+      if (lead == q_.size() || prio > lead_prio) {
+        lead = i;
+        lead_prio = prio;
+      }
+    }
+    return lead;
+  }
+  // Smooth weighted round-robin over the classes PRESENT right now:
+  // each accrues its weight, the largest credit leads and pays back the
+  // round's total, so inter-class service converges to the weight
+  // ratios while a lone class just runs (its credit self-cancels).
+  // Absent classes accrue nothing — an idle class cannot bank credit
+  // and later monopolize the queue. Tie on credit → higher class.
+  std::map<int, std::size_t> oldest;  // effective class → oldest index
+  for (std::size_t i = 0; i < q_.size(); ++i) {
+    oldest.emplace(effective_priority(q_[i], now), i);  // first i wins: FIFO
+  }
+  long long round = 0;
+  for (const auto& [cls, idx] : oldest) {
+    (void)idx;
+    const auto w = weights_.find(cls);
+    const long long weight = w == weights_.end() ? 1 : static_cast<long long>(w->second);
+    credit_[cls] += weight;
+    round += weight;
+  }
+  int winner = oldest.begin()->first;
+  for (const auto& [cls, idx] : oldest) {
+    (void)idx;
+    if (credit_[cls] >= credit_[winner]) winner = cls;  // map ascends: last max = highest class
+  }
+  credit_[winner] -= round;
+  return oldest[winner];
+}
+
 void RequestQueue::collect_locked(const BatchKey& key, Index max_batch, TimePoint now,
                                   std::vector<Request>& batch, std::vector<Request>& expired) {
   for (auto it = q_.begin();
@@ -53,12 +95,19 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
   expired.clear();
   std::unique_lock<std::mutex> lk(mu_);
 
-  // Acquire a lead request: the oldest member of the highest priority
-  // level present (deque order is arrival order, so the first maximum
-  // found is the oldest — FIFO within a level, which is what keeps
-  // equal-priority traffic starvation-free). Expired requests met
-  // during the scan are swept out and handed back for rejection; if
-  // the sweep empties the queue, deliver those before reporting closure.
+  // Acquire a lead request: under the fairness policy's class choice,
+  // the oldest member of the chosen class (deque order is arrival
+  // order — FIFO within a level, which is what keeps equal-priority
+  // traffic starvation-free). Expired requests met during the scan are
+  // swept out and handed back for rejection; if the sweep empties the
+  // queue, deliver those before reporting closure.
+  //
+  // `lead_time` is the coalescing clock's single anchor: max_wait is
+  // measured from the instant the lead was acquired, and NOTHING
+  // re-arms it — not cv wakeups, not expired sweeps, not collect
+  // passes. The worst-case added latency for the lead is exactly
+  // max_wait, regardless of how the queue churns around it.
+  TimePoint lead_time{};
   while (batch.empty()) {
     cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
     if (q_.empty()) {
@@ -80,20 +129,13 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
     q_.resize(keep);
     // Aging evaluated at selection time: a request that sat long enough
     // for its deadline to close within the threshold competes one class
-    // up from here on (first maximum found is still the oldest of its
-    // effective class — FIFO within a level is preserved).
-    std::size_t lead = q_.size();
-    int lead_prio = 0;
-    for (std::size_t i = 0; i < q_.size(); ++i) {
-      const int prio = effective_priority(q_[i], now);
-      if (lead == q_.size() || prio > lead_prio) {
-        lead = i;
-        lead_prio = prio;
-      }
-    }
+    // up from here on. Lead choice is strict-priority or smooth-WRR
+    // (see select_lead_locked); both keep FIFO within a class.
+    const std::size_t lead = select_lead_locked(now);
     if (lead < q_.size()) {
       batch.push_back(std::move(q_[lead]));
       q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(lead));
+      lead_time = now;
     }
     // Everything scanned had expired: deliver those immediately rather
     // than sleeping on them (prompt rejection beats a stale future).
@@ -106,7 +148,7 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
   const BatchKey key = batch.front().key;
   collect_locked(key, max_batch, Clock::now(), batch, expired);
   if (static_cast<Index>(batch.size()) < max_batch && max_wait.count() > 0) {
-    const TimePoint window_end = Clock::now() + max_wait;
+    const TimePoint window_end = lead_time + max_wait;
     while (static_cast<Index>(batch.size()) < max_batch && !closed_) {
       // Holding the batch must never cost a member its deadline: if the
       // tightest member deadline falls inside the window, dispatch now

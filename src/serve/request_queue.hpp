@@ -22,10 +22,20 @@
 // affects lead selection only; within the effective class, arrival
 // order still breaks ties, so aged traffic cannot be starved by
 // later-arriving requests of the class it aged into.
+//
+// Weighted fairness: with a non-empty weight map, lead selection runs
+// smooth weighted round-robin over the (effective) priority classes
+// present in the queue instead of strict priority — each present class
+// accrues its weight in credit per selection, the highest credit wins
+// and pays back the round's total, so over time class c leads in
+// proportion weight(c) / Σ weights of contending classes and no class
+// starves. Unlisted classes weigh 1. FIFO within a class is unchanged,
+// and an empty weight map keeps the strict highest-class-first policy.
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -35,10 +45,12 @@ namespace gpa::serve {
 
 class RequestQueue {
  public:
-  /// `age_threshold` 0 disables deadline-aware aging.
+  /// `age_threshold` 0 disables deadline-aware aging; an empty
+  /// `weights` map selects strictly by (effective) priority class.
   explicit RequestQueue(std::size_t capacity,
-                        std::chrono::microseconds age_threshold = std::chrono::microseconds{0})
-      : capacity_(capacity), age_threshold_(age_threshold) {}
+                        std::chrono::microseconds age_threshold = std::chrono::microseconds{0},
+                        std::map<int, Index> weights = {})
+      : capacity_(capacity), age_threshold_(age_threshold), weights_(std::move(weights)) {}
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
@@ -75,8 +87,15 @@ class RequestQueue {
   /// when the deadline is within age_threshold_ of `now`).
   int effective_priority(const Request& r, TimePoint now) const;
 
+  /// Index of the lead request under the fairness policy (caller holds
+  /// mu_, q_ non-empty): strict highest-effective-class without
+  /// weights, smooth WRR over present classes with them.
+  std::size_t select_lead_locked(TimePoint now);
+
   const std::size_t capacity_;
   const std::chrono::microseconds age_threshold_;
+  const std::map<int, Index> weights_;
+  std::map<int, long long> credit_;  ///< smooth-WRR state (guarded by mu_)
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Request> q_;

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
+#include "core/state.hpp"
 #include "core/traversal.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -18,7 +20,9 @@ double micros_between(TimePoint a, TimePoint b) {
 }  // namespace
 
 Server::Server(ServerConfig cfg)
-    : cfg_(cfg), queue_(cfg.queue_capacity, cfg.age_threshold), batcher_(queue_, cfg.policy) {
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity, cfg.age_threshold, cfg.fairness_weights),
+      batcher_(queue_, cfg.policy) {
   GPA_CHECK(cfg_.workers >= 0, "worker count must be non-negative");
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int w = 0; w < cfg_.workers; ++w) {
@@ -77,6 +81,15 @@ std::future<Response> Server::submit(Request r) {
     GPA_CHECK(cfg_.sessions == nullptr || d.q.cols() == cfg_.sessions->pool().head_dim(),
               "decode payload width must match the session pool's head dimension");
     r.dims = MultiHeadDims{1, d.q.cols()};
+  } else if (r.kind == RequestKind::Pattern) {
+    GPA_CHECK(r.pattern != nullptr && !r.pattern->components.empty(),
+              "pattern requests need a pattern mask");
+    GPA_CHECK(r.pattern->max_len() < 0 || d.q.rows() <= r.pattern->max_len(),
+              "request longer than the pattern mask allows");
+    // Pattern dispatch is single-head causal over the packed width.
+    GPA_CHECK(r.dims.head_dim == 0 || (r.dims.num_heads == 1 && r.dims.head_dim == d.q.cols()),
+              "pattern requests run single-head over the packed width");
+    r.dims = MultiHeadDims{1, d.q.cols()};
   } else {
     GPA_CHECK(r.mask != nullptr, "attention requests need a mask");
     GPA_CHECK(d.q.rows() == r.mask->rows, "request length must match the mask");
@@ -114,6 +127,15 @@ std::future<Response> Server::submit(Request r) {
     // carries the dispatch family and the packed width (see BatchKey).
     r.key = BatchKey{0, 0, d.q.cols(), 1, DType::F32,
                      static_cast<std::uint8_t>(RequestKind::Decode)};
+  } else if (r.kind == RequestKind::Pattern) {
+    // Bucketed admission: the key's seq_len is the configured bucket
+    // CEILING of the true length, so near-length requests under one
+    // pattern coalesce. Dispatch runs each item at its own true length
+    // (the pattern's causal slices are length-independent), so the
+    // relaxed key never changes a result bit.
+    r.key = BatchKey{r.pattern->fingerprint(),
+                     bucket_ceiling(cfg_.policy.seq_buckets, d.q.rows()), d.q.cols(), 1,
+                     DType::F32, static_cast<std::uint8_t>(RequestKind::Pattern)};
   } else {
     r.key = BatchKey{fingerprint_of(r.mask), d.q.rows(), d.q.cols(), r.dims.num_heads,
                      DType::F32, static_cast<std::uint8_t>(RequestKind::Attention)};
@@ -194,9 +216,59 @@ void Server::dispatch_decode(std::vector<Request>& batch) {
   }
 }
 
+void Server::dispatch_pattern(std::vector<Request>& batch) {
+  const auto b = static_cast<Index>(batch.size());
+  const TimePoint t0 = Clock::now();
+  try {
+    // One BatchKey means one pattern fingerprint and one bucket — but
+    // the items' TRUE lengths may differ (that is the point of
+    // bucketing). Each item folds its own rows through the shared
+    // kernel driver at its own length, enumerating the pattern's causal
+    // row slices — the same enumerator the one-shot kernels and decode
+    // sessions use — so the result equals an exact-length dispatch bit
+    // for bit.
+    parallel_for(0, b, cfg_.batch_policy, [&](Index i) {
+      Request& r = batch[static_cast<std::size_t>(i)];
+      AttentionOptions o = r.opts;
+      o.policy = cfg_.item_policy;
+      o.causal = true;  // pattern requests are causal by contract
+      SoftmaxState st(r.data->q.rows(), r.data->q.cols());
+      detail::run_rows(r.data->q, r.data->k, r.data->v, o, st, [&](Index row, auto&& edge) {
+        r.pattern->for_each_causal(row, [&](Index j, float gate) { edge(j, gate); });
+      });
+      st.finalize_into(r.output);
+    });
+  } catch (const std::exception&) {
+    for (auto& r : batch) {
+      stats_.record_internal_error();
+      resolve(r, ResponseStatus::InternalError);
+    }
+    return;
+  }
+  const TimePoint t1 = Clock::now();
+  stats_.record_batch(b);
+  const double service_us = micros_between(t0, t1);
+  for (auto& r : batch) {
+    const double queue_us = micros_between(r.enqueue_time, t0);
+    stats_.record_completion(queue_us + service_us, service_us);
+    Response resp;
+    resp.status = ResponseStatus::Ok;
+    resp.id = r.id;
+    resp.output = std::move(r.output);
+    resp.queue_us = queue_us;
+    resp.service_us = service_us;
+    resp.batch_size = b;
+    r.promise.set_value(std::move(resp));
+  }
+}
+
 void Server::dispatch(std::vector<Request>& batch) {
   if (batch.front().kind == RequestKind::Decode) {
     dispatch_decode(batch);
+    return;
+  }
+  if (batch.front().kind == RequestKind::Pattern) {
+    dispatch_pattern(batch);
     return;
   }
   const auto b = static_cast<Index>(batch.size());

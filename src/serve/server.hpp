@@ -52,6 +52,11 @@ struct ServerConfig {
   /// whose deadline is within this of now is scheduled one priority
   /// class higher. 0 disables aging.
   std::chrono::microseconds age_threshold{0};
+  /// Weighted fairness across priority classes (see RequestQueue):
+  /// non-empty maps run smooth weighted round-robin over the classes
+  /// present in the queue (class → weight, unlisted classes weigh 1);
+  /// empty keeps strict highest-class-first.
+  std::map<int, Index> fairness_weights{};
   /// Across-items dispatch (default: all cores, one item per grab).
   ExecPolicy batch_policy{0, 1, Schedule::Dynamic};
   /// Per-item kernel policy (default serial: items don't oversubscribe
@@ -92,6 +97,7 @@ class Server {
   void worker_loop();
   void dispatch(std::vector<Request>& batch);
   void dispatch_decode(std::vector<Request>& batch);
+  void dispatch_pattern(std::vector<Request>& batch);
   std::uint64_t fingerprint_of(const std::shared_ptr<const Csr<float>>& mask);
   static void resolve(Request& r, ResponseStatus status);
 

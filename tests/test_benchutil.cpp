@@ -61,6 +61,32 @@ TEST(PercentileTest, UnsortedInputAndClampedRange) {
   EXPECT_DOUBLE_EQ(percentile({42.0}, 99.0), 42.0);
 }
 
+TEST(PercentileTest, SmallSamplePinning) {
+  // The inclusive definition at tiny n, pinned exactly — serving
+  // benchmarks at --smoke scale report p99 over a handful of samples,
+  // and the value must be the one this contract promises, not an
+  // implementation accident.
+  //
+  // n=1: every percentile IS the sample.
+  for (const double pct : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, pct), 7.5);
+  }
+  // n=2: rank = pct/100 → p50 is the midpoint, p99 sits 99% of the
+  // way from low to high.
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 99.0), 19.9);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 100.0), 20.0);
+  // n=3: rank = pct/50 — p99 of {10,20,30} interpolates 98% into the
+  // upper gap.
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0}, 99.0), 29.8);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0}, 50.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 25.0), 15.0);  // unsorted too
+  // Endpoints are exact min/max at any n (no epsilon drift).
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 4.0, 1.5, 9.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 4.0, 1.5, 9.0}, 100.0), 9.0);
+}
+
 TEST(PercentileTest, TailStatsAreMonotone) {
   std::vector<double> s;
   for (int i = 100; i >= 1; --i) s.push_back(static_cast<double>(i));

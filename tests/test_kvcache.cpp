@@ -433,6 +433,41 @@ TEST(SessionEviction, PinnedSessionsSurviveAndCacheFullIsTyped) {
   EXPECT_EQ(mgr.stats().evictions, 1u);
 }
 
+TEST(SessionEviction, ForkSharedEvictionFreesNothingAndIsNotCounted) {
+  // Regression: evicting a session whose pages are all held by a fork
+  // frees nothing. The evict-and-retry loop must still terminate in
+  // CacheFull (each round removes a candidate), and the unproductive
+  // eviction must not inflate the evictions counter.
+  const Index d = 8;
+  auto mc = small_config(d, 4);  // page_size 2 -> 4 pages = 8 tokens
+  mc.prefix_dedup = false;       // pure fork sharing, no index refs
+  SessionManager mgr(mc);
+  mgr.create(1, MaskSpec::make_local(LocalParams{2}));
+  prefill_n(mgr, 1, 4, d);  // two FULL pages (no CoW-able tail)
+  mgr.fork(1, 2);
+  mgr.set_pinned(2, true);
+  EXPECT_EQ(mgr.pool().pages_in_use(), 2);  // fully shared
+
+  // Session 3 wants 3 pages with 2 free: eviction fires, takes session
+  // 1 (the only unpinned candidate), frees zero pages, and the retry
+  // must conclude CacheFull instead of spinning.
+  mgr.create(3, MaskSpec::make_local(LocalParams{2}));
+  EXPECT_THROW(prefill_n(mgr, 3, 6, d), CacheFull);
+  EXPECT_FALSE(mgr.contains(1));            // evicted all the same...
+  EXPECT_EQ(mgr.stats().evictions, 0u);     // ...but freed nothing: not counted
+  EXPECT_TRUE(mgr.contains(2));
+  EXPECT_EQ(mgr.length(2), 4);              // fork's view intact
+  EXPECT_EQ(mgr.length(3), 0);              // failed prefill unwound
+  EXPECT_EQ(mgr.pool().pages_in_use(), 2);
+
+  // Unpinned, the fork's eviction DOES free its pages and is counted.
+  mgr.set_pinned(2, false);
+  prefill_n(mgr, 3, 6, d);
+  EXPECT_FALSE(mgr.contains(2));
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+  EXPECT_EQ(mgr.length(3), 6);
+}
+
 TEST(SessionApi, LifecycleAndErrorTaxonomy) {
   const Index d = 8;
   SessionManager mgr(small_config(d, 8));

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -735,6 +737,243 @@ TEST(ServeDecode, DecodeAndAttentionKeysNeverCompareEqual) {
                         static_cast<std::uint8_t>(RequestKind::Decode)};
   EXPECT_FALSE(attention == decode);
   EXPECT_NE(attention.hash(), decode.hash());
+}
+
+// --- pattern requests + seq_len-bucketed admission -------------------
+
+TEST(ServePattern, BucketCeilingPicksSmallestFittingBucket) {
+  const std::vector<Index> buckets{16, 32, 64};
+  EXPECT_EQ(bucket_ceiling(buckets, 1), 16);
+  EXPECT_EQ(bucket_ceiling(buckets, 16), 16);
+  EXPECT_EQ(bucket_ceiling(buckets, 17), 32);
+  EXPECT_EQ(bucket_ceiling(buckets, 64), 64);
+  EXPECT_EQ(bucket_ceiling(buckets, 65), 65);  // above the ladder: exact
+  EXPECT_EQ(bucket_ceiling({}, 40), 40);       // no buckets: exact
+}
+
+TEST(ServePattern, SingleRequestMatchesDirectCausalKernel) {
+  const Index L = 24, d = 16, w = 5;
+  auto pattern = std::make_shared<const kvcache::MaskSpec>(
+      kvcache::MaskSpec::make_local(LocalParams{w}));
+  auto p = make_payload(L, d, 3100);
+
+  Server server(make_config(1, 8, BatchPolicy{1, 0us}));
+  Matrix<float> q = p->q, k = p->k, v = p->v;
+  const Response resp =
+      server.submit(make_pattern_request(std::move(q), std::move(k), std::move(v), pattern))
+          .get();
+  ASSERT_EQ(resp.status, ResponseStatus::Ok);
+
+  Matrix<float> direct(L, d);
+  AttentionOptions o;
+  o.causal = true;
+  local_attention(p->q, p->k, p->v, LocalParams{w}, direct, o);
+  EXPECT_EQ(max_abs_diff(resp.output, direct), 0.0);
+}
+
+TEST(ServePattern, BucketedMixedLengthsCoalesceAndStayBitExact) {
+  // Lengths 9..14 all ceil to bucket 16 and share one BatchKey; every
+  // item still runs at its OWN true length, so the batched outputs must
+  // be bit-identical to per-length direct kernel calls — bucketing may
+  // only ever change who rides together.
+  const Index d = 8, w = 4;
+  const std::vector<Index> lengths{9, 11, 12, 14, 10, 13};
+  auto pattern = std::make_shared<const kvcache::MaskSpec>(
+      kvcache::MaskSpec::make_local(LocalParams{w}));
+
+  BatchPolicy policy{/*max_batch=*/8, /*max_wait=*/200'000us};
+  policy.seq_buckets = {16, 32};
+  Server server(make_config(1, 64, policy));
+
+  std::vector<std::shared_ptr<const RequestData>> payloads;
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    payloads.push_back(make_payload(lengths[i], d, 5200 + static_cast<std::uint64_t>(i)));
+    Matrix<float> q = payloads.back()->q, k = payloads.back()->k, v = payloads.back()->v;
+    futures.push_back(
+        server.submit(make_pattern_request(std::move(q), std::move(k), std::move(v), pattern)));
+  }
+
+  Index max_occupancy = 0;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const Response resp = futures[i].get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok) << "request " << i;
+    max_occupancy = std::max(max_occupancy, resp.batch_size);
+    Matrix<float> direct(lengths[i], d);
+    AttentionOptions o;
+    o.causal = true;
+    local_attention(payloads[i]->q, payloads[i]->k, payloads[i]->v, LocalParams{w}, direct, o);
+    EXPECT_EQ(max_abs_diff(resp.output, direct), 0.0) << "request " << i;
+  }
+  // All six shared a key and arrived within one coalescing window:
+  // batching must have actually happened.
+  EXPECT_GT(max_occupancy, 1);
+}
+
+TEST(ServePattern, ExactAdmissionKeepsDifferentLengthsApart) {
+  // Without seq_buckets the key carries the true length: near-length
+  // requests never share a batch even inside a generous window.
+  const Index d = 8;
+  auto pattern = std::make_shared<const kvcache::MaskSpec>(
+      kvcache::MaskSpec::make_local(LocalParams{3}));
+  Server server(make_config(1, 16, BatchPolicy{8, 100'000us}));
+
+  std::vector<std::future<Response>> futures;
+  for (const Index L : {10, 11, 12}) {
+    auto p = make_payload(L, d, 6000 + static_cast<std::uint64_t>(L));
+    Matrix<float> q = p->q, k = p->k, v = p->v;
+    futures.push_back(
+        server.submit(make_pattern_request(std::move(q), std::move(k), std::move(v), pattern)));
+  }
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_EQ(resp.status, ResponseStatus::Ok);
+    EXPECT_EQ(resp.batch_size, 1);
+  }
+}
+
+TEST(ServePattern, MalformedPatternRequestsThrowAtSubmit) {
+  const Index d = 8;
+  Server server(make_config(1, 8, BatchPolicy{1, 0us}));
+
+  // Null pattern.
+  {
+    auto p = make_payload(8, d, 1);
+    Matrix<float> q = p->q, k = p->k, v = p->v;
+    EXPECT_THROW(
+        server.submit(make_pattern_request(std::move(q), std::move(k), std::move(v), nullptr)),
+        InvalidArgument);
+  }
+  // Longer than a CSR-backed pattern can admit.
+  {
+    auto mask = std::make_shared<const Csr<float>>(build_csr_local(8, LocalParams{2}));
+    auto pattern =
+        std::make_shared<const kvcache::MaskSpec>(kvcache::MaskSpec::make_csr(mask));
+    auto p = make_payload(16, d, 2);
+    Matrix<float> q = p->q, k = p->k, v = p->v;
+    EXPECT_THROW(
+        server.submit(make_pattern_request(std::move(q), std::move(k), std::move(v), pattern)),
+        InvalidArgument);
+  }
+}
+
+// --- weighted fairness (smooth WRR lead selection) --------------------
+
+TEST(RequestQueueFairness, WeightedRoundRobinServesClassesProportionally) {
+  // weights {0:1, 1:3}, both classes backlogged: smooth WRR's service
+  // pattern is exactly periodic — [1, 1, 0, 1] — so class 1 gets 3 of
+  // every 4 leads and class 0 is never starved.
+  RequestQueue q(64, std::chrono::microseconds{0}, {{0, 1}, {1, 3}});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request lo = bare_request(100 + i, 0);
+    Request hi = bare_request(200 + i, 1);
+    ASSERT_EQ(q.try_push(lo), RequestQueue::Push::Ok);
+    ASSERT_EQ(q.try_push(hi), RequestQueue::Push::Ok);
+  }
+  std::vector<int> classes;
+  std::vector<Request> batch, expired;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+    ASSERT_EQ(batch.size(), 1u);
+    classes.push_back(batch.front().priority);
+  }
+  EXPECT_EQ(classes, (std::vector<int>{1, 1, 0, 1, 1, 1, 0, 1}));
+
+  // FIFO within each class held throughout.
+  std::uint64_t next_lo = 100, next_hi = 200;
+  RequestQueue q2(64, std::chrono::microseconds{0}, {{0, 1}, {1, 3}});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request lo = bare_request(100 + i, 0);
+    Request hi = bare_request(200 + i, 1);
+    ASSERT_EQ(q2.try_push(lo), RequestQueue::Push::Ok);
+    ASSERT_EQ(q2.try_push(hi), RequestQueue::Push::Ok);
+  }
+  while (q2.size() > 0) {
+    ASSERT_TRUE(q2.pop_batch(1, 0us, batch, expired));
+    if (batch.front().priority == 0) {
+      EXPECT_EQ(batch.front().id, next_lo++);
+    } else {
+      EXPECT_EQ(batch.front().id, next_hi++);
+    }
+  }
+}
+
+TEST(RequestQueueFairness, AbsentClassesAccrueNothingAndEmptyWeightsStayStrict) {
+  // A class with no queued requests must not bank credit while absent
+  // (it would burst on return); with only one class present, every
+  // lead is trivially that class.
+  RequestQueue q(64, std::chrono::microseconds{0}, {{0, 1}, {1, 100}});
+  std::vector<Request> batch, expired;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Request lo = bare_request(i, 0);
+    ASSERT_EQ(q.try_push(lo), RequestQueue::Push::Ok);
+  }
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+    EXPECT_EQ(batch.front().priority, 0);
+  }
+  // Class 1 arrives only now; it wins leads by weight going forward but
+  // owes nothing from its absence (one class-0 service per round of 101
+  // would be the steady state — the first 100 leads are class 1's).
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Request lo = bare_request(500 + i, 0);
+    Request hi = bare_request(600 + i, 1);
+    ASSERT_EQ(q.try_push(lo), RequestQueue::Push::Ok);
+    ASSERT_EQ(q.try_push(hi), RequestQueue::Push::Ok);
+  }
+  ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+  EXPECT_EQ(batch.front().priority, 1);
+
+  // Empty weight map: strict priority, as before.
+  RequestQueue strict(16);
+  Request lo = bare_request(1, 0);
+  Request hi = bare_request(2, 5);
+  ASSERT_EQ(strict.try_push(lo), RequestQueue::Push::Ok);
+  ASSERT_EQ(strict.try_push(hi), RequestQueue::Push::Ok);
+  ASSERT_TRUE(strict.pop_batch(8, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 2u);
+}
+
+// --- pop_batch coalescing clock (worst-case batch latency) ------------
+
+TEST(RequestQueueLatency, MaxWaitIsAnchoredAtLeadAcquisitionNotReArmed) {
+  // A steady trickle of compatible requests must not keep the window
+  // open: the coalescing clock is anchored when the lead is popped, so
+  // pop_batch returns within max_wait of that instant no matter how
+  // many newcomers arrive near the deadline.
+  RequestQueue q(256);
+  const auto max_wait = 80'000us;  // 80 ms window
+  // Same key for everyone: every newcomer is batch-compatible with the
+  // lead, the strongest temptation to keep collecting.
+  auto compatible = [](std::uint64_t id) {
+    Request r = bare_request(id, 0);
+    r.key = BatchKey{/*mask_fp=*/7, 1, 1, 1, DType::F32};
+    return r;
+  };
+  Request lead = compatible(1);
+  ASSERT_EQ(q.try_push(lead), RequestQueue::Push::Ok);
+
+  std::atomic<bool> stop{false};
+  std::thread feeder([&q, &stop, &compatible] {
+    for (std::uint64_t id = 2; !stop.load(); ++id) {
+      Request r = compatible(id);
+      if (q.try_push(r) != RequestQueue::Push::Ok) break;
+      std::this_thread::sleep_for(10ms);  // well inside every 80 ms window
+    }
+  });
+
+  std::vector<Request> batch, expired;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(q.pop_batch(/*max_batch=*/128, max_wait, batch, expired));
+  const auto elapsed = Clock::now() - t0;
+  stop.store(true);
+  feeder.join();
+
+  // The batch closed on the lead's clock: well under 2× the window
+  // even though arrivals continued, and it did not fill to max_batch.
+  EXPECT_LT(elapsed, 2 * std::chrono::microseconds(max_wait));
+  EXPECT_GE(batch.size(), 1u);
+  EXPECT_LT(batch.size(), 128u);
 }
 
 }  // namespace

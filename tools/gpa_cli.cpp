@@ -9,7 +9,11 @@
 //                [--device a100|l40|v100|h100|rtx4090]
 //   gpa serve-bench --length 512 --dim 64 --sf 0.001 --workers 1 --max-batch 8
 //                   [--clients 8] [--requests 2000] [--rate HZ] [--deadline-us N]
-//                   [--decode --sessions 4]   (stateful KV-cache decode traffic)
+//                   [--buckets 256,512]  (mixed-length causal pattern traffic,
+//                                         seq_len-bucketed admission; empty = exact keys)
+//                   [--decode --sessions 4 [--dedup 0|1]]  (stateful KV-cache
+//                                         decode traffic; --dedup 0 disables the
+//                                         pool-wide prompt cache)
 //   gpa decode-bench --pattern local --length 1024 --dim 64 --steps 32
 //   gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2
 //                    (chained local ∘ global longformer session)
@@ -100,6 +104,26 @@ Args parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// "256,512,1024" → {256, 512, 1024} (strict: every element must parse).
+std::vector<Index> parse_index_list(const std::string& flag, const std::string& s) {
+  std::vector<Index> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok = s.substr(start, comma == std::string::npos ? comma : comma - start);
+    try {
+      std::size_t pos = 0;
+      out.push_back(static_cast<Index>(std::stoll(tok, &pos)));
+      if (pos != tok.size()) throw std::invalid_argument("trailing characters");
+    } catch (const std::exception&) {
+      throw InvalidArgument(flag + " expects a comma-separated integer list, got \"" + s + "\"");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
 }
 
 Csr<float> build_mask(const Args& args) {
@@ -282,6 +306,7 @@ int cmd_serve_bench_decode(const Args& args, serve::ServerConfig cfg, Size reque
   mc.pool.head_dim = d;
   mc.pool.num_pages =
       (mask_len * std::max<Index>(sessions, 1)) / mc.pool.page_size + 2 * clients;
+  mc.prefix_dedup = args.get_index("dedup", 1) != 0;
   auto mgr = std::make_shared<kvcache::SessionManager>(mc);
   cfg.sessions = mgr;
 
@@ -341,7 +366,11 @@ int cmd_serve_bench_decode(const Args& args, serve::ServerConfig cfg, Size reque
             << "batching:    " << s.batches << " dispatches, mean occupancy "
             << s.mean_batch_occupancy << "\n"
             << "kvcache:     " << mgr->stats().pages_in_use << " pages in use, "
-            << mgr->stats().evictions << " evictions\n";
+            << mgr->stats().evictions << " evictions\n"
+            << "prompt cache: " << (mc.prefix_dedup ? "on" : "off") << ", "
+            << mgr->stats().pages_deduped << " pages deduped, "
+            << mgr->stats().prefix_hits << "/" << mgr->stats().prefix_lookups
+            << " hits, " << mgr->stats().prefix_entries << " cached pages\n";
   if (s.rejected_session > 0) {
     std::cout << "note:        " << s.rejected_session
               << " decode requests named a session the server does not hold "
@@ -362,6 +391,10 @@ int cmd_serve_bench(const Args& args) {
   cfg.queue_capacity = static_cast<std::size_t>(args.get_index("queue", 1024));
   cfg.policy.max_batch = args.get_index("max-batch", 8);
   cfg.policy.max_wait = std::chrono::microseconds{args.get_index("max-wait-us", 200)};
+  const std::string buckets_arg = args.get("buckets", "");
+  if (!buckets_arg.empty()) {
+    cfg.policy.seq_buckets = parse_index_list("--buckets", buckets_arg);
+  }
 
   if (args.flag("decode")) {
     return cmd_serve_bench_decode(args, cfg,
@@ -374,10 +407,28 @@ int cmd_serve_bench(const Args& args) {
   lg.arrival_hz = rate;
   lg.deadline = std::chrono::microseconds{args.get_index("deadline-us", 0)};
 
-  const auto wl = serve::make_csr_workload(L, d, sf, /*seed=*/7, /*pool=*/4);
-  std::cout << "workload:    CSR random mask, L=" << L << ", d=" << d << ", Sf=" << sf
-            << " (" << wl.mask->nnz() << " edges)\n"
-            << "policy:      workers=" << cfg.workers << ", max_batch=" << cfg.policy.max_batch
+  // --buckets switches to the mixed-length causal pattern workload the
+  // seq_len bucketing exists for (lengths spread below L, one shared
+  // local pattern); without it the classic single-length CSR workload.
+  const bool bucketed = args.flag("buckets");
+  const auto wl = bucketed
+                      ? serve::make_mixed_local_workload(
+                            {std::max<Index>(L / 2, 1), std::max<Index>(L * 5 / 8, 1),
+                             std::max<Index>(L * 3 / 4, 1), L},
+                            d, args.get_index("window", 8), /*seed=*/7)
+                      : serve::make_csr_workload(L, d, sf, /*seed=*/7, /*pool=*/4);
+  if (bucketed) {
+    std::cout << "workload:    mixed-length local pattern, L=" << L / 2 << ".." << L
+              << ", d=" << d << ", window=" << args.get_index("window", 8) << ", buckets=";
+    for (std::size_t i = 0; i < cfg.policy.seq_buckets.size(); ++i) {
+      std::cout << (i ? "," : "") << cfg.policy.seq_buckets[i];
+    }
+    std::cout << (cfg.policy.seq_buckets.empty() ? "(exact keys)" : "") << "\n";
+  } else {
+    std::cout << "workload:    CSR random mask, L=" << L << ", d=" << d << ", Sf=" << sf
+              << " (" << wl.mask->nnz() << " edges)\n";
+  }
+  std::cout << "policy:      workers=" << cfg.workers << ", max_batch=" << cfg.policy.max_batch
             << ", max_wait=" << cfg.policy.max_wait.count() << "us, queue="
             << cfg.queue_capacity << "\n"
             << "load:        " << (rate > 0.0 ? "open-loop" : "closed-loop") << ", requests="
@@ -521,6 +572,8 @@ void usage() {
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
             << "  gpa memmodel --dtype fp16 --dim 64 --sf 0.0001 --device a100\n"
             << "  gpa serve-bench --length 512 --dim 64 --sf 0.001 --max-batch 8 --workers 1\n"
+            << "  gpa serve-bench --length 512 --buckets 384,512 --max-batch 8\n"
+            << "  gpa serve-bench --decode --sessions 4 --dedup 1 --requests 512\n"
             << "  gpa serve-bench --decode --sessions 4 --requests 512 --length 256\n"
             << "  gpa decode-bench --pattern bigbird --length 1024 --dim 64 --steps 32\n"
             << "  gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2\n";
