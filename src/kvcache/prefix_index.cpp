@@ -33,13 +33,38 @@ void PrefixIndex::drop_entry_locked(Index page, BlockPool& pool) {
   const auto rit = by_page_.find(page);
   by_chain_.erase(rit->second);
   by_page_.erase(rit);
+  candidates_.erase(page);
   pool.release(page);
   ++st_.reclaimed;
   st_.entries = static_cast<Index>(by_chain_.size());
 }
 
+void PrefixIndex::note_released(const std::vector<Index>& pages) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Index page : pages) {
+    if (by_page_.find(page) != by_page_.end()) candidates_.insert(page);
+  }
+}
+
 Size PrefixIndex::reclaim_one_orphan(BlockPool& pool) {
   std::lock_guard<std::mutex> lk(mu_);
+  // Probe noted candidates first: the release paths that can turn an
+  // entry into an orphan note the pages they let go of, so sustained
+  // pressure pays O(log entries) per freed page here instead of a full
+  // index scan (with a pool-mutex refcount read per entry) per
+  // allocation retry.
+  while (!candidates_.empty()) {
+    const Index page = *candidates_.begin();
+    candidates_.erase(candidates_.begin());
+    // Stale candidate (entry already reclaimed) or still shared — the
+    // remaining holder's own release re-notes it.
+    if (by_page_.find(page) == by_page_.end()) continue;
+    if (pool.ref_count(page) != 1) continue;
+    drop_entry_locked(page, pool);
+    return 1;
+  }
+  // Fallback sweep: a correctness net for orphans no release path
+  // noted, not the fast path.
   for (const auto& [page, chain] : by_page_) {
     (void)chain;
     // refcount 1 == only the index holds it. Nothing can retain it
@@ -87,6 +112,7 @@ void PrefixIndex::clear(BlockPool& pool) {
   }
   by_chain_.clear();
   by_page_.clear();
+  candidates_.clear();
   st_.entries = 0;
 }
 

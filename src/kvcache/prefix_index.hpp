@@ -32,6 +32,7 @@
 
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "kvcache/block_pool.hpp"
@@ -60,9 +61,19 @@ class PrefixIndex {
   /// keep their own pages, future lookups hit the first).
   bool publish(std::uint64_t chain, Index page, BlockPool& pool);
 
+  /// Records pages some holder just released a reference to, so the
+  /// next reclaim probes them first instead of scanning the whole
+  /// index. Pages without an entry are ignored; noting a page that
+  /// turns out not to be an orphan is harmless (reclaim re-checks the
+  /// refcount and the holder's own later release re-notes it).
+  void note_released(const std::vector<Index>& pages);
+
   /// Frees ONE orphan entry (page refcount 1: nothing but the index
   /// holds it). Returns pages freed (0 or 1). The memory-pressure
-  /// valve: cheaper than evicting any live session.
+  /// valve: cheaper than evicting any live session. Noted candidates
+  /// are probed first — O(log entries) per freed page under sustained
+  /// pressure; the full scan is only the fallback when no candidate
+  /// pans out.
   Size reclaim_one_orphan(BlockPool& pool);
 
   /// Frees every orphan among `pages` — the targeted sweep a session
@@ -88,6 +99,7 @@ class PrefixIndex {
   mutable std::mutex mu_;
   std::map<std::uint64_t, Index> by_chain_;  ///< chain key → page
   std::map<Index, std::uint64_t> by_page_;   ///< reverse (targeted reclaim)
+  std::set<Index> candidates_;               ///< note_released'd likely orphans
   Stats st_;
 };
 

@@ -78,7 +78,13 @@ void SessionManager::release(std::uint64_t id) {
   std::lock_guard<std::mutex> op(s->op_mu);
   if (!s->evicted) {
     s->evicted = true;
+    const std::vector<Index> pages = s->table.pages();
     s->table.release_all(pool_);
+    // The pages this session shared with the prompt cache may now be
+    // orphans (index-only refs): note them so pressure-time reclaim
+    // finds them without scanning the index. They stay cached until
+    // then — the cache outliving its sessions is the point.
+    index_.note_released(pages);
   }
 }
 
@@ -222,6 +228,7 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
             continue;
           }
           pool_.release(page);  // collision: fall through to a private copy
+          index_.note_released({page});
         }
         for (Index t = i; t < i + ps; ++t) append_or_evict(*s, k.row(t), v.row(t));
         if (index_.publish(chain.h, s->table.pages().back(), pool_)) {
@@ -234,8 +241,12 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
     // Leave the session empty and reusable, and withdraw the entries
     // this prefill just published (they are orphans once the table
     // lets go) — a failed prefill leaves no trace in the prompt cache.
+    // Pages ADOPTED from the cache are different: they stay cached, but
+    // may now be orphans, so note them for pressure-time reclaim.
+    const std::vector<Index> pages = s->table.pages();
     s->table.release_all(pool_);
     index_.reclaim_orphans_among(published, pool_);
+    index_.note_released(pages);
     throw;
   }
 

@@ -31,6 +31,10 @@ int RequestQueue::effective_priority(const Request& r, TimePoint now) const {
 }
 
 std::size_t RequestQueue::select_lead_locked(TimePoint now) {
+  // The expired sweep may have drained q_ entirely before we are
+  // called; "no lead" is q_.size() == 0 here, and the WRR branch below
+  // must not touch oldest.begin() on an empty class map.
+  if (q_.empty()) return 0;
   if (weights_.empty()) {
     // Strict priority: the first maximum found is the oldest of the
     // highest effective class (deque order is arrival order).
@@ -54,6 +58,17 @@ std::size_t RequestQueue::select_lead_locked(TimePoint now) {
   std::map<int, std::size_t> oldest;  // effective class → oldest index
   for (std::size_t i = 0; i < q_.size(); ++i) {
     oldest.emplace(effective_priority(q_[i], now), i);  // first i wins: FIFO
+  }
+  // Credit survives only while the class has queued work: a class that
+  // drained away forfeits its bank, so a long-absent class cannot
+  // return with stale credit and jump the line, and the map stays
+  // bounded by the classes actually present (aged +1 classes included).
+  for (auto it = credit_.begin(); it != credit_.end();) {
+    if (oldest.find(it->first) == oldest.end()) {
+      it = credit_.erase(it);
+    } else {
+      ++it;
+    }
   }
   long long round = 0;
   for (const auto& [cls, idx] : oldest) {

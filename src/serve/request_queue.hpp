@@ -29,8 +29,12 @@
 // accrues its weight in credit per selection, the highest credit wins
 // and pays back the round's total, so over time class c leads in
 // proportion weight(c) / Σ weights of contending classes and no class
-// starves. Unlisted classes weigh 1. FIFO within a class is unchanged,
-// and an empty weight map keeps the strict highest-class-first policy.
+// starves. Unlisted classes weigh 1. Credit persists only while a
+// class has queued work: a class that drains away forfeits its bank
+// (a long-absent class returns on equal footing, and the credit map
+// stays bounded by the classes actually present). FIFO within a class
+// is unchanged, and an empty weight map keeps the strict
+// highest-class-first policy.
 
 #include <chrono>
 #include <condition_variable>

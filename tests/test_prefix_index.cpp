@@ -105,6 +105,34 @@ TEST(PrefixIndexTest, TargetedSweepFreesOnlyOrphansAmongTheGivenPages) {
   EXPECT_EQ(pool.pages_in_use(), 0);
 }
 
+TEST(PrefixIndexTest, NotedCandidatesDriveReclaimAndStaleNotesAreHarmless) {
+  BlockPool pool({4, 8, 8});
+  PrefixIndex idx;
+  const Index a = pool.allocate();
+  const Index b = pool.allocate();
+  const Index stray = pool.allocate();  // never published
+  ASSERT_TRUE(idx.publish(1, a, pool));
+  ASSERT_TRUE(idx.publish(2, b, pool));
+
+  // Noting a non-entry is ignored; noting a still-held entry is
+  // harmless — reclaim re-checks the refcount and frees nothing.
+  idx.note_released({stray, a});
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 0u);
+
+  pool.release(a);         // a's last outside ref goes…
+  idx.note_released({a});  // …and the releasing holder notes it
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 1u);
+  EXPECT_EQ(idx.acquire(1, pool), BlockPool::kNoPage);  // a's entry gone
+  EXPECT_EQ(idx.acquire(2, pool), b);                   // b untouched
+  pool.release(b);
+
+  // An orphan nobody noted still falls to the fallback sweep.
+  pool.release(b);
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 1u);
+  pool.release(stray);
+  EXPECT_EQ(pool.pages_in_use(), 0);
+}
+
 // --- the differential page-budget gate -------------------------------
 
 TEST(PrefixDedup, IdenticalPromptsUseOneSessionsFullPages) {

@@ -934,6 +934,58 @@ TEST(RequestQueueFairness, AbsentClassesAccrueNothingAndEmptyWeightsStayStrict) 
   EXPECT_EQ(batch.front().id, 2u);
 }
 
+TEST(RequestQueueFairness, WeightedQueueSurvivesAnAllExpiredSweep) {
+  // The expired sweep can empty the queue before lead selection runs;
+  // with a weight map the WRR branch must hand the expired set back
+  // instead of selecting from an empty class map.
+  RequestQueue q(16, std::chrono::microseconds{0}, {{0, 1}, {1, 3}});
+  std::vector<Request> batch, expired;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Request r = bare_request(id, static_cast<int>(id % 2));
+    r.deadline = Clock::now() - 1ms;
+    ASSERT_EQ(q.try_push(r), RequestQueue::Push::Ok);
+  }
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(expired.size(), 3u);
+  EXPECT_EQ(q.size(), 0u);
+
+  // The queue keeps serving normally afterwards.
+  Request live = bare_request(9, 1);
+  ASSERT_EQ(q.try_push(live), RequestQueue::Push::Ok);
+  ASSERT_TRUE(q.pop_batch(8, 0us, batch, expired));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().id, 9u);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(RequestQueueFairness, DrainedClassForfeitsItsBankedCredit) {
+  // weights {0:3, 1:1}. Round 1 (both present): lo accrues 3, hi 1 —
+  // lo leads and pays back the round's 4 (balance -1). Round 2 runs
+  // with lo absent: its stale -1 is forfeited there, not banked. So
+  // after the full drain, a fresh lo+hi round leads with class 0 again
+  // (3 vs hi's at-most 2); had lo's -1 survived the drain, the classes
+  // would tie at 2 and the tiebreak would hand the lead to class 1.
+  RequestQueue q(16, std::chrono::microseconds{0}, {{0, 3}, {1, 1}});
+  std::vector<Request> batch, expired;
+  Request lo1 = bare_request(1, 0), hi1 = bare_request(2, 1);
+  ASSERT_EQ(q.try_push(lo1), RequestQueue::Push::Ok);
+  ASSERT_EQ(q.try_push(hi1), RequestQueue::Push::Ok);
+  ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 1u);  // class 0: weight 3 beats 1
+  ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 2u);  // lone class left
+  ASSERT_EQ(q.size(), 0u);
+
+  Request lo2 = bare_request(3, 0), hi2 = bare_request(4, 1);
+  ASSERT_EQ(q.try_push(lo2), RequestQueue::Push::Ok);
+  ASSERT_EQ(q.try_push(hi2), RequestQueue::Push::Ok);
+  ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 3u);  // fresh round, same weights, same lead
+  ASSERT_TRUE(q.pop_batch(1, 0us, batch, expired));
+  EXPECT_EQ(batch.front().id, 4u);
+}
+
 // --- pop_batch coalescing clock (worst-case batch latency) ------------
 
 TEST(RequestQueueLatency, MaxWaitIsAnchoredAtLeadAcquisitionNotReArmed) {
