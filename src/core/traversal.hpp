@@ -181,6 +181,58 @@ class MaskTraversal {
     }
   }
 
+  /// Column-ranged enumeration: row i's neighbors with col_lo <= j <
+  /// col_hi, in the same relative order as `for_each_edge`. This is the
+  /// shard form the sequence-parallel paths iterate — a K/V shard owns a
+  /// contiguous column range, and a node folds exactly the edges of its
+  /// rows that land in the shard it currently holds. For the explicit
+  /// formats the range is located by binary search on the row's sorted
+  /// columns (no enumerate-then-discard); implicit families filter their
+  /// closed-form enumeration. Since every family's enumeration visits
+  /// each edge once, concatenating disjoint ranges visits the row's
+  /// edges exactly once — and for ascending-order families (CSR under
+  /// ascending shards) in full-kernel order, which is what makes the
+  /// in-order distributed fold bit-identical to the one-shot kernel.
+  template <typename Fn>
+  void for_each_edge_in_cols(Index i, Index seq_len, bool causal, Index col_lo, Index col_hi,
+                             Fn&& edge) const {
+    switch (kind_) {
+      case Kind::Csr: {
+        const Csr<float>& m = *csr_;
+        const auto begin = m.col_idx.begin() + m.row_begin(i);
+        const auto end = m.col_idx.begin() + m.row_end(i);
+        auto it = std::lower_bound(begin, end, col_lo);
+        for (; it != end && *it < col_hi; ++it) {
+          const Index j = *it;
+          if (causal && j > i) break;  // columns sorted: done with this row
+          edge(j, m.values[static_cast<std::size_t>(it - m.col_idx.begin())]);
+        }
+        return;
+      }
+      case Kind::Coo: {
+        const CooRowBounds b = coo_search_ == CooSearch::Linear
+                                   ? coo_row_bounds_linear(*coo_, i)
+                                   : coo_row_bounds_binary(*coo_, i);
+        const auto begin = coo_->col_idx.begin() + b.first;
+        const auto end = coo_->col_idx.begin() + b.last;
+        auto it = std::lower_bound(begin, end, col_lo);
+        for (; it != end && *it < col_hi; ++it) {
+          const Index j = *it;
+          if (causal && j > i) break;
+          edge(j, coo_->values[static_cast<std::size_t>(it - coo_->col_idx.begin())]);
+        }
+        return;
+      }
+      default:
+        // Implicit families: filter the closed-form enumeration. The
+        // range test preserves the family's relative edge order.
+        for_each_edge(i, seq_len, causal, [&](Index j, float gate) {
+          if (j >= col_lo && j < col_hi) edge(j, gate);
+        });
+        return;
+    }
+  }
+
   /// Row i's causal neighborhood — what one incremental decode step at
   /// position i folds. Identical to `for_each_edge(i, ·, causal=true,
   /// ·)` by construction (under causal the forward extent is invisible,

@@ -13,6 +13,7 @@ Index PrefixIndex::acquire(std::uint64_t chain, BlockPool& pool) {
   // page live, so this can never race a concurrent free/recycle.
   pool.retain(it->second);
   ++st_.hits;
+  ++by_page_.find(it->second)->second.hits;
   return it->second;
 }
 
@@ -23,7 +24,7 @@ bool PrefixIndex::publish(std::uint64_t chain, Index page, BlockPool& pool) {
             "page already published under a different chain");
   pool.retain(page);
   by_chain_.emplace(chain, page);
-  by_page_.emplace(page, chain);
+  by_page_.emplace(page, Entry{chain, 0});
   ++st_.published;
   st_.entries = static_cast<Index>(by_chain_.size());
   return true;
@@ -31,7 +32,7 @@ bool PrefixIndex::publish(std::uint64_t chain, Index page, BlockPool& pool) {
 
 void PrefixIndex::drop_entry_locked(Index page, BlockPool& pool) {
   const auto rit = by_page_.find(page);
-  by_chain_.erase(rit->second);
+  by_chain_.erase(rit->second.chain);
   by_page_.erase(rit);
   candidates_.erase(page);
   pool.release(page);
@@ -50,30 +51,49 @@ Size PrefixIndex::reclaim_one_orphan(BlockPool& pool) {
   std::lock_guard<std::mutex> lk(mu_);
   // Probe noted candidates first: the release paths that can turn an
   // entry into an orphan note the pages they let go of, so sustained
-  // pressure pays O(log entries) per freed page here instead of a full
-  // index scan (with a pool-mutex refcount read per entry) per
-  // allocation retry.
-  while (!candidates_.empty()) {
-    const Index page = *candidates_.begin();
-    candidates_.erase(candidates_.begin());
-    // Stale candidate (entry already reclaimed) or still shared — the
-    // remaining holder's own release re-notes it.
-    if (by_page_.find(page) == by_page_.end()) continue;
-    if (pool.ref_count(page) != 1) continue;
-    drop_entry_locked(page, pool);
+  // pressure stays a candidate-set scan per freed page instead of a
+  // full index scan (with a pool-mutex refcount read per entry) per
+  // allocation retry. Among the candidates that really are orphans the
+  // LEAST-HIT one is freed; the others stay noted for the next call.
+  Index best = BlockPool::kNoPage;
+  Size best_hits = 0;
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    const Index page = *it;
+    const auto eit = by_page_.find(page);
+    if (eit == by_page_.end()) {
+      it = candidates_.erase(it);  // stale: entry already reclaimed
+      continue;
+    }
+    if (pool.ref_count(page) != 1) {
+      // Still shared — the remaining holder's own release re-notes it.
+      it = candidates_.erase(it);
+      continue;
+    }
+    if (best == BlockPool::kNoPage || eit->second.hits < best_hits) {
+      best = page;
+      best_hits = eit->second.hits;
+    }
+    ++it;
+  }
+  if (best != BlockPool::kNoPage) {
+    drop_entry_locked(best, pool);
     return 1;
   }
   // Fallback sweep: a correctness net for orphans no release path
-  // noted, not the fast path.
-  for (const auto& [page, chain] : by_page_) {
-    (void)chain;
+  // noted, not the fast path. Same min-hit rule over the whole index.
+  for (const auto& [page, entry] : by_page_) {
     // refcount 1 == only the index holds it. Nothing can retain it
     // behind our back: acquire() needs mu_ (held), and a session fork
     // only retains pages the parent already references (count >= 2).
-    if (pool.ref_count(page) == 1) {
-      drop_entry_locked(page, pool);
-      return 1;
+    if (pool.ref_count(page) != 1) continue;
+    if (best == BlockPool::kNoPage || entry.hits < best_hits) {
+      best = page;
+      best_hits = entry.hits;
     }
+  }
+  if (best != BlockPool::kNoPage) {
+    drop_entry_locked(best, pool);
+    return 1;
   }
   return 0;
 }
@@ -106,8 +126,8 @@ Size PrefixIndex::reclaim_all_orphans(BlockPool& pool) {
 
 void PrefixIndex::clear(BlockPool& pool) {
   std::lock_guard<std::mutex> lk(mu_);
-  for (const auto& [page, chain] : by_page_) {
-    (void)chain;
+  for (const auto& [page, entry] : by_page_) {
+    (void)entry;
     pool.release(page);
   }
   by_chain_.clear();

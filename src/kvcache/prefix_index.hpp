@@ -29,6 +29,12 @@
 // session, and a session eviction sweeps the pages it just orphaned.
 // A page still referenced by any session is never reclaimable through
 // the index — eviction is refcount-aware by construction.
+//
+// Among orphans, reclaim is ADMISSION-WEIGHTED: each entry carries a
+// hit counter (bumped per acquire()), and reclaim_one_orphan frees the
+// least-hit orphan it can see. A page that has served prefix hits is
+// evidence its prompt recurs; a never-hit orphan was published once
+// and never matched, so it is the first to go under pressure.
 
 #include <map>
 #include <mutex>
@@ -69,11 +75,11 @@ class PrefixIndex {
   void note_released(const std::vector<Index>& pages);
 
   /// Frees ONE orphan entry (page refcount 1: nothing but the index
-  /// holds it). Returns pages freed (0 or 1). The memory-pressure
-  /// valve: cheaper than evicting any live session. Noted candidates
-  /// are probed first — O(log entries) per freed page under sustained
-  /// pressure; the full scan is only the fallback when no candidate
-  /// pans out.
+  /// holds it) — the LEAST-HIT orphan among the noted candidates, or
+  /// among the whole index when no candidate pans out. Returns pages
+  /// freed (0 or 1). The memory-pressure valve: cheaper than evicting
+  /// any live session, and hit-weighted so never-hit orphans go before
+  /// pages that have actually served prefix hits.
   Size reclaim_one_orphan(BlockPool& pool);
 
   /// Frees every orphan among `pages` — the targeted sweep a session
@@ -96,9 +102,14 @@ class PrefixIndex {
   /// caller holds mu_ and has checked the entry exists.
   void drop_entry_locked(Index page, BlockPool& pool);
 
+  struct Entry {
+    std::uint64_t chain = 0;
+    Size hits = 0;  ///< acquire() count — reclaim frees min-hit orphans first
+  };
+
   mutable std::mutex mu_;
   std::map<std::uint64_t, Index> by_chain_;  ///< chain key → page
-  std::map<Index, std::uint64_t> by_page_;   ///< reverse (targeted reclaim)
+  std::map<Index, Entry> by_page_;           ///< reverse (targeted reclaim + hits)
   std::set<Index> candidates_;               ///< note_released'd likely orphans
   Stats st_;
 };

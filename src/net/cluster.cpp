@@ -1,0 +1,258 @@
+#include "net/cluster.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/fnv1a.hpp"
+
+namespace gpa::net {
+
+// ---------------------------------------------------------------------
+// HashRing
+
+namespace {
+std::uint64_t hash_key(std::uint64_t key) {
+  Fnv1a f;
+  f.mix(key);
+  return f.h;
+}
+std::uint64_t hash_point(std::uint64_t node_id, Index replica) {
+  Fnv1a f;
+  f.mix(node_id);
+  f.mix(static_cast<std::uint64_t>(replica));
+  return f.h;
+}
+}  // namespace
+
+HashRing::HashRing(Index virtual_nodes) : vnodes_(virtual_nodes) {
+  GPA_CHECK(virtual_nodes > 0, "hash ring: need at least one virtual node");
+}
+
+void HashRing::add_node(std::uint64_t node_id) {
+  GPA_CHECK(nodes_.insert(node_id).second, "hash ring: duplicate node id");
+  for (Index rep = 0; rep < vnodes_; ++rep) {
+    // Collisions between 64-bit points are vanishingly rare; if two
+    // vnodes do collide, last-insert wins for that point, which only
+    // perturbs the balance, never correctness.
+    points_[hash_point(node_id, rep)] = node_id;
+  }
+}
+
+void HashRing::remove_node(std::uint64_t node_id) {
+  if (nodes_.erase(node_id) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == node_id) {
+      it = points_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t HashRing::owner(std::uint64_t key) const {
+  GPA_CHECK(!points_.empty(), "hash ring: no nodes");
+  auto it = points_.lower_bound(hash_key(key));
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+// ---------------------------------------------------------------------
+// ClusterClient
+
+void ClusterClient::add_peer(std::uint64_t node_id, std::unique_ptr<Transport> transport) {
+  GPA_CHECK(transport != nullptr, "cluster: null transport");
+  ring_.add_node(node_id);  // throws on duplicates before we mutate peers_
+  Peer p;
+  p.id = node_id;
+  p.transport = std::move(transport);
+  p.rpc = std::make_unique<RpcClient>(*p.transport);
+  peers_.push_back(std::move(p));
+}
+
+ClusterClient::Peer& ClusterClient::by_id(std::uint64_t node_id) {
+  for (Peer& p : peers_) {
+    if (p.id == node_id) return p;
+  }
+  GPA_CHECK(false, "cluster: unknown node id");
+  return peers_.front();  // unreachable
+}
+
+ClusterClient::Peer& ClusterClient::by_session(std::uint64_t session_id) {
+  return by_id(ring_.owner(session_id));
+}
+
+void ClusterClient::create_session(std::uint64_t session_id, const WireMask& mask) {
+  Writer w;
+  w.u64(session_id);
+  put_mask(w, mask);
+  by_session(session_id).rpc->call(Op::CreateSession, std::move(w.buf));
+}
+
+void ClusterClient::prefill(std::uint64_t session_id, const Matrix<float>& q,
+                            const Matrix<float>& k, const Matrix<float>& v,
+                            Matrix<float>& out) {
+  Writer w;
+  w.u64(session_id);
+  put_matrix(w, q);
+  put_matrix(w, k);
+  put_matrix(w, v);
+  const auto body = by_session(session_id).rpc->call(Op::Prefill, std::move(w.buf));
+  Reader r(body);
+  GPA_CHECK(get_matrix(r, out) && r.done(), "cluster: bad prefill response");
+}
+
+Index ClusterClient::decode_step(std::uint64_t session_id, const float* q, const float* k,
+                                 const float* v, Index head_dim, float* out_row) {
+  GPA_CHECK(head_dim > 0, "cluster: head_dim must be positive");
+  Writer w;
+  w.u64(session_id);
+  w.u32(static_cast<std::uint32_t>(head_dim));
+  const std::size_t row_bytes = static_cast<std::size_t>(head_dim) * sizeof(float);
+  w.bytes(q, row_bytes);
+  w.bytes(k, row_bytes);
+  w.bytes(v, row_bytes);
+  const auto body = by_session(session_id).rpc->call(Op::DecodeStep, std::move(w.buf));
+  Reader r(body);
+  const Index d = static_cast<Index>(r.u32());
+  GPA_CHECK(r.ok && d == head_dim, "cluster: decode response dimension mismatch");
+  GPA_CHECK(r.bytes(out_row, row_bytes), "cluster: short decode response");
+  const Index edges = static_cast<Index>(r.i64());
+  GPA_CHECK(r.done(), "cluster: bad decode response");
+  return edges;
+}
+
+void ClusterClient::release_session(std::uint64_t session_id) {
+  Writer w;
+  w.u64(session_id);
+  by_session(session_id).rpc->call(Op::ReleaseSession, std::move(w.buf));
+}
+
+PingInfo ClusterClient::ping(std::uint64_t node_id) {
+  Writer w;
+  w.u8(1);
+  const auto body = by_id(node_id).rpc->call(Op::Ping, std::move(w.buf));
+  Reader r(body);
+  PingInfo info;
+  info.sessions = r.u64();
+  info.pages_in_use = static_cast<Index>(r.i64());
+  info.pages_free = static_cast<Index>(r.i64());
+  GPA_CHECK(r.done(), "cluster: bad ping response");
+  return info;
+}
+
+ClusterRingReport ClusterClient::ring_prefill(const Matrix<float>& q, const Matrix<float>& k,
+                                              const Matrix<float>& v, const Csr<float>& mask,
+                                              const seqpar::Partition& partition, bool causal,
+                                              float scale, Matrix<float>& out) {
+  const Index L = q.rows();
+  const Index d = q.cols();
+  const Index P = static_cast<Index>(peers_.size());
+  GPA_CHECK(P > 0, "cluster: no peers");
+  GPA_CHECK(partition.parts() == P, "cluster: partition parts must equal peer count");
+  GPA_CHECK(!partition.boundaries.empty() && partition.boundaries.front() == 0 &&
+                partition.boundaries.back() == L,
+            "cluster: partition must cover [0, L)");
+  GPA_CHECK(mask.rows == L && mask.cols == L, "cluster: mask shape mismatch");
+  GPA_CHECK(k.rows() == L && v.rows() == L && k.cols() == d && v.cols() == d,
+            "cluster: K/V shape mismatch");
+  out = Matrix<float>(L, d);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t rid = next_ring_id_++;
+  ClusterRingReport report;
+
+  auto slice = [&](const Matrix<float>& src, Index lo, Index hi) {
+    Matrix<float> s(hi - lo, d);
+    if (hi > lo) {
+      std::memcpy(s.data(), src.row(lo), static_cast<std::size_t>(hi - lo) *
+                                             static_cast<std::size_t>(d) * sizeof(float));
+    }
+    return s;
+  };
+
+  // Step 0: every node gets its Q rows and the K/V shard it owns.
+  for (Index p = 0; p < P; ++p) {
+    const Index lo = partition.boundaries[static_cast<std::size_t>(p)];
+    const Index hi = partition.boundaries[static_cast<std::size_t>(p) + 1];
+    Writer w;
+    w.u64(rid);
+    w.u32(static_cast<std::uint32_t>(P));
+    w.u32(static_cast<std::uint32_t>(p));
+    put_partition(w, partition);
+    put_csr(w, mask);
+    w.u8(causal ? 1 : 0);
+    w.f32(scale);
+    put_matrix(w, slice(q, lo, hi));
+    put_matrix(w, slice(k, lo, hi));
+    put_matrix(w, slice(v, lo, hi));
+    peers_[static_cast<std::size_t>(p)].rpc->call(Op::RingStart, std::move(w.buf));
+  }
+
+  // Steps 1..P-1: rotate. Node p needs shard (p+s) mod P at step s; the
+  // router fetches it from its owner and relays it (see cluster.hpp for
+  // the star-vs-p2p trade). Delivery order within a step is irrelevant:
+  // nodes fold deferred-in-order regardless of arrival order.
+  for (Index s = 1; s < P; ++s) {
+    for (Index p = 0; p < P; ++p) {
+      const Index shard = (p + s) % P;
+      Writer fw;
+      fw.u64(rid);
+      const auto fetched =
+          peers_[static_cast<std::size_t>(shard)].rpc->call(Op::RingFetch, std::move(fw.buf));
+      Reader fr(fetched);
+      const Index idx = static_cast<Index>(fr.u32());
+      GPA_CHECK(fr.ok && idx == shard, "cluster: ring fetch returned wrong shard");
+      Writer w;
+      w.u64(rid);
+      w.u32(static_cast<std::uint32_t>(shard));
+      w.bytes(fr.p, fr.remaining());  // shard K/V matrices, verbatim
+      peers_[static_cast<std::size_t>(p)].rpc->call(Op::RingShard, std::move(w.buf));
+      ++report.shard_deliveries;
+    }
+  }
+
+  // Collect each node's finalized rows.
+  for (Index p = 0; p < P; ++p) {
+    const Index lo = partition.boundaries[static_cast<std::size_t>(p)];
+    const Index hi = partition.boundaries[static_cast<std::size_t>(p) + 1];
+    Writer w;
+    w.u64(rid);
+    const auto body = peers_[static_cast<std::size_t>(p)].rpc->call(Op::RingFinish,
+                                                                    std::move(w.buf));
+    Reader r(body);
+    Matrix<float> rows;
+    GPA_CHECK(get_matrix(r, rows), "cluster: bad ring finish response");
+    const Size edges = r.u64();
+    GPA_CHECK(r.done() && rows.rows() == hi - lo && rows.cols() == d,
+              "cluster: ring finish shape mismatch");
+    if (hi > lo) {
+      std::memcpy(out.row(lo), rows.data(), static_cast<std::size_t>(hi - lo) *
+                                                static_cast<std::size_t>(d) * sizeof(float));
+    }
+    ClusterNodeReport nr;
+    nr.node_id = peers_[static_cast<std::size_t>(p)].id;
+    nr.row_begin = lo;
+    nr.row_end = hi;
+    nr.edges = edges;
+    report.nodes.push_back(nr);
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+void ClusterClient::shutdown_all() {
+  for (Peer& p : peers_) {
+    Writer w;
+    w.u8(1);
+    try {
+      p.rpc->call(Op::Shutdown, std::move(w.buf));
+    } catch (const TransportError&) {
+      // Peer already gone — shutdown is best-effort by design.
+    }
+    p.transport->close();
+  }
+}
+
+}  // namespace gpa::net

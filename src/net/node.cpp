@@ -1,0 +1,315 @@
+#include "net/node.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/kernel_common.hpp"
+#include "core/traversal.hpp"
+#include "tensor/softmax.hpp"
+
+namespace gpa::net {
+
+// ---------------------------------------------------------------------
+// Wire mask
+
+kvcache::MaskSpec WireMask::to_spec() const {
+  switch (kind) {
+    case WireMaskKind::Local:
+      return kvcache::MaskSpec::make_local(LocalParams{a});
+    case WireMaskKind::Dilated1d:
+      return kvcache::MaskSpec::make_dilated1d(Dilated1DParams{a, b});
+    case WireMaskKind::Global:
+      return kvcache::MaskSpec::make_global(
+          GlobalMinusLocalParams{GlobalParams{tokens}, LocalParams{a}});
+    case WireMaskKind::Csr:
+      GPA_CHECK(csr != nullptr, "wire mask: missing CSR payload");
+      return kvcache::MaskSpec::make_csr(csr);
+  }
+  GPA_CHECK(false, "wire mask: unknown kind");
+  return {};  // unreachable
+}
+
+void put_mask(Writer& w, const WireMask& m) {
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  w.i64(m.a);
+  w.i64(m.b);
+  w.u32(static_cast<std::uint32_t>(m.tokens.size()));
+  for (const Index t : m.tokens) w.i64(t);
+  if (m.kind == WireMaskKind::Csr) {
+    GPA_CHECK(m.csr != nullptr, "wire mask: missing CSR payload");
+    put_csr(w, *m.csr);
+  }
+}
+
+bool get_mask(Reader& r, WireMask& m) {
+  const auto kind = static_cast<WireMaskKind>(r.u8());
+  m.a = static_cast<Index>(r.i64());
+  m.b = static_cast<Index>(r.i64());
+  const std::uint32_t ntok = r.u32();
+  if (!r.ok || r.remaining() < static_cast<std::uint64_t>(ntok) * 8) return false;
+  m.tokens.resize(ntok);
+  for (Index& t : m.tokens) t = static_cast<Index>(r.i64());
+  switch (kind) {
+    case WireMaskKind::Local:
+    case WireMaskKind::Dilated1d:
+    case WireMaskKind::Global:
+      m.kind = kind;
+      return true;
+    case WireMaskKind::Csr: {
+      auto csr = std::make_shared<Csr<float>>();
+      if (!get_csr(r, *csr)) return false;
+      m.kind = kind;
+      m.csr = std::move(csr);
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Request handling
+
+bool NodeService::serve(Transport& t) {
+  for (;;) {
+    RpcRequest req;
+    const WireStatus ws = recv_request(t, req);
+    // Closed is the peer hanging up (normal); anything else is corrupt
+    // bytes — the stream position is unrecoverable either way.
+    if (ws != WireStatus::Ok) return false;
+    RpcResponse rsp;
+    handle(req, rsp);
+    if (send_response(t, rsp) != WireStatus::Ok) return false;
+    if (req.op == Op::Shutdown && rsp.status == RpcStatus::Ok) return true;
+  }
+}
+
+void NodeService::handle(const RpcRequest& req, RpcResponse& rsp) {
+  rsp.id = req.id;
+  rsp.status = RpcStatus::Ok;
+  Reader r(req.body);
+  Writer out;
+  // Session id parsed before dispatch where the op carries one, so the
+  // catch blocks below can echo it in typed errors.
+  std::uint64_t sid = 0;
+  try {
+    switch (req.op) {
+      case Op::Ping: {
+        const auto st = sessions_.stats();
+        out.u64(st.sessions);
+        out.i64(st.pages_in_use);
+        out.i64(st.pages_free);
+        break;
+      }
+      case Op::CreateSession: {
+        sid = r.u64();
+        WireMask mask;
+        if (!r.ok || !get_mask(r, mask)) {
+          make_error_response(rsp, RpcStatus::Malformed, "create-session: bad body", sid);
+          return;
+        }
+        sessions_.create(sid, mask.to_spec());
+        out.u8(1);
+        break;
+      }
+      case Op::Prefill: {
+        sid = r.u64();
+        Matrix<float> q, k, v;
+        if (!r.ok || !get_matrix(r, q) || !get_matrix(r, k) || !get_matrix(r, v)) {
+          make_error_response(rsp, RpcStatus::Malformed, "prefill: bad body", sid);
+          return;
+        }
+        Matrix<float> o;
+        sessions_.prefill(sid, q, k, v, o);
+        put_matrix(out, o);
+        break;
+      }
+      case Op::DecodeStep: {
+        sid = r.u64();
+        const Index d = static_cast<Index>(r.u32());
+        if (!r.ok || d <= 0 ||
+            r.remaining() < 3 * static_cast<std::size_t>(d) * sizeof(float)) {
+          make_error_response(rsp, RpcStatus::Malformed, "decode-step: bad body", sid);
+          return;
+        }
+        std::vector<float> qr(static_cast<std::size_t>(d)), kr(qr.size()), vr(qr.size()),
+            orow(qr.size());
+        r.bytes(qr.data(), qr.size() * sizeof(float));
+        r.bytes(kr.data(), kr.size() * sizeof(float));
+        r.bytes(vr.data(), vr.size() * sizeof(float));
+        const Index edges = sessions_.decode_step(sid, qr.data(), kr.data(), vr.data(),
+                                                  orow.data());
+        out.u32(static_cast<std::uint32_t>(d));
+        out.bytes(orow.data(), orow.size() * sizeof(float));
+        out.i64(edges);
+        break;
+      }
+      case Op::ReleaseSession: {
+        sid = r.u64();
+        sessions_.release(sid);
+        out.u8(1);
+        break;
+      }
+      case Op::RingStart: rsp.status = ring_start(r); break;
+      case Op::RingFetch: rsp.status = ring_fetch(r, out); break;
+      case Op::RingShard: rsp.status = ring_shard(r); break;
+      case Op::RingFinish: rsp.status = ring_finish(r, out); break;
+      case Op::Shutdown: out.u8(1); break;
+      default:
+        make_error_response(rsp, RpcStatus::Malformed, "unknown op", 0);
+        return;
+    }
+  } catch (const kvcache::SessionNotFound& e) {
+    make_error_response(rsp, RpcStatus::SessionNotFound, e.what(), sid);
+    return;
+  } catch (const kvcache::SessionEvicted& e) {
+    make_error_response(rsp, RpcStatus::SessionEvicted, e.what(), sid);
+    return;
+  } catch (const kvcache::CacheFull& e) {
+    make_error_response(rsp, RpcStatus::CacheFull, e.what(), sid);
+    return;
+  } catch (const InvalidArgument& e) {
+    make_error_response(rsp, RpcStatus::InvalidArgument, e.what(), sid);
+    return;
+  } catch (const std::exception& e) {
+    make_error_response(rsp, RpcStatus::Internal, e.what(), sid);
+    return;
+  }
+  if (rsp.status == RpcStatus::Ok) {
+    if (out.buf.empty()) out.u8(1);  // every payload is non-empty
+    rsp.body = std::move(out.buf);
+  } else {
+    make_error_response(rsp, rsp.status, to_string(rsp.status), 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Ring prefill
+
+RpcStatus NodeService::ring_start(Reader& r) {
+  Ring g;
+  const std::uint64_t rid = r.u64();
+  g.parts = static_cast<Index>(r.u32());
+  g.part = static_cast<Index>(r.u32());
+  if (!get_partition(r, g.partition) || !get_csr(r, g.mask)) return RpcStatus::Malformed;
+  g.causal = r.u8() != 0;
+  g.scale = r.f32();
+  Matrix<float> ks, vs;
+  if (!get_matrix(r, g.q) || !get_matrix(r, ks) || !get_matrix(r, vs) || !r.done()) {
+    return RpcStatus::Malformed;
+  }
+  if (g.parts <= 0 || g.part < 0 || g.part >= g.parts ||
+      g.partition.parts() != g.parts || g.mask.rows != g.mask.cols) {
+    return RpcStatus::InvalidArgument;
+  }
+  g.seq_len = g.mask.rows;
+  g.head_dim = g.q.cols();
+  if (g.head_dim <= 0) return RpcStatus::InvalidArgument;
+  // Wire contract matches AttentionOptions: scale < 0 selects the
+  // 1/sqrt(dk) default — resolved here exactly as the oracle resolves
+  // it, so both sides fold with the same float.
+  g.scale = gpa::detail::resolve_scale(g.scale, g.head_dim);
+  g.row_lo = g.partition.boundaries[static_cast<std::size_t>(g.part)];
+  g.row_hi = g.partition.boundaries[static_cast<std::size_t>(g.part) + 1];
+  if (g.partition.boundaries.back() != g.seq_len || g.q.rows() != g.row_hi - g.row_lo ||
+      ks.rows() != g.row_hi - g.row_lo || !ks.same_shape(vs) || ks.cols() != g.head_dim) {
+    return RpcStatus::InvalidArgument;
+  }
+  g.state.reset(g.row_hi - g.row_lo, g.head_dim);
+  g.k_own = ks;  // kept verbatim for RingFetch
+  g.v_own = vs;
+
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  auto [it, inserted] = rings_.insert_or_assign(rid, std::move(g));
+  (void)inserted;
+  stash_and_fold(it->second, it->second.part, std::move(ks), std::move(vs));
+  return RpcStatus::Ok;
+}
+
+RpcStatus NodeService::ring_fetch(Reader& r, Writer& out) {
+  const std::uint64_t rid = r.u64();
+  if (!r.ok || !r.done()) return RpcStatus::Malformed;
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  const auto it = rings_.find(rid);
+  if (it == rings_.end()) return RpcStatus::InvalidArgument;
+  out.u32(static_cast<std::uint32_t>(it->second.part));
+  put_matrix(out, it->second.k_own);
+  put_matrix(out, it->second.v_own);
+  return RpcStatus::Ok;
+}
+
+RpcStatus NodeService::ring_shard(Reader& r) {
+  const std::uint64_t rid = r.u64();
+  const Index idx = static_cast<Index>(r.u32());
+  Matrix<float> ks, vs;
+  if (!r.ok || !get_matrix(r, ks) || !get_matrix(r, vs) || !r.done()) {
+    return RpcStatus::Malformed;
+  }
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  const auto it = rings_.find(rid);
+  if (it == rings_.end()) return RpcStatus::InvalidArgument;
+  Ring& g = it->second;
+  if (idx < 0 || idx >= g.parts ||
+      ks.rows() != g.partition.boundaries[static_cast<std::size_t>(idx) + 1] -
+                       g.partition.boundaries[static_cast<std::size_t>(idx)] ||
+      !ks.same_shape(vs) || ks.cols() != g.head_dim) {
+    return RpcStatus::InvalidArgument;
+  }
+  stash_and_fold(g, idx, std::move(ks), std::move(vs));
+  return RpcStatus::Ok;
+}
+
+RpcStatus NodeService::ring_finish(Reader& r, Writer& out) {
+  const std::uint64_t rid = r.u64();
+  if (!r.ok || !r.done()) return RpcStatus::Malformed;
+  std::lock_guard<std::mutex> lk(ring_mu_);
+  const auto it = rings_.find(rid);
+  if (it == rings_.end()) return RpcStatus::InvalidArgument;
+  Ring& g = it->second;
+  // Finishing before every shard folded would return partial sums.
+  if (g.next_fold != g.parts) return RpcStatus::InvalidArgument;
+  Matrix<float> o(g.row_hi - g.row_lo, g.head_dim);
+  g.state.finalize_into(o);
+  put_matrix(out, o);
+  out.u64(g.edges);
+  rings_.erase(it);
+  return RpcStatus::Ok;
+}
+
+void NodeService::stash_and_fold(Ring& g, Index idx,
+                                 Matrix<float>&& ks, Matrix<float>&& vs) {
+  if (idx >= g.next_fold) {
+    g.stash[idx] = {std::move(ks), std::move(vs)};
+  }
+  for (auto it = g.stash.find(g.next_fold); it != g.stash.end();
+       it = g.stash.find(g.next_fold)) {
+    fold_shard(g, it->first, it->second.first, it->second.second);
+    g.stash.erase(it);  // folded: free the buffered shard
+    ++g.next_fold;
+  }
+}
+
+void NodeService::fold_shard(Ring& g, Index idx, const Matrix<float>& ks,
+                             const Matrix<float>& vs) {
+  const Index col_lo = g.partition.boundaries[static_cast<std::size_t>(idx)];
+  const Index col_hi = g.partition.boundaries[static_cast<std::size_t>(idx) + 1];
+  const MaskTraversal tr = MaskTraversal::over(g.mask);
+  // Default dispatch: every node runs the same binary on the same
+  // host class as the sim_cluster oracle, so the resolved VecOps arm
+  // (and with it the fold's operation order) matches.
+  const simd::VecOps& vo = simd::ops(ExecPolicy{}.simd);
+  for (Index i = g.row_lo; i < g.row_hi; ++i) {
+    const Index li = i - g.row_lo;
+    const float* qi = g.q.row(li);
+    float* acc = g.state.acc_row(li);
+    OnlineSoftmaxRow osr{g.state.m(li), g.state.l(li)};
+    tr.for_each_edge_in_cols(i, g.seq_len, g.causal, col_lo, col_hi, [&](Index j, float) {
+      gpa::detail::fold_edge_rows(qi, ks.row(j - col_lo), vs.row(j - col_lo), g.head_dim,
+                                  g.scale, 1.0f, false, osr, acc, vo);
+      ++g.edges;
+    });
+    g.state.m(li) = osr.m;
+    g.state.l(li) = osr.l;
+  }
+}
+
+}  // namespace gpa::net

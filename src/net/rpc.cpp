@@ -1,0 +1,127 @@
+#include "net/rpc.hpp"
+
+#include "common/error.hpp"
+#include "kvcache/errors.hpp"
+
+namespace gpa::net {
+
+const char* to_string(RpcStatus s) {
+  switch (s) {
+    case RpcStatus::Ok: return "ok";
+    case RpcStatus::SessionNotFound: return "session not found";
+    case RpcStatus::SessionEvicted: return "session evicted";
+    case RpcStatus::CacheFull: return "cache full";
+    case RpcStatus::InvalidArgument: return "invalid argument";
+    case RpcStatus::Malformed: return "malformed request body";
+    case RpcStatus::Internal: return "internal error";
+  }
+  return "unknown";
+}
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::CreateSession: return "create-session";
+    case Op::Prefill: return "prefill";
+    case Op::DecodeStep: return "decode-step";
+    case Op::ReleaseSession: return "release-session";
+    case Op::RingStart: return "ring-start";
+    case Op::RingFetch: return "ring-fetch";
+    case Op::RingShard: return "ring-shard";
+    case Op::RingFinish: return "ring-finish";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+WireStatus send_request(Transport& t, const RpcRequest& req) {
+  Frame f;
+  f.type = kFrameRequest;
+  Writer w;
+  w.u64(req.id);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.bytes(req.body.data(), req.body.size());
+  f.payload = std::move(w.buf);
+  return write_frame(t, f);
+}
+
+WireStatus recv_request(Transport& t, RpcRequest& req) {
+  Frame f;
+  const WireStatus ws = read_frame(t, f);
+  if (ws != WireStatus::Ok) return ws;
+  if (f.type != kFrameRequest) return WireStatus::Malformed;
+  Reader r(f.payload);
+  req.id = r.u64();
+  req.op = static_cast<Op>(r.u8());
+  if (!r.ok) return WireStatus::Malformed;
+  req.body.assign(r.p, r.end);
+  return WireStatus::Ok;
+}
+
+WireStatus send_response(Transport& t, const RpcResponse& rsp) {
+  Frame f;
+  f.type = kFrameResponse;
+  Writer w;
+  w.u64(rsp.id);
+  w.u8(static_cast<std::uint8_t>(rsp.status));
+  w.bytes(rsp.body.data(), rsp.body.size());
+  f.payload = std::move(w.buf);
+  return write_frame(t, f);
+}
+
+WireStatus recv_response(Transport& t, RpcResponse& rsp) {
+  Frame f;
+  const WireStatus ws = read_frame(t, f);
+  if (ws != WireStatus::Ok) return ws;
+  if (f.type != kFrameResponse) return WireStatus::Malformed;
+  Reader r(f.payload);
+  rsp.id = r.u64();
+  rsp.status = static_cast<RpcStatus>(r.u8());
+  if (!r.ok) return WireStatus::Malformed;
+  rsp.body.assign(r.p, r.end);
+  return WireStatus::Ok;
+}
+
+void make_error_response(RpcResponse& rsp, RpcStatus status, const std::string& detail,
+                         std::uint64_t session_id) {
+  rsp.status = status;
+  Writer w;
+  put_string(w, detail);
+  w.u64(session_id);
+  rsp.body = std::move(w.buf);
+}
+
+std::vector<std::uint8_t> RpcClient::call(Op op, std::vector<std::uint8_t> body) {
+  RpcRequest req;
+  req.id = next_id_++;
+  req.op = op;
+  req.body = std::move(body);
+  if (send_request(t_, req) != WireStatus::Ok) {
+    throw TransportError("rpc: send failed (" + std::string(to_string(op)) + ")");
+  }
+  RpcResponse rsp;
+  const WireStatus ws = recv_response(t_, rsp);
+  if (ws != WireStatus::Ok) {
+    throw TransportError("rpc: receive failed (" + std::string(to_string(ws)) + ")");
+  }
+  if (rsp.id != req.id) {
+    throw TransportError("rpc: response id mismatch — connection desynchronised");
+  }
+  if (rsp.status == RpcStatus::Ok) return std::move(rsp.body);
+
+  // Rebuild the typed exception the local API would have thrown.
+  Reader r(rsp.body);
+  std::string detail;
+  get_string(r, detail);
+  const std::uint64_t sid = r.u64();
+  switch (rsp.status) {
+    case RpcStatus::SessionNotFound: throw kvcache::SessionNotFound(sid);
+    case RpcStatus::SessionEvicted: throw kvcache::SessionEvicted(sid);
+    case RpcStatus::CacheFull: throw kvcache::CacheFull();
+    case RpcStatus::InvalidArgument:
+      throw InvalidArgument(detail.empty() ? std::string(to_string(rsp.status)) : detail);
+    default: throw RpcError(rsp.status, detail.empty() ? to_string(rsp.status) : detail);
+  }
+}
+
+}  // namespace gpa::net

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "core/kernel_common.hpp"
 #include "core/state.hpp"
+#include "core/traversal.hpp"
 #include "tensor/softmax.hpp"
 
 namespace gpa::seqpar {
@@ -24,6 +25,10 @@ RingReport ring_csr_attention(const Matrix<float>& q, const Matrix<float>& k,
   const float scale = gpa::detail::resolve_scale(opts.scale, d);
   const simd::VecOps& vo = simd::ops(opts.policy.simd);
   const Index P = partition.parts();
+  // The shard iteration is the traversal's column-ranged enumeration —
+  // the same edge order the one-shot kernels (and the wire-path ring
+  // prefill in src/net) drive, located by binary search per row.
+  const MaskTraversal tr = MaskTraversal::over(mask);
 
   RingReport report;
   report.nodes = P;
@@ -61,16 +66,10 @@ RingReport ring_csr_attention(const Matrix<float>& q, const Matrix<float>& k,
         const float* qi = q.row(i);
         float* acc = state.acc_row(i);
         OnlineSoftmaxRow osr{state.m(i), state.l(i)};
-        // Columns are sorted: binary-search the shard's span of the row.
-        const auto begin = mask.col_idx.begin() + mask.row_begin(i);
-        const auto end = mask.col_idx.begin() + mask.row_end(i);
-        auto it = std::lower_bound(begin, end, col_lo);
-        for (; it != end && *it < col_hi; ++it) {
-          const Index j = *it;
-          if (opts.causal && j > i) break;
+        tr.for_each_edge_in_cols(i, L, opts.causal, col_lo, col_hi, [&](Index j, float) {
           gpa::detail::fold_edge(qi, k, v, j, d, scale, 1.0f, false, osr, acc, vo);
           ++step_edges;
-        }
+        });
         state.m(i) = osr.m;
         state.l(i) = osr.l;
       }

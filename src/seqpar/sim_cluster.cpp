@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/kernel_common.hpp"
 #include "core/state.hpp"
+#include "core/traversal.hpp"
 
 namespace gpa::seqpar {
 
@@ -24,6 +25,12 @@ ClusterReport distributed_csr_attention(const Matrix<float>& q, const Matrix<flo
             "partition must cover [0, L)");
   const float scale = gpa::detail::resolve_scale(opts.scale, d);
   const simd::VecOps& vo = simd::ops(opts.policy.simd);
+  // THE iteration order: each node's row loop drives the same traversal
+  // the one-shot kernels do, so the simulated cluster is bit-identical
+  // to the single-node kernel by construction (and the wire path can
+  // batch-key on tr.fingerprint()). Causal masks now intersect the
+  // triangle exactly as the kernels' causal branches do.
+  const MaskTraversal tr = MaskTraversal::over(mask);
 
   ClusterReport report;
   report.nodes.resize(static_cast<std::size_t>(partition.parts()));
@@ -44,12 +51,11 @@ ClusterReport distributed_csr_attention(const Matrix<float>& q, const Matrix<flo
         const float* qi = q.row(i);
         OnlineSoftmaxRow osr;
         for (Index x = 0; x < d; ++x) acc[static_cast<std::size_t>(x)] = 0.0f;
-        const Index e = mask.row_end(i);
-        for (Index kk = mask.row_begin(i); kk < e; ++kk) {
-          gpa::detail::fold_edge(qi, k, v, mask.col_idx[static_cast<std::size_t>(kk)], d, scale,
-                                 1.0f, false, osr, acc.data(), vo);
+        tr.for_each_edge(i, L, opts.causal, [&](Index j, float gate) {
+          gpa::detail::fold_edge(qi, k, v, j, d, scale, gate, opts.use_mask_values, osr,
+                                 acc.data(), vo);
           ++edges;
-        }
+        });
         const float inv = osr.inv_l();
         float* oi = out.row(i);
         for (Index x = 0; x < d; ++x) oi[x] = acc[static_cast<std::size_t>(x)] * inv;

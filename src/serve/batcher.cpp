@@ -11,6 +11,20 @@ Index bucket_ceiling(const std::vector<Index>& buckets, Index len) {
   return it == buckets.end() ? len : *it;
 }
 
+std::chrono::microseconds max_wait_for(const BatchPolicy& policy, const BatchKey& key) {
+  if (policy.bucket_max_wait.empty() ||
+      key.kind != static_cast<std::uint8_t>(RequestKind::Pattern)) {
+    return policy.max_wait;
+  }
+  // A Pattern key's seq_len is the admission-time bucket ceiling, so an
+  // exact match identifies the bucket; lengths past the last ceiling
+  // keyed by true length miss here and take the global window.
+  const auto it =
+      std::lower_bound(policy.seq_buckets.begin(), policy.seq_buckets.end(), key.seq_len);
+  if (it == policy.seq_buckets.end() || *it != key.seq_len) return policy.max_wait;
+  return policy.bucket_max_wait[static_cast<std::size_t>(it - policy.seq_buckets.begin())];
+}
+
 DynamicBatcher::DynamicBatcher(RequestQueue& queue, const BatchPolicy& policy)
     : queue_(queue), policy_(policy) {
   GPA_CHECK(policy_.max_batch >= 1, "BatchPolicy.max_batch must be at least 1");
@@ -20,10 +34,19 @@ DynamicBatcher::DynamicBatcher(RequestQueue& queue, const BatchPolicy& policy)
   for (const Index b : policy_.seq_buckets) {
     GPA_CHECK(b >= 1, "BatchPolicy.seq_buckets entries must be positive");
   }
+  GPA_CHECK(policy_.bucket_max_wait.empty() ||
+                policy_.bucket_max_wait.size() == policy_.seq_buckets.size(),
+            "BatchPolicy.bucket_max_wait must be empty or align with seq_buckets");
+  for (const auto w : policy_.bucket_max_wait) {
+    GPA_CHECK(w.count() >= 0, "BatchPolicy.bucket_max_wait entries must be non-negative");
+  }
 }
 
 bool DynamicBatcher::next_batch(PoppedBatch& out) {
-  return queue_.pop_batch(policy_.max_batch, policy_.max_wait, out.batch, out.expired);
+  return queue_.pop_batch(
+      policy_.max_batch,
+      [this](const BatchKey& key) { return max_wait_for(policy_, key); }, out.batch,
+      out.expired);
 }
 
 }  // namespace gpa::serve

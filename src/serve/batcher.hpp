@@ -14,6 +14,13 @@
 //   max_wait  — how long a short batch may hold its slot hoping for
 //               compatible arrivals (0 = greedy: dispatch whatever the
 //               first scan finds; requests already queued still batch).
+//
+// max_wait can additionally be set PER BUCKET (bucket_max_wait, aligned
+// with seq_buckets): long-prompt buckets amortise kernel cost over far
+// more work per item, so holding them a little longer for a fuller
+// batch costs relatively less latency than it would for a short-prompt
+// bucket. Buckets without an override — and every non-Pattern
+// dispatch — fall back to the global max_wait.
 
 #include <chrono>
 #include <vector>
@@ -33,11 +40,23 @@ struct BatchPolicy {
   /// batches together, never any result bit. Lengths above the last
   /// ceiling — and all lengths when empty — key by exact length.
   std::vector<Index> seq_buckets{};
+  /// Per-bucket batching windows, aligned index-for-index with
+  /// seq_buckets (empty = the global max_wait applies to every bucket;
+  /// otherwise the sizes must match). Only Pattern leads whose key
+  /// carries a configured bucket ceiling use the override; everything
+  /// else — including Pattern lengths above the last ceiling, which
+  /// key by exact length — falls back to max_wait.
+  std::vector<std::chrono::microseconds> bucket_max_wait{};
 };
 
 /// The smallest bucket ceiling >= len, or len itself when none fits
 /// (empty buckets = exact-length batching).
 Index bucket_ceiling(const std::vector<Index>& buckets, Index len);
+
+/// The batching window for a batch led by `key`: the bucket's override
+/// when the policy has one for key.seq_len (Pattern keys carry the
+/// bucket ceiling there), the global max_wait otherwise.
+std::chrono::microseconds max_wait_for(const BatchPolicy& policy, const BatchKey& key);
 
 struct PoppedBatch {
   std::vector<Request> batch;    ///< key-compatible, ready to dispatch

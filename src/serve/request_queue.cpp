@@ -105,6 +105,12 @@ void RequestQueue::collect_locked(const BatchKey& key, Index max_batch, TimePoin
 
 bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait,
                              std::vector<Request>& batch, std::vector<Request>& expired) {
+  return pop_batch(
+      max_batch, [max_wait](const BatchKey&) { return max_wait; }, batch, expired);
+}
+
+bool RequestQueue::pop_batch(Index max_batch, const WaitResolver& wait_for,
+                             std::vector<Request>& batch, std::vector<Request>& expired) {
   GPA_CHECK(max_batch >= 1, "max_batch must be at least 1");
   batch.clear();
   expired.clear();
@@ -159,8 +165,11 @@ bool RequestQueue::pop_batch(Index max_batch, std::chrono::microseconds max_wait
 
   // Fill up with key-compatible requests; wait out the batching window
   // if the batch is short and time remains. Incompatible requests stay
-  // queued for other workers (two masks never share a batch).
+  // queued for other workers (two masks never share a batch). The
+  // window itself is the lead key's: per-bucket policies hold
+  // long-prompt batches longer than short-prompt ones.
   const BatchKey key = batch.front().key;
+  const std::chrono::microseconds max_wait = wait_for(key);
   collect_locked(key, max_batch, Clock::now(), batch, expired);
   if (static_cast<Index>(batch.size()) < max_batch && max_wait.count() > 0) {
     const TimePoint window_end = lead_time + max_wait;

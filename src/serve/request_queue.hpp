@@ -39,6 +39,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -64,12 +65,23 @@ class RequestQueue {
   /// Non-blocking admission. Moves from `r` only on Ok.
   Push try_push(Request& r);
 
+  /// Maps the lead's BatchKey to the batching window its batch may hold
+  /// a slot for. Called once per batch, after lead acquisition, under
+  /// the queue mutex — it must not call back into the queue.
+  using WaitResolver = std::function<std::chrono::microseconds(const BatchKey&)>;
+
   /// Blocks until a request is available (or the queue is closed and
   /// drained — then returns false). On true: `batch` holds 1..max_batch
   /// key-compatible requests, `expired` any deadline-expired requests
   /// met while scanning. Both vectors are cleared first.
   bool pop_batch(Index max_batch, std::chrono::microseconds max_wait,
                  std::vector<Request>& batch, std::vector<Request>& expired);
+
+  /// Same, but the batching window is resolved from the lead's key once
+  /// the lead is known — how per-bucket max_wait reaches the queue
+  /// without the queue knowing about buckets.
+  bool pop_batch(Index max_batch, const WaitResolver& wait_for, std::vector<Request>& batch,
+                 std::vector<Request>& expired);
 
   /// Non-blocking single pop (shutdown drain). True if `r` was filled.
   bool try_pop_one(Request& r);

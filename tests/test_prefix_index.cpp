@@ -133,6 +133,52 @@ TEST(PrefixIndexTest, NotedCandidatesDriveReclaimAndStaleNotesAreHarmless) {
   EXPECT_EQ(pool.pages_in_use(), 0);
 }
 
+TEST(PrefixIndexTest, ReclaimFreesNeverHitOrphansBeforeHotOnes) {
+  // Admission-weighted reclaim: each acquire() bumps the entry's hit
+  // counter, and reclaim_one_orphan frees the LEAST-HIT orphan — both
+  // on the noted-candidate fast path and on the fallback sweep. A page
+  // that has served prefix hits outlives one nobody ever matched.
+  BlockPool pool({4, 8, 8});
+  PrefixIndex idx;
+  const Index cold = pool.allocate();  // published, never acquired
+  const Index warm = pool.allocate();  // acquired once
+  const Index hot = pool.allocate();   // acquired twice
+  ASSERT_TRUE(idx.publish(10, cold, pool));
+  ASSERT_TRUE(idx.publish(20, warm, pool));
+  ASSERT_TRUE(idx.publish(30, hot, pool));
+  EXPECT_EQ(idx.acquire(20, pool), warm);
+  EXPECT_EQ(idx.acquire(30, pool), hot);
+  EXPECT_EQ(idx.acquire(30, pool), hot);
+  pool.release(warm);
+  pool.release(hot);
+  pool.release(hot);
+
+  // All three are orphans now; every one is a noted candidate.
+  for (const Index p : {cold, warm, hot}) pool.release(p);
+  idx.note_released({cold, warm, hot});
+
+  // Candidate path: cold (0 hits) goes before warm (1) and hot (2).
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 1u);
+  EXPECT_EQ(idx.acquire(10, pool), BlockPool::kNoPage);  // cold went first
+  EXPECT_EQ(idx.acquire(20, pool), warm);
+  EXPECT_EQ(idx.acquire(30, pool), hot);
+
+  // Both survivors are held again, so this reclaim frees nothing and
+  // drops the now-shared candidates — the next round must come out of
+  // the fallback sweep.
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 0u);
+  pool.release(warm);
+  pool.release(hot);
+
+  // Fallback path (nothing noted): same min-hit ordering.
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 1u);
+  EXPECT_EQ(idx.acquire(20, pool), BlockPool::kNoPage);  // warm next
+  EXPECT_EQ(idx.acquire(30, pool), hot);  // the hot page survives longest
+  pool.release(hot);
+  EXPECT_EQ(idx.reclaim_one_orphan(pool), 1u);
+  EXPECT_EQ(pool.pages_in_use(), 0);
+}
+
 // --- the differential page-budget gate -------------------------------
 
 TEST(PrefixDedup, IdenticalPromptsUseOneSessionsFullPages) {

@@ -1028,5 +1028,76 @@ TEST(RequestQueueLatency, MaxWaitIsAnchoredAtLeadAcquisitionNotReArmed) {
   EXPECT_LT(batch.size(), 128u);
 }
 
+// --- per-bucket batching windows --------------------------------------
+
+TEST(BatchPolicyBuckets, MaxWaitForResolvesBucketOverridesAndFallsBack) {
+  BatchPolicy policy{/*max_batch=*/8, /*max_wait=*/200us};
+  policy.seq_buckets = {16, 32, 64};
+  const auto pattern_key = [](Index seq_len) {
+    return BatchKey{7, seq_len, 8, 1, DType::F32,
+                    static_cast<std::uint8_t>(RequestKind::Pattern)};
+  };
+
+  // No overrides configured: every key gets the global window.
+  EXPECT_EQ(max_wait_for(policy, pattern_key(16)), 200us);
+
+  policy.bucket_max_wait = {0us, 1000us, 5000us};
+  EXPECT_EQ(max_wait_for(policy, pattern_key(16)), 0us);
+  EXPECT_EQ(max_wait_for(policy, pattern_key(32)), 1000us);
+  EXPECT_EQ(max_wait_for(policy, pattern_key(64)), 5000us);
+  // Above the ladder, Pattern keys carry the exact length: global.
+  EXPECT_EQ(max_wait_for(policy, pattern_key(65)), 200us);
+  // A non-Pattern key at a ceiling-coincident length is NOT bucketed.
+  EXPECT_EQ(max_wait_for(policy, BatchKey{7, 32, 8, 1, DType::F32,
+                                          static_cast<std::uint8_t>(RequestKind::Attention)}),
+            200us);
+
+  // Misaligned overrides are a configuration error, caught at build.
+  RequestQueue q(4);
+  BatchPolicy bad = policy;
+  bad.bucket_max_wait = {0us};
+  EXPECT_THROW(DynamicBatcher(q, bad), InvalidArgument);
+}
+
+TEST(BatchPolicyBuckets, BucketWindowExtendsPastAGreedyGlobalPolicy) {
+  // Global max_wait 0 = greedy dispatch, but the bucket-32 override
+  // keeps the window open: a compatible request arriving mid-window
+  // must still join the lead's batch, while a non-Pattern lead under
+  // the same conditions dispatches alone immediately.
+  RequestQueue q(16);
+  BatchPolicy policy{/*max_batch=*/2, /*max_wait=*/0us};
+  policy.seq_buckets = {8, 32};
+  policy.bucket_max_wait = {0us, 2'000'000us};
+  DynamicBatcher batcher(q, policy);
+
+  const auto bucketed = [](std::uint64_t id) {
+    Request r = bare_request(id, 0);
+    r.key = BatchKey{7, 32, 8, 1, DType::F32,
+                     static_cast<std::uint8_t>(RequestKind::Pattern)};
+    return r;
+  };
+  Request lead = bucketed(1);
+  ASSERT_EQ(q.try_push(lead), RequestQueue::Push::Ok);
+  std::thread feeder([&q, &bucketed] {
+    std::this_thread::sleep_for(30ms);  // well inside the 2 s override
+    Request late = bucketed(2);
+    ASSERT_EQ(q.try_push(late), RequestQueue::Push::Ok);
+  });
+  PoppedBatch pb;
+  ASSERT_TRUE(batcher.next_batch(pb));
+  feeder.join();
+  EXPECT_EQ(pb.batch.size(), 2u);  // the late arrival rode the held window
+
+  // Same arrival pattern, Attention-kind key: the global greedy window
+  // applies, so the lead goes out alone and the late request waits.
+  Request alead = bare_request(3, 0);
+  alead.key = BatchKey{9, 32, 8, 1, DType::F32,
+                       static_cast<std::uint8_t>(RequestKind::Attention)};
+  ASSERT_EQ(q.try_push(alead), RequestQueue::Push::Ok);
+  ASSERT_TRUE(batcher.next_batch(pb));
+  EXPECT_EQ(pb.batch.size(), 1u);
+  EXPECT_EQ(pb.batch.front().id, 3u);
+}
+
 }  // namespace
 }  // namespace gpa::serve

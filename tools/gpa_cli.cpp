@@ -22,11 +22,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "baselines/reference_attention.hpp"
 #include "common/rng.hpp"
@@ -36,7 +42,11 @@
 #include "graph/degree.hpp"
 #include "kvcache/kvcache.hpp"
 #include "memmodel/memory_model.hpp"
+#include "net/cluster.hpp"
+#include "net/transport.hpp"
 #include "parallel/parallel_for.hpp"
+#include "seqpar/partition.hpp"
+#include "seqpar/sim_cluster.hpp"
 #include "serve/serve.hpp"
 #include "simd/simd.hpp"
 #include "sparse/build.hpp"
@@ -559,6 +569,174 @@ int cmd_decode_bench(const Args& args) {
   return 0;
 }
 
+#ifndef _WIN32
+
+/// One spawned gpa_serve node.
+struct NodeProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+std::string default_serve_bin() {
+  // gpa_serve is built next to gpa_cli; resolve it relative to our own
+  // binary so cluster-bench works from any cwd.
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "gpa_serve";
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return (slash == std::string::npos ? std::string() : path.substr(0, slash + 1)) + "gpa_serve";
+}
+
+NodeProc spawn_serve(const std::string& bin, Index pages, Index page_size, Index d) {
+  int fds[2];
+  GPA_CHECK(::pipe(fds) == 0, "cluster-bench: pipe failed");
+  const pid_t pid = ::fork();
+  GPA_CHECK(pid >= 0, "cluster-bench: fork failed");
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    const std::string pages_s = std::to_string(pages);
+    const std::string ps_s = std::to_string(page_size);
+    const std::string d_s = std::to_string(d);
+    ::execl(bin.c_str(), bin.c_str(), "--port", "0", "--pages", pages_s.c_str(),
+            "--page-size", ps_s.c_str(), "--dim", d_s.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed; the parent sees EOF before LISTENING
+  }
+  ::close(fds[1]);
+  std::string line;
+  char c;
+  while (::read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+  ::close(fds[0]);
+  NodeProc np;
+  np.pid = pid;
+  if (line.rfind("LISTENING ", 0) == 0) {
+    np.port = static_cast<std::uint16_t>(std::stoi(line.substr(10)));
+  }
+  GPA_CHECK(np.port != 0, "cluster-bench: node failed to start (is " + bin + " built?)");
+  return np;
+}
+
+/// Spawns an N-process localhost cluster, runs the wire-rotated ring
+/// prefill, checks it bit-for-bit against the in-process sim_cluster
+/// oracle, then pushes a burst of routed decode steps. Exit 0 only if
+/// the differential gate holds.
+int cmd_cluster_bench(const Args& args) {
+  const Index N = args.get_index("nodes", 2);
+  GPA_CHECK(N >= 2 && N <= 8, "cluster-bench: --nodes must be in [2, 8]");
+  const Index L = args.get_index("length", 512);
+  const Index d = args.get_index("dim", 64);
+  const Index decode_sessions = args.get_index("sessions", 8);
+  const Index decode_steps = args.get_index("steps", 16);
+  const bool causal = args.flag("causal");
+
+  const Csr<float> mask = build_mask(args);
+  GPA_CHECK(mask.rows == L, "cluster-bench: mask length mismatch");
+  const auto part = seqpar::partition_balanced_nnz(L, N, seqpar::degrees_of(mask));
+
+  Rng rng(static_cast<std::uint64_t>(args.get_index("seed", 3)));
+  Matrix<float> q(L, d), k(L, d), v(L, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+
+  // Spawn + connect.
+  const std::string bin = args.get("serve-bin", default_serve_bin());
+  const Index pages = args.get_index("pages", 4 * (L / 16 + 2));
+  std::vector<NodeProc> procs;
+  net::ClusterClient cc;
+  for (Index p = 0; p < N; ++p) {
+    procs.push_back(spawn_serve(bin, pages, 16, d));
+    auto t = net::TcpTransport::connect("127.0.0.1", procs.back().port, net::Millis{5000},
+                                        net::Millis{30000});
+    GPA_CHECK(t != nullptr, "cluster-bench: connect to node failed");
+    cc.add_peer(static_cast<std::uint64_t>(p), std::move(t));
+  }
+  std::cout << "cluster:     " << N << " nodes on 127.0.0.1 (ports";
+  for (const auto& np : procs) std::cout << " " << np.port;
+  std::cout << ")\n";
+
+  int rc = 0;
+  try {
+    // Ring prefill + the differential gate.
+    Matrix<float> wire_out;
+    const auto rep = cc.ring_prefill(q, k, v, mask, part, causal, -1.0f, wire_out);
+    Matrix<float> oracle(L, d);
+    AttentionOptions opts;
+    opts.causal = causal;
+    seqpar::distributed_csr_attention(q, k, v, mask, part, oracle, opts);
+    bool identical = true;
+    for (Index i = 0; i < L && identical; ++i) {
+      identical = std::memcmp(wire_out.row(i), oracle.row(i),
+                              static_cast<std::size_t>(d) * sizeof(float)) == 0;
+    }
+    std::cout << "ring prefill: L=" << L << ", d=" << d << ", nnz=" << mask.nnz()
+              << ", rotated " << rep.shard_deliveries << " shards in " << rep.seconds
+              << " s\n"
+              << "oracle:      " << (identical ? "bit-identical to sim_cluster"
+                                               : "MISMATCH vs sim_cluster")
+              << "\n";
+    for (const auto& nr : rep.nodes) {
+      std::cout << "  node " << nr.node_id << ": rows [" << nr.row_begin << ", " << nr.row_end
+                << "), " << nr.edges << " edges, "
+                << (rep.seconds > 0 ? static_cast<double>(nr.edges) / rep.seconds : 0.0)
+                << " edges/s\n";
+    }
+    if (!identical) rc = 1;
+
+    // Routed decode burst: sessions consistent-hash across the nodes.
+    const Index window = args.get_index("window", 8);
+    net::WireMask wm;
+    wm.kind = net::WireMaskKind::Local;
+    wm.a = window;
+    std::vector<Size> owned(static_cast<std::size_t>(N), 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    Size steps_done = 0;
+    std::vector<float> qr(static_cast<std::size_t>(d)), kr(qr.size()), vr(qr.size()),
+        orow(qr.size());
+    for (Index s = 0; s < decode_sessions; ++s) {
+      const auto sid = static_cast<std::uint64_t>(1000 + s);
+      cc.create_session(sid, wm);
+      ++owned[static_cast<std::size_t>(cc.owner_of(sid))];
+      for (Index t = 0; t < decode_steps; ++t) {
+        for (Index x = 0; x < d; ++x) {
+          qr[static_cast<std::size_t>(x)] = rng.next_float();
+          kr[static_cast<std::size_t>(x)] = rng.next_float();
+          vr[static_cast<std::size_t>(x)] = rng.next_float();
+        }
+        cc.decode_step(sid, qr.data(), kr.data(), vr.data(), d, orow.data());
+        ++steps_done;
+      }
+    }
+    const double dsec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::cout << "decode:      " << steps_done << " routed steps over " << decode_sessions
+              << " sessions in " << dsec << " s ("
+              << (dsec > 0 ? static_cast<double>(steps_done) / dsec : 0.0)
+              << " steps/s), ownership";
+    for (Index p = 0; p < N; ++p) {
+      std::cout << " n" << p << "=" << owned[static_cast<std::size_t>(p)];
+    }
+    std::cout << "\n";
+  } catch (...) {
+    cc.shutdown_all();
+    for (const auto& np : procs) ::waitpid(np.pid, nullptr, 0);
+    throw;
+  }
+
+  cc.shutdown_all();
+  for (const auto& np : procs) {
+    int status = 0;
+    ::waitpid(np.pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) rc = 1;
+  }
+  return rc;
+}
+
+#endif  // !_WIN32
+
 int cmd_version() {
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
             << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
@@ -566,7 +744,7 @@ int cmd_version() {
 }
 
 void usage() {
-  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|decode-bench|version> [--key value ...]\n"
+  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|decode-bench|cluster-bench|version> [--key value ...]\n"
             << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
             << "  gpa info --in mask.bin\n"
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
@@ -576,7 +754,10 @@ void usage() {
             << "  gpa serve-bench --decode --sessions 4 --dedup 1 --requests 512\n"
             << "  gpa serve-bench --decode --sessions 4 --requests 512 --length 256\n"
             << "  gpa decode-bench --pattern bigbird --length 1024 --dim 64 --steps 32\n"
-            << "  gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2\n";
+            << "  gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2\n"
+            << "  gpa cluster-bench --nodes 2 --length 512 --dim 64 [--causal]\n"
+            << "      (spawns N gpa_serve processes; ring prefill must be bit-identical\n"
+            << "       to the in-process sim_cluster oracle, then a routed decode burst)\n";
 }
 
 }  // namespace
@@ -590,6 +771,9 @@ int main(int argc, char** argv) {
     if (args.command == "memmodel") return cmd_memmodel(args);
     if (args.command == "serve-bench") return cmd_serve_bench(args);
     if (args.command == "decode-bench") return cmd_decode_bench(args);
+#ifndef _WIN32
+    if (args.command == "cluster-bench") return cmd_cluster_bench(args);
+#endif
     if (args.command == "version" || args.command == "--version") return cmd_version();
     usage();
     return args.command.empty() ? 1 : (std::cerr << "unknown command: " << args.command << "\n", 1);

@@ -1,0 +1,66 @@
+// gpa_serve — one cluster node process.
+//
+//   gpa_serve --port 0 --pages 256 --page-size 16 --dim 64
+//             [--accept-timeout-ms 30000] [--io-timeout-ms 30000]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral), prints exactly one line
+//
+//   LISTENING <port>
+//
+// to stdout (the spawner parses it to learn the ephemeral port), then
+// serves connections one at a time until a client sends Shutdown or no
+// connection arrives within the accept timeout. Session state (the
+// SessionManager) persists across connections; a front-end can
+// reconnect without losing sessions.
+//
+// Exit codes: 0 orderly shutdown (op or accept-timeout idle exit),
+// 1 setup failure.
+
+#include <iostream>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+long long arg_ll(int argc, char** argv, const std::string& name, long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return std::stoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpa;
+  try {
+    const auto port = static_cast<std::uint16_t>(arg_ll(argc, argv, "--port", 0));
+    net::NodeConfig cfg;
+    cfg.sessions.pool.num_pages = static_cast<Index>(arg_ll(argc, argv, "--pages", 256));
+    cfg.sessions.pool.page_size = static_cast<Index>(arg_ll(argc, argv, "--page-size", 16));
+    cfg.sessions.pool.head_dim = static_cast<Index>(arg_ll(argc, argv, "--dim", 64));
+    const net::Millis accept_timeout{arg_ll(argc, argv, "--accept-timeout-ms", 30000)};
+    const net::Millis io_timeout{arg_ll(argc, argv, "--io-timeout-ms", 30000)};
+
+    net::TcpListener listener(port);
+    net::NodeService node(cfg);
+    std::cout << "LISTENING " << listener.port() << std::endl;  // flushed: spawner blocks on it
+
+    for (;;) {
+      auto conn = listener.accept(accept_timeout, io_timeout);
+      if (!conn) {
+        // Idle exit: nobody connected within the window. Keeps an
+        // orphaned node from outliving a crashed front-end forever.
+        std::cerr << "gpa_serve: accept timeout, exiting\n";
+        return 0;
+      }
+      if (node.serve(*conn)) return 0;  // Shutdown op
+      // EOF / transport error: drop the connection, keep the sessions.
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "gpa_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
