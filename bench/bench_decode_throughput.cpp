@@ -17,7 +17,10 @@
 //
 //   bench_decode_throughput [--smoke] [--csv f] [--json f]
 //
-// --json writes the gpa-bench-decode/v1 records (BENCH_decode.json).
+// --json writes the gpa-bench-decode/v2 records (BENCH_decode.json),
+// with the process's end-of-run metrics snapshot embedded — the
+// kvcache.decode.* counters cross-check how many steps/edges the run
+// actually folded against the per-cell row_nnz claims.
 
 #include <functional>
 #include <iostream>
@@ -32,6 +35,7 @@
 #include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "kvcache/kvcache.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/parallel_for.hpp"
 #include "simd/simd.hpp"
 #include "sparse/build.hpp"
@@ -205,7 +209,8 @@ int main(int argc, char** argv) {
         " single-core-regime";
     benchutil::write_decode_bench_json(args.json_path, records, host,
                                        std::string(parallel_backend()),
-                                       std::string(simd::simd_backend()));
+                                       std::string(simd::simd_backend()),
+                                       obs::Registry::global().snapshot().to_json());
     std::cout << "wrote " << args.json_path << "\n";
   }
   return 0;

@@ -27,12 +27,23 @@
 // requests that exact keys keep apart, which is worth real occupancy
 // (and a later knee) exactly when lengths are diverse.
 //
+// The third surface is the trace-overhead guard: alternating off/on
+// rounds of one closed-loop cell (per-arm medians, since a single
+// short cell is jitter-dominated) price the ring when it is RECORDING,
+// and a direct span-site microbench prices the runtime-disabled state
+// (one relaxed load + branch per site, scaled by the sites/request the
+// traced arm actually emitted). The guard is on the disabled number —
+// that is what production pays — and wants it under 2% of sustained
+// throughput; the recording gap is reported as information.
+//
 //   bench_serving_throughput [--smoke] [--paper-scale] [--csv f] [--json f]
 //
-// --json writes the gpa-bench-serving/v3 records (BENCH_serving.json);
+// --json writes the gpa-bench-serving/v4 records (BENCH_serving.json);
 // each record carries hw_threads so a committed file self-identifies
-// the machine class it was recorded on.
+// the machine class it was recorded on, and the file embeds the
+// process's end-of-run metrics snapshot.
 
+#include <chrono>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -40,6 +51,8 @@
 #include "benchutil/json.hpp"
 #include "benchutil/runner.hpp"
 #include "benchutil/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "serve/serve.hpp"
 
@@ -267,12 +280,80 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Trace-overhead guard: the same closed-loop cell with the span ring
+  // off and with it recording. Spans are compiled in either way — the
+  // off arm is the runtime-disabled state every other cell (and
+  // production) pays, priced at one relaxed load + branch per span
+  // site; the on arm adds the clock reads and ring writes. One short
+  // cell per arm is jitter-dominated (a scheduler stall moves a 0.5s
+  // cell by ~10%), so the arms alternate across rounds and each arm
+  // reports its median — drift perturbs both arms, not whichever ran
+  // second. Every round is recorded; the printed medians are the guard.
+  {
+    const double sf = args.smoke ? 0.01 : 0.001;
+    const auto wl = serve::make_csr_workload(L, d, sf, /*seed=*/7, /*pool=*/8);
+    const Size n = args.smoke ? 256 : 5'000;
+    const int rounds = args.smoke ? 2 : 5;
+    std::vector<double> rps_off, rps_on;
+    double sites_per_req = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+      for (const bool traced : {false, true}) {
+        obs::trace::reset();
+        obs::trace::set_enabled(traced);
+        const Cell cell = run_cell(wl, /*max_batch=*/8, workers, n, clients, 0.0);
+        if (traced)
+          sites_per_req =
+              static_cast<double>(obs::trace::emitted()) / static_cast<double>(n);
+        obs::trace::set_enabled(false);
+        record_cell(traced ? "trace-on" : "trace-off", sf, 8, clients, 0.0, cell);
+        records.back().trace = traced ? "on" : "off";
+        (traced ? rps_on : rps_off).push_back(cell.result.rps);
+      }
+    }
+    obs::trace::reset();
+    const double off = benchutil::percentile(rps_off, 50.0);
+    const double on = benchutil::percentile(rps_on, 50.0);
+    const double enabled_pct = off > 0.0 ? (off - on) / off * 100.0 : 0.0;
+
+    // The <2% claim is about the DISABLED arm, and the off/on gap above
+    // cannot measure it (both arms have spans compiled in). Price a
+    // disabled span site directly — construct/destroy in a loop with
+    // the ring off — then scale by the site count the traced arm
+    // actually emitted per request. The empty asm keeps the compiler
+    // from hoisting the enabled-flag load out of the loop.
+    const int site_iters = args.smoke ? 1'000'000 : 10'000'000;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < site_iters; ++i) {
+      obs::trace::Span s("guard.disabled_site", "bench");
+      asm volatile("" ::: "memory");
+    }
+    const double site_ns =
+        std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(site_iters);
+    const double disabled_pct =
+        off > 0.0 ? site_ns * sites_per_req * 1e-9 * off * 100.0 : 0.0;
+
+    std::cout << "\ntrace overhead (median of " << rounds << " alternating rounds): off="
+              << off << " rps, on=" << on << " rps (" << enabled_pct
+              << "% with the ring RECORDING — informational)\n"
+              << "disabled-span guard: " << site_ns << " ns/site x " << sites_per_req
+              << " sites/request = " << disabled_pct
+              << "% of sustained throughput (runtime-disabled tracing is the production "
+                 "state; guard wants < 2%)\n";
+    if (disabled_pct >= 2.0) {
+      std::cout << "TRACE GUARD FAILED: disabled-span overhead >= 2%\n";
+      return 1;
+    }
+  }
+
   std::cout << '\n';
   table.print();
   table.write_csv(args.csv_path);
   if (!args.json_path.empty()) {
     benchutil::write_serving_bench_json(args.json_path, records,
-                                        std::string(parallel_backend()));
+                                        std::string(parallel_backend()),
+                                        obs::Registry::global().snapshot().to_json());
     std::cout << "json:   " << args.json_path << "\n";
   }
   return 0;

@@ -65,12 +65,14 @@ void write_kernel_bench_json(const std::string& path,
 
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchRecord>& records,
-                              const std::string& parallel_backend_name) {
+                              const std::string& parallel_backend_name,
+                              const std::string& metrics_json) {
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-serving/v3\",\n"
+      << "  \"schema\": \"gpa-bench-serving/v4\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
+      << "  \"metrics\": " << (metrics_json.empty() ? "{}" : metrics_json) << ",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
@@ -85,7 +87,8 @@ void write_serving_bench_json(const std::string& path,
         << ", \"p95_ms\": " << fmt(r.p95_ms) << ", \"p99_ms\": " << fmt(r.p99_ms)
         << ", \"mean_batch_occupancy\": " << fmt(r.mean_batch_occupancy)
         << ", \"admission\": \"" << escape(r.admission) << "\""
-        << ", \"max_sustainable_rps\": " << fmt(r.max_sustainable_rps) << "}"
+        << ", \"max_sustainable_rps\": " << fmt(r.max_sustainable_rps)
+        << ", \"trace\": \"" << escape(r.trace) << "\"}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -115,14 +118,16 @@ void write_schedule_bench_json(const std::string& path,
 void write_decode_bench_json(const std::string& path,
                              const std::vector<DecodeBenchRecord>& records,
                              const std::string& host, const std::string& parallel_backend_name,
-                             const std::string& simd_name) {
+                             const std::string& simd_name,
+                             const std::string& metrics_json) {
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-decode/v1\",\n"
+      << "  \"schema\": \"gpa-bench-decode/v2\",\n"
       << "  \"host\": \"" << escape(host) << "\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
       << "  \"simd\": \"" << escape(simd_name) << "\",\n"
+      << "  \"metrics\": " << (metrics_json.empty() ? "{}" : metrics_json) << ",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];

@@ -62,14 +62,23 @@ struct ServingBenchRecord {
   /// above the sweep's threshold. 0 on non-sweep cells; sweep ladder
   /// cells all carry the knee their ladder resolved to.
   double max_sustainable_rps = 0.0;
+  /// Tracing state of the cell: "" for ordinary cells, "off"/"on" for
+  /// the trace-overhead guard pair (identical workloads differing only
+  /// in whether the span ring was recording).
+  std::string trace;
 };
 
-/// Writes `{schema: "gpa-bench-serving/v3", parallel_backend, records}`
-/// (v2 added per-record hw_threads; v3 added admission and
-/// max_sustainable_rps for the open-loop saturation sweep).
+/// Writes `{schema: "gpa-bench-serving/v4", parallel_backend, metrics,
+/// records}` (v2 added per-record hw_threads; v3 added admission and
+/// max_sustainable_rps for the open-loop saturation sweep; v4 added the
+/// per-record trace tag and the end-of-run `metrics` object).
+/// `metrics_json` is a pre-rendered JSON object — pass
+/// obs::MetricsSnapshot::to_json(), or "" to embed `{}` — so benchutil
+/// stays decoupled from the obs layer.
 void write_serving_bench_json(const std::string& path,
                               const std::vector<ServingBenchRecord>& records,
-                              const std::string& parallel_backend_name);
+                              const std::string& parallel_backend_name,
+                              const std::string& metrics_json = std::string());
 
 /// One cell of the static-vs-dynamic schedule ablation. `backend` is
 /// per record (not file-level) so runs from an OpenMP build and a
@@ -108,12 +117,16 @@ struct DecodeBenchRecord {
   double speedup = 0.0;  ///< recompute / cached
 };
 
-/// Writes `{schema: "gpa-bench-decode/v1", host, parallel_backend,
-/// simd, records}` — the host string matters here because the claim is
-/// a single-core per-token latency ratio.
+/// Writes `{schema: "gpa-bench-decode/v2", host, parallel_backend,
+/// simd, metrics, records}` — the host string matters here because the
+/// claim is a single-core per-token latency ratio. v2 added the
+/// end-of-run `metrics` object (same pre-rendered-JSON convention as
+/// write_serving_bench_json), which records how many decode edges and
+/// pages the run actually folded.
 void write_decode_bench_json(const std::string& path,
                              const std::vector<DecodeBenchRecord>& records,
                              const std::string& host, const std::string& parallel_backend_name,
-                             const std::string& simd_name);
+                             const std::string& simd_name,
+                             const std::string& metrics_json = std::string());
 
 }  // namespace gpa::benchutil

@@ -1,18 +1,51 @@
 #include "kvcache/prefix_index.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpa::kvcache {
+
+namespace {
+
+// Registry mirrors of PrefixIndex::Stats, bumped at the same sites as
+// the locked st_ fields so a scrape and a stats() read tell one story
+// (hits + misses == lookups holds in both views).
+struct PrefixMetrics {
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& published;
+  obs::Counter& reclaimed;
+
+  static PrefixMetrics& get() {
+    static PrefixMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return PrefixMetrics{reg.counter("kvcache.prefix.lookups"),
+                           reg.counter("kvcache.prefix.hits"),
+                           reg.counter("kvcache.prefix.misses"),
+                           reg.counter("kvcache.prefix.published"),
+                           reg.counter("kvcache.prefix.reclaimed")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Index PrefixIndex::acquire(std::uint64_t chain, BlockPool& pool) {
   std::lock_guard<std::mutex> lk(mu_);
   ++st_.lookups;
+  PrefixMetrics::get().lookups.inc();
   const auto it = by_chain_.find(chain);
-  if (it == by_chain_.end()) return BlockPool::kNoPage;
+  if (it == by_chain_.end()) {
+    PrefixMetrics::get().misses.inc();
+    return BlockPool::kNoPage;
+  }
   // Retain while still under mu_: the index's own reference keeps the
   // page live, so this can never race a concurrent free/recycle.
   pool.retain(it->second);
   ++st_.hits;
+  PrefixMetrics::get().hits.inc();
   ++by_page_.find(it->second)->second.hits;
   return it->second;
 }
@@ -26,6 +59,7 @@ bool PrefixIndex::publish(std::uint64_t chain, Index page, BlockPool& pool) {
   by_chain_.emplace(chain, page);
   by_page_.emplace(page, Entry{chain, 0});
   ++st_.published;
+  PrefixMetrics::get().published.inc();
   st_.entries = static_cast<Index>(by_chain_.size());
   return true;
 }
@@ -37,6 +71,7 @@ void PrefixIndex::drop_entry_locked(Index page, BlockPool& pool) {
   candidates_.erase(page);
   pool.release(page);
   ++st_.reclaimed;
+  PrefixMetrics::get().reclaimed.inc();
   st_.entries = static_cast<Index>(by_chain_.size());
 }
 

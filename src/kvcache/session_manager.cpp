@@ -8,10 +8,14 @@
 #include "common/fnv1a.hpp"
 #include "core/kernel_common.hpp"
 #include "core/state.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_reduce.hpp"
 
 namespace gpa::kvcache {
 namespace {
+
+namespace trace = obs::trace;
 
 /// Folds a float row's raw bits into a running chain hash.
 void mix_row(Fnv1a& f, const float* p, Index n) {
@@ -21,6 +25,32 @@ void mix_row(Fnv1a& f, const float* p, Index n) {
     f.mix(bits);
   }
 }
+
+// Registry mirrors of SessionManager's locked stats fields. Gauges for
+// pool occupancy are NOT set here — they are refreshed at scrape time
+// (NodeService's Op::Stats handler) from pool state, since a gauge
+// updated per-allocation would just duplicate the pool's own counters.
+struct KvMetrics {
+  obs::Counter& prefill_calls;
+  obs::Counter& pages_adopted;
+  obs::Counter& verify_failures;
+  obs::Counter& decode_steps;
+  obs::Counter& decode_edges;
+  obs::Counter& evictions;
+
+  static KvMetrics& get() {
+    static KvMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return KvMetrics{reg.counter("kvcache.prefill.calls"),
+                       reg.counter("kvcache.prefill.pages_adopted"),
+                       reg.counter("kvcache.prefix.verify_failures"),
+                       reg.counter("kvcache.decode.steps"),
+                       reg.counter("kvcache.decode.edges"),
+                       reg.counter("kvcache.evictions")};
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -135,7 +165,10 @@ bool SessionManager::evict_one(const Session* self) {
     freed += index_.reclaim_orphans_among(pages, pool_);
     op.unlock();
     sessions_.erase(it);
-    if (freed > 0) ++evictions_;
+    if (freed > 0) {
+      ++evictions_;
+      KvMetrics::get().evictions.inc();  // productive evictions only
+    }
     return true;
   }
   return false;
@@ -183,6 +216,8 @@ void SessionManager::fork(std::uint64_t parent, std::uint64_t child) {
 
 void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Matrix<float>& k,
                              const Matrix<float>& v, Matrix<float>& out) {
+  trace::Span span("kvcache.prefill", "kvcache");
+  KvMetrics::get().prefill_calls.inc();
   const auto s = find_and_touch(id);
   std::lock_guard<std::mutex> op(s->op_mu);
   if (s->evicted) throw SessionEvicted(id);
@@ -227,7 +262,11 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
             ++adopted;
             continue;
           }
-          pool_.release(page);  // collision: fall through to a private copy
+          // Collision: the chain hash matched but the bytes did not —
+          // fall through to a private copy. This counter reading > 0 is
+          // the byte-verify guard earning its keep.
+          KvMetrics::get().verify_failures.inc();
+          pool_.release(page);
           index_.note_released({page});
         }
         for (Index t = i; t < i + ps; ++t) append_or_evict(*s, k.row(t), v.row(t));
@@ -270,8 +309,11 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
   }
 
   if (adopted > 0) {
-    std::lock_guard<std::mutex> lk(mu_);
-    dedup_pages_ += adopted;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      dedup_pages_ += adopted;
+    }
+    KvMetrics::get().pages_adopted.inc(adopted);
   }
 }
 
@@ -288,6 +330,7 @@ bool SessionManager::page_matches(Index page, const Matrix<float>& k, const Matr
 
 Index SessionManager::decode_step(std::uint64_t id, const float* q_new, const float* k_new,
                                   const float* v_new, float* out_row) {
+  trace::Span span("kvcache.decode_step", "kvcache");
   const auto s = find_and_touch(id);
   std::lock_guard<std::mutex> op(s->op_mu);
   if (s->evicted) throw SessionEvicted(id);
@@ -324,6 +367,9 @@ Index SessionManager::decode_step(std::uint64_t id, const float* q_new, const fl
     ++decode_steps_;
     decode_edges_ += static_cast<Size>(edges);
   }
+  KvMetrics& km = KvMetrics::get();
+  km.decode_steps.inc();
+  km.decode_edges.inc(static_cast<std::uint64_t>(edges));
   return edges;
 }
 

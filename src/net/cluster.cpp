@@ -141,6 +141,16 @@ PingInfo ClusterClient::ping(std::uint64_t node_id) {
   return info;
 }
 
+obs::MetricsSnapshot ClusterClient::node_stats(std::uint64_t node_id) {
+  Writer w;
+  w.u8(1);
+  const auto body = by_id(node_id).rpc->call(Op::Stats, std::move(w.buf));
+  Reader r(body);
+  obs::MetricsSnapshot snap;
+  GPA_CHECK(get_metrics_snapshot(r, snap) && r.done(), "cluster: bad stats response");
+  return snap;
+}
+
 ClusterRingReport ClusterClient::ring_prefill(const Matrix<float>& q, const Matrix<float>& k,
                                               const Matrix<float>& v, const Csr<float>& mask,
                                               const seqpar::Partition& partition, bool causal,

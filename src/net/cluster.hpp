@@ -96,6 +96,9 @@ class ClusterClient {
 
   PingInfo ping(std::uint64_t node_id);
 
+  /// Scrape a node's full metrics registry snapshot (Op::Stats).
+  obs::MetricsSnapshot node_stats(std::uint64_t node_id);
+
   /// Wire-rotated ring-attention prefill across ALL peers (peer i is
   /// part i; partition.parts() must equal peers()). Bit-identical to
   /// seqpar::distributed_csr_attention on the same partition.

@@ -2,8 +2,38 @@
 
 #include "common/error.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace gpa::net {
+
+namespace {
+
+// Per-process wire totals, counted at the transport boundary (the
+// loopback arm goes through the same two functions, so loopback tests
+// see the same accounting as TCP). Byte counts include the 24 bytes of
+// header + trailer — they answer "what crossed the wire", not "payload
+// goodput".
+struct WireMetrics {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& checksum_failures;
+
+  static WireMetrics& get() {
+    static WireMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return WireMetrics{reg.counter("net.frames.sent"),
+                         reg.counter("net.frames.received"),
+                         reg.counter("net.bytes.sent"),
+                         reg.counter("net.bytes.received"),
+                         reg.counter("net.checksum_failures")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* to_string(WireStatus s) {
   switch (s) {
@@ -99,7 +129,11 @@ WireStatus decode_frame(const std::uint8_t* data, std::size_t n, Frame& out) {
 WireStatus write_frame(Transport& t, const Frame& frame) {
   std::vector<std::uint8_t> wire;
   encode_frame(frame, wire);
-  return t.send_all(wire.data(), wire.size()) ? WireStatus::Ok : WireStatus::Closed;
+  if (!t.send_all(wire.data(), wire.size())) return WireStatus::Closed;
+  WireMetrics& wm = WireMetrics::get();
+  wm.frames_sent.inc();
+  wm.bytes_sent.inc(wire.size());
+  return WireStatus::Ok;
 }
 
 WireStatus read_frame(Transport& t, Frame& out) {
@@ -119,8 +153,12 @@ WireStatus read_frame(Transport& t, Frame& out) {
   if (!t.recv_exact(trailer, kFrameTrailerBytes)) return WireStatus::Truncated;
   Reader tr(trailer, kFrameTrailerBytes);
   if (payload_checksum(out.payload.data(), out.payload.size()) != tr.u64()) {
+    WireMetrics::get().checksum_failures.inc();
     return WireStatus::ChecksumMismatch;
   }
+  WireMetrics& wm = WireMetrics::get();
+  wm.frames_received.inc();
+  wm.bytes_received.inc(kFrameHeaderBytes + out.payload.size() + kFrameTrailerBytes);
   return WireStatus::Ok;
 }
 

@@ -113,6 +113,11 @@ struct Writer {
     std::memcpy(&bits, &v, sizeof(bits));
     u32(bits);
   }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
   void bytes(const void* data, std::size_t n) {
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf.insert(buf.end(), p, p + n);
@@ -168,6 +173,12 @@ struct Reader {
   float f32() {
     const std::uint32_t bits = u32();
     float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }

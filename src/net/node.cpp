@@ -5,9 +5,79 @@
 #include "common/error.hpp"
 #include "core/kernel_common.hpp"
 #include "core/traversal.hpp"
+#include "obs/trace.hpp"
 #include "tensor/softmax.hpp"
 
 namespace gpa::net {
+
+// ---------------------------------------------------------------------
+// Metrics snapshot codec
+
+namespace {
+/// A registry holds tens of metrics; a peer claiming orders of
+/// magnitude more is corrupt, not just big.
+constexpr std::uint32_t kMaxMetrics = 4096;
+constexpr std::uint32_t kMaxHistEdges = 512;
+}  // namespace
+
+void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s) {
+  w.u32(static_cast<std::uint32_t>(s.counters.size()));
+  for (const auto& c : s.counters) {
+    put_string(w, c.name);
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(s.gauges.size()));
+  for (const auto& g : s.gauges) {
+    put_string(w, g.name);
+    w.i64(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(s.histograms.size()));
+  for (const auto& h : s.histograms) {
+    put_string(w, h.name);
+    w.u32(static_cast<std::uint32_t>(h.edges.size()));
+    for (const double e : h.edges) w.f64(e);
+    for (const std::uint64_t c : h.counts) w.u64(c);  // edges + 1 of them
+    w.f64(h.sum);
+    w.u64(h.count);
+  }
+}
+
+bool get_metrics_snapshot(Reader& r, obs::MetricsSnapshot& s) {
+  s = obs::MetricsSnapshot{};
+  const std::uint32_t nc = r.u32();
+  if (!r.ok || nc > kMaxMetrics) return false;
+  s.counters.resize(nc);
+  for (auto& c : s.counters) {
+    if (!get_string(r, c.name)) return false;
+    c.value = r.u64();
+  }
+  const std::uint32_t ng = r.u32();
+  if (!r.ok || ng > kMaxMetrics) return false;
+  s.gauges.resize(ng);
+  for (auto& g : s.gauges) {
+    if (!get_string(r, g.name)) return false;
+    g.value = r.i64();
+  }
+  const std::uint32_t nh = r.u32();
+  if (!r.ok || nh > kMaxMetrics) return false;
+  s.histograms.resize(nh);
+  for (auto& h : s.histograms) {
+    if (!get_string(r, h.name)) return false;
+    const std::uint32_t ne = r.u32();
+    if (!r.ok || ne == 0 || ne > kMaxHistEdges ||
+        r.remaining() < (static_cast<std::uint64_t>(ne) * 2 + 1) * 8) {
+      r.ok = false;
+      return false;
+    }
+    h.edges.resize(ne);
+    for (double& e : h.edges) e = r.f64();
+    h.counts.resize(ne + 1);
+    for (std::uint64_t& c : h.counts) c = r.u64();
+    h.sum = r.f64();
+    h.count = r.u64();
+  }
+  return r.ok;
+}
 
 // ---------------------------------------------------------------------
 // Wire mask
@@ -84,6 +154,10 @@ bool NodeService::serve(Transport& t) {
 }
 
 void NodeService::handle(const RpcRequest& req, RpcResponse& rsp) {
+  // Server-side twin of RpcClient::call's span: same static op name,
+  // different category, so a merged client+server trace shows the wire
+  // round-trip bracketing the handler.
+  obs::trace::Span span(to_string(req.op), "net.node");
   rsp.id = req.id;
   rsp.status = RpcStatus::Ok;
   Reader r(req.body);
@@ -147,6 +221,19 @@ void NodeService::handle(const RpcRequest& req, RpcResponse& rsp) {
         sid = r.u64();
         sessions_.release(sid);
         out.u8(1);
+        break;
+      }
+      case Op::Stats: {
+        // Counters stream in continuously; the pool/session gauges are
+        // refreshed here so every scrape carries current occupancy
+        // without a per-allocation gauge write on the hot path.
+        const auto st = sessions_.stats();
+        obs::Registry& reg = obs::Registry::global();
+        reg.gauge("kvcache.sessions.live").set(static_cast<std::int64_t>(st.sessions));
+        reg.gauge("kvcache.pages.in_use").set(st.pages_in_use);
+        reg.gauge("kvcache.pages.free").set(st.pages_free);
+        reg.gauge("kvcache.prefix.entries").set(st.prefix_entries);
+        put_metrics_snapshot(out, reg.snapshot());
         break;
       }
       case Op::RingStart: rsp.status = ring_start(r); break;

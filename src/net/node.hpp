@@ -27,10 +27,21 @@
 #include "core/state.hpp"
 #include "kvcache/session_manager.hpp"
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "seqpar/partition.hpp"
 #include "sparse/patterns.hpp"
 
 namespace gpa::net {
+
+// ---------------------------------------------------------------------
+// Metrics snapshot over the wire (Op::Stats). Typed, not stringly: the
+// scraper (gpa_cli stats / cluster-bench) reads individual fields, so
+// the snapshot ships as [counters][gauges][histograms] with
+// length-prefixed name strings and LE-encoded values. get_* applies the
+// usual hostile-input bounds before any allocation.
+
+void put_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& s);
+bool get_metrics_snapshot(Reader& r, obs::MetricsSnapshot& s);
 
 // ---------------------------------------------------------------------
 // Session mask over the wire: the restricted MaskSpec vocabulary the

@@ -1,9 +1,37 @@
 #include "net/rpc.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 #include "kvcache/errors.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpa::net {
+
+namespace {
+
+struct RpcMetrics {
+  obs::Counter& calls;
+  obs::Counter& errors;              ///< typed non-Ok statuses from the peer
+  obs::Counter& transport_failures;  ///< connection died / desynchronised
+  obs::Histogram& latency_us;
+
+  static RpcMetrics& get() {
+    static RpcMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      return RpcMetrics{
+          reg.counter("net.rpc.calls"), reg.counter("net.rpc.errors"),
+          reg.counter("net.rpc.transport_failures"),
+          reg.histogram("net.rpc.latency_us",
+                        {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+                         100000, 250000, 1000000})};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* to_string(RpcStatus s) {
   switch (s) {
@@ -30,6 +58,7 @@ const char* to_string(Op op) {
     case Op::RingShard: return "ring-shard";
     case Op::RingFinish: return "ring-finish";
     case Op::Shutdown: return "shutdown";
+    case Op::Stats: return "stats";
   }
   return "unknown";
 }
@@ -92,22 +121,37 @@ void make_error_response(RpcResponse& rsp, RpcStatus status, const std::string& 
 }
 
 std::vector<std::uint8_t> RpcClient::call(Op op, std::vector<std::uint8_t> body) {
+  // Span name = the op's static string, so a trace shows which RPCs a
+  // client spent its wall-clock in; the latency histogram is the
+  // aggregate view of the same interval.
+  obs::trace::Span span(to_string(op), "net.rpc");
+  RpcMetrics& rm = RpcMetrics::get();
+  rm.calls.inc();
+  const auto t0 = std::chrono::steady_clock::now();
+
   RpcRequest req;
   req.id = next_id_++;
   req.op = op;
   req.body = std::move(body);
   if (send_request(t_, req) != WireStatus::Ok) {
+    rm.transport_failures.inc();
     throw TransportError("rpc: send failed (" + std::string(to_string(op)) + ")");
   }
   RpcResponse rsp;
   const WireStatus ws = recv_response(t_, rsp);
   if (ws != WireStatus::Ok) {
+    rm.transport_failures.inc();
     throw TransportError("rpc: receive failed (" + std::string(to_string(ws)) + ")");
   }
   if (rsp.id != req.id) {
+    rm.transport_failures.inc();
     throw TransportError("rpc: response id mismatch — connection desynchronised");
   }
+  rm.latency_us.observe(
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+          .count());
   if (rsp.status == RpcStatus::Ok) return std::move(rsp.body);
+  rm.errors.inc();
 
   // Rebuild the typed exception the local API would have thrown.
   Reader r(rsp.body);

@@ -37,6 +37,7 @@ enum class Op : std::uint8_t {
   RingShard = 8,   ///< deliver a rotated shard to fold
   RingFinish = 9,  ///< finalize and return the node's output rows
   Shutdown = 10,
+  Stats = 11,  ///< scrape the node's metrics registry snapshot
 };
 
 /// Wire form of the error taxonomy. Values are wire format — append

@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gpa::obs::trace {
+
+namespace {
+
+// One ring slot. Every field is a relaxed atomic — concurrent writer vs
+// drain never races in the C++ sense — and `seq` carries the publish
+// protocol: a writer claims ticket t, stores the fields, then
+// release-stores seq = t + 1. A reader expecting ticket t
+// acquire-loads seq before AND after reading the fields and accepts the
+// event only if both loads saw t + 1 (a wrapping writer re-claiming the
+// slot bumps seq past it, so torn cross-generation reads are rejected,
+// seqlock-style).
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<const char*> cat{nullptr};
+  std::atomic<char> ph{'X'};
+  std::atomic<std::uint32_t> tid{0};
+  std::atomic<std::uint64_t> id{0};
+  std::atomic<std::int64_t> ts_us{0};
+  std::atomic<std::int64_t> dur_us{0};
+  std::atomic<std::uint64_t> seq{0};  ///< ticket + 1 once published
+};
+
+constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+struct Ring {
+  std::vector<Slot> slots{kDefaultCapacity};
+  std::atomic<std::uint64_t> head{0};  ///< tickets issued
+  std::mutex structural_mu;            ///< configure/reset only
+};
+
+std::atomic<bool> g_enabled{false};
+
+Ring& ring() {
+  // Leaked for the same reason as Registry::global(): spans on detached
+  // threads may fire during static teardown.
+  static Ring* r = new Ring();
+  return *r;
+}
+
+void store_event(Slot& s, std::uint64_t ticket, const char* name, const char* cat,
+                 char ph, std::uint64_t id, std::int64_t ts, std::int64_t dur) noexcept {
+  s.name.store(name, std::memory_order_relaxed);
+  s.cat.store(cat, std::memory_order_relaxed);
+  s.ph.store(ph, std::memory_order_relaxed);
+  s.tid.store(this_thread_id(), std::memory_order_relaxed);
+  s.id.store(id, std::memory_order_relaxed);
+  s.ts_us.store(ts, std::memory_order_relaxed);
+  s.dur_us.store(dur, std::memory_order_relaxed);
+  s.seq.store(ticket + 1, std::memory_order_release);
+}
+
+void emit(const char* name, const char* cat, char ph, std::uint64_t id,
+          std::int64_t ts, std::int64_t dur) noexcept {
+  Ring& r = ring();
+  const std::uint64_t ticket = r.head.fetch_add(1, std::memory_order_relaxed);
+  store_event(r.slots[ticket % r.slots.size()], ticket, name, cat, ph, id, ts, dur);
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::int64_t now_us() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch)
+      .count();
+}
+
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void configure_capacity(std::size_t events) {
+  GPA_CHECK(events > 0, "trace ring capacity must be positive");
+  GPA_CHECK(!enabled(), "trace ring can only be resized while tracing is disabled");
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lk(r.structural_mu);
+  r.slots = std::vector<Slot>(events);
+  r.head.store(0, std::memory_order_relaxed);
+}
+
+std::size_t capacity() noexcept { return ring().slots.size(); }
+
+void emit_complete(const char* name, const char* cat, std::int64_t ts_us,
+                   std::int64_t dur_us) noexcept {
+  if (!enabled()) return;
+  emit(name, cat, 'X', 0, ts_us, dur_us);
+}
+
+void emit_async(const char* name, const char* cat, char ph, std::uint64_t id) noexcept {
+  if (!enabled()) return;
+  emit(name, cat, ph, id, now_us(), 0);
+}
+
+void emit_instant(const char* name, const char* cat) noexcept {
+  if (!enabled()) return;
+  emit(name, cat, 'i', 0, now_us(), 0);
+}
+
+std::vector<Event> drain_snapshot() {
+  Ring& r = ring();
+  const std::uint64_t h = r.head.load(std::memory_order_acquire);
+  const std::uint64_t cap = r.slots.size();
+  const std::uint64_t start = h > cap ? h - cap : 0;
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(h - start));
+  for (std::uint64_t t = start; t < h; ++t) {
+    Slot& s = r.slots[t % cap];
+    if (s.seq.load(std::memory_order_acquire) != t + 1) continue;
+    Event e;
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.cat = s.cat.load(std::memory_order_relaxed);
+    e.ph = s.ph.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    e.id = s.id.load(std::memory_order_relaxed);
+    e.ts_us = s.ts_us.load(std::memory_order_relaxed);
+    e.dur_us = s.dur_us.load(std::memory_order_relaxed);
+    if (s.seq.load(std::memory_order_acquire) != t + 1) continue;  // overwritten mid-read
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t dropped() noexcept {
+  Ring& r = ring();
+  const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+  const std::uint64_t cap = r.slots.size();
+  return h > cap ? h - cap : 0;
+}
+
+std::uint64_t emitted() noexcept { return ring().head.load(std::memory_order_relaxed); }
+
+void reset() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lk(r.structural_mu);
+  for (Slot& s : r.slots) s.seq.store(0, std::memory_order_relaxed);
+  r.head.store(0, std::memory_order_release);
+}
+
+std::string chrome_json() {
+  const std::vector<Event> events = drain_snapshot();
+  const int pid = static_cast<int>(::getpid());
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (e.name == nullptr) continue;
+    os << (first ? "" : ",") << "{\"name\":\"" << e.name << "\",\"cat\":\""
+       << (e.cat ? e.cat : "gpa") << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << pid
+       << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us;
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+    if (e.ph == 'b' || e.ph == 'e') os << ",\"id\":\"0x" << std::hex << e.id << std::dec << "\"";
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    os << "}";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace gpa::obs::trace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace gpa {
 
 ExecPolicy auto_tune(const ExecPolicy& base, double mean_degree, double imbalance) noexcept {
@@ -12,6 +14,13 @@ ExecPolicy auto_tune(const ExecPolicy& base, double mean_degree, double imbalanc
   p.grain = std::clamp(static_cast<Index>(rows), Index{1}, kAutoMaxGrain);
   p.schedule =
       imbalance >= kAutoImbalanceThreshold ? Schedule::Dynamic : Schedule::Static;
+  // These two counters answer the ROADMAP's auto-pick question directly:
+  // a recording run reports how often skew actually tripped the dynamic
+  // arm, next to the grain the workload saw.
+  static obs::Counter& picks_static = obs::Registry::global().counter("sched.auto.picks.static");
+  static obs::Counter& picks_dynamic =
+      obs::Registry::global().counter("sched.auto.picks.dynamic");
+  (p.schedule == Schedule::Dynamic ? picks_dynamic : picks_static).inc();
   return p;
 }
 

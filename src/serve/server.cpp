@@ -7,14 +7,31 @@
 #include "core/kernel_common.hpp"
 #include "core/state.hpp"
 #include "core/traversal.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace gpa::serve {
 
 namespace {
 
+namespace trace = obs::trace;
+
 double micros_between(TimePoint a, TimePoint b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+// One 'X' span per item covering [enqueue, dispatch-start] — the queue
+// wait is measured from the request's own enqueue_time (same steady
+// clock as the trace epoch), back-dated onto the trace axis so it abuts
+// the dispatch span that follows.
+void emit_queue_wait_spans(const std::vector<Request>& batch, TimePoint t0) {
+  if (!trace::enabled()) return;
+  const std::int64_t now_tr = trace::now_us();
+  const std::int64_t skew = static_cast<std::int64_t>(micros_between(t0, Clock::now()));
+  for (const Request& r : batch) {
+    const auto wait = static_cast<std::int64_t>(micros_between(r.enqueue_time, t0));
+    trace::emit_complete("serve.queue_wait", "serve", now_tr - skew - wait, wait);
+  }
 }
 
 }  // namespace
@@ -33,6 +50,7 @@ Server::Server(ServerConfig cfg)
 Server::~Server() { shutdown(); }
 
 void Server::resolve(Request& r, ResponseStatus status) {
+  trace::emit_async("serve.request", "serve", 'e', r.id);
   Response resp;
   resp.status = status;
   resp.id = r.id;
@@ -101,8 +119,10 @@ std::future<Response> Server::submit(Request r) {
 
   // Past validation: from here every path gives the request a terminal
   // outcome, so the funnel (submitted == completed + rejected + queued)
-  // stays balanced.
+  // stays balanced — and every path pairs this 'b' with exactly one 'e'
+  // (resolve() or the Ok completion loops).
   stats_.record_submitted();
+  trace::emit_async("serve.request", "serve", 'b', r.id);
 
   if (r.kind == RequestKind::Decode && cfg_.sessions == nullptr) {
     // Defensive, not an assert: a deployment without a session backend
@@ -161,6 +181,7 @@ std::future<Response> Server::submit(Request r) {
 void Server::dispatch_decode(std::vector<Request>& batch) {
   const auto b = static_cast<Index>(batch.size());
   const TimePoint t0 = Clock::now();
+  emit_queue_wait_spans(batch, t0);
 
   // Hand the whole batch to the session manager's cross-session decode:
   // it groups by session (folds for one session land in arrival/token
@@ -205,6 +226,7 @@ void Server::dispatch_decode(std::vector<Request>& batch) {
     }
     const double queue_us = micros_between(r.enqueue_time, t0);
     stats_.record_completion(queue_us + service_us, service_us);
+    trace::emit_async("serve.request", "serve", 'e', r.id);
     Response resp;
     resp.status = ResponseStatus::Ok;
     resp.id = r.id;
@@ -219,6 +241,7 @@ void Server::dispatch_decode(std::vector<Request>& batch) {
 void Server::dispatch_pattern(std::vector<Request>& batch) {
   const auto b = static_cast<Index>(batch.size());
   const TimePoint t0 = Clock::now();
+  emit_queue_wait_spans(batch, t0);
   try {
     // One BatchKey means one pattern fingerprint and one bucket — but
     // the items' TRUE lengths may differ (that is the point of
@@ -228,6 +251,7 @@ void Server::dispatch_pattern(std::vector<Request>& batch) {
     // sessions use — so the result equals an exact-length dispatch bit
     // for bit.
     parallel_for(0, b, cfg_.batch_policy, [&](Index i) {
+      trace::Span item_span("serve.item", "serve");
       Request& r = batch[static_cast<std::size_t>(i)];
       AttentionOptions o = r.opts;
       o.policy = cfg_.item_policy;
@@ -251,6 +275,7 @@ void Server::dispatch_pattern(std::vector<Request>& batch) {
   for (auto& r : batch) {
     const double queue_us = micros_between(r.enqueue_time, t0);
     stats_.record_completion(queue_us + service_us, service_us);
+    trace::emit_async("serve.request", "serve", 'e', r.id);
     Response resp;
     resp.status = ResponseStatus::Ok;
     resp.id = r.id;
@@ -263,6 +288,7 @@ void Server::dispatch_pattern(std::vector<Request>& batch) {
 }
 
 void Server::dispatch(std::vector<Request>& batch) {
+  trace::Span dispatch_span("serve.dispatch", "serve");
   if (batch.front().kind == RequestKind::Decode) {
     dispatch_decode(batch);
     return;
@@ -273,11 +299,13 @@ void Server::dispatch(std::vector<Request>& batch) {
   }
   const auto b = static_cast<Index>(batch.size());
   const TimePoint t0 = Clock::now();
+  emit_queue_wait_spans(batch, t0);
   try {
     // Every request in the batch shares one BatchKey, hence one mask
     // structure and shape; items are independent sequences, so the
     // cross-item loop is the batch's "grid" dimension.
     parallel_for(0, b, cfg_.batch_policy, [&](Index i) {
+      trace::Span item_span("serve.item", "serve");
       Request& r = batch[static_cast<std::size_t>(i)];
       AttentionOptions o = r.opts;
       o.policy = cfg_.item_policy;
@@ -300,6 +328,7 @@ void Server::dispatch(std::vector<Request>& batch) {
   for (auto& r : batch) {
     const double queue_us = micros_between(r.enqueue_time, t0);
     stats_.record_completion(queue_us + service_us, service_us);
+    trace::emit_async("serve.request", "serve", 'e', r.id);
     Response resp;
     resp.status = ResponseStatus::Ok;
     resp.id = r.id;
@@ -313,7 +342,16 @@ void Server::dispatch(std::vector<Request>& batch) {
 
 void Server::worker_loop() {
   PoppedBatch pb;
-  while (batcher_.next_batch(pb)) {
+  while (true) {
+    bool got;
+    {
+      // Covers the batch-lead coalescing window AND idle waiting — a
+      // long serve.coalesce span on an unloaded server is the queue
+      // sitting empty, not a slow batcher.
+      trace::Span coalesce_span("serve.coalesce", "serve");
+      got = batcher_.next_batch(pb);
+    }
+    if (!got) break;
     for (auto& r : pb.expired) {
       stats_.record_rejected(ResponseStatus::RejectedDeadline);
       resolve(r, ResponseStatus::RejectedDeadline);

@@ -1,53 +1,143 @@
 #include "serve/server_stats.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace gpa::serve {
 
+namespace {
+
+// Cached references into the global registry so each record_* adds one
+// sharded-atomic bump on top of its locked update. The locked fields
+// stay the source of truth for StatsSnapshot (the one-lock consistency
+// contract in the header); these mirrors are what Op::Stats scrapes.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& completed;
+  obs::Counter& rejected_queue_full;
+  obs::Counter& rejected_deadline;
+  obs::Counter& rejected_shutdown;
+  obs::Counter& rejected_session;
+  obs::Counter& internal_errors;
+  obs::Counter& batches;
+  obs::Counter& batch_items;
+  obs::Gauge& queue_depth;
+  obs::Histogram& occupancy;
+  obs::Histogram& latency_ms;
+  obs::Histogram& service_ms;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m = [] {
+      obs::Registry& reg = obs::Registry::global();
+      const std::vector<double> ms_edges = {0.05, 0.1, 0.25, 0.5, 1,   2.5, 5,
+                                            10,   25,  50,   100, 250, 500, 1000};
+      return ServeMetrics{reg.counter("serve.requests.submitted"),
+                          reg.counter("serve.requests.completed"),
+                          reg.counter("serve.requests.rejected.queue_full"),
+                          reg.counter("serve.requests.rejected.deadline"),
+                          reg.counter("serve.requests.rejected.shutdown"),
+                          reg.counter("serve.requests.rejected.session"),
+                          reg.counter("serve.errors.internal"),
+                          reg.counter("serve.batches"),
+                          reg.counter("serve.batch.items"),
+                          reg.gauge("serve.queue.depth"),
+                          reg.histogram("serve.batch.occupancy",
+                                        {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+                          reg.histogram("serve.latency_ms", ms_edges),
+                          reg.histogram("serve.service_ms", ms_edges)};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 void ServerStats::record_submitted() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++submitted_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++submitted_;
+  }
+  ServeMetrics::get().submitted.inc();
 }
 
 void ServerStats::record_rejected(ResponseStatus cause) {
+  ServeMetrics& m = ServeMetrics::get();
   std::lock_guard<std::mutex> lk(mu_);
   switch (cause) {
-    case ResponseStatus::RejectedQueueFull: ++rejected_queue_full_; break;
-    case ResponseStatus::RejectedDeadline: ++rejected_deadline_; break;
-    case ResponseStatus::RejectedShutdown: ++rejected_shutdown_; break;
-    case ResponseStatus::RejectedSession: ++rejected_session_; break;
-    case ResponseStatus::InternalError: ++internal_errors_; break;
+    case ResponseStatus::RejectedQueueFull:
+      ++rejected_queue_full_;
+      m.rejected_queue_full.inc();
+      break;
+    case ResponseStatus::RejectedDeadline:
+      ++rejected_deadline_;
+      m.rejected_deadline.inc();
+      break;
+    case ResponseStatus::RejectedShutdown:
+      ++rejected_shutdown_;
+      m.rejected_shutdown.inc();
+      break;
+    case ResponseStatus::RejectedSession:
+      ++rejected_session_;
+      m.rejected_session.inc();
+      break;
+    case ResponseStatus::InternalError:
+      ++internal_errors_;
+      m.internal_errors.inc();
+      break;
     case ResponseStatus::Ok: break;  // not a rejection
   }
 }
 
 void ServerStats::record_internal_error() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++internal_errors_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++internal_errors_;
+  }
+  ServeMetrics::get().internal_errors.inc();
 }
 
 void ServerStats::record_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (depth > max_queue_depth_) max_queue_depth_ = depth;
+  }
+  ServeMetrics::get().queue_depth.set(static_cast<std::int64_t>(depth));
 }
 
 void ServerStats::record_batch(Index occupancy) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++batches_;
-  const auto slot = static_cast<std::size_t>(occupancy);
-  if (occupancy_.size() <= slot) occupancy_.resize(slot + 1, 0);
-  ++occupancy_[slot];
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++batches_;
+    const auto slot = static_cast<std::size_t>(occupancy);
+    if (occupancy_.size() <= slot) occupancy_.resize(slot + 1, 0);
+    ++occupancy_[slot];
+  }
+  ServeMetrics& m = ServeMetrics::get();
+  m.batches.inc();
+  m.batch_items.inc(static_cast<std::uint64_t>(occupancy));
+  m.occupancy.observe(static_cast<double>(occupancy));
 }
 
 void ServerStats::record_completion(double total_us, double service_us) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++completed_ok_;
-  latency_us_.push_back(total_us);
-  service_us_.push_back(service_us);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++completed_ok_;
+    latency_us_.push_back(total_us);
+    service_us_.push_back(service_us);
+  }
+  ServeMetrics& m = ServeMetrics::get();
+  m.completed.inc();
+  m.latency_ms.observe(total_us / 1000.0);
+  m.service_ms.observe(service_us / 1000.0);
 }
 
 StatsSnapshot ServerStats::snapshot() const {
   std::vector<double> latency, service;
   StatsSnapshot s;
   {
+    // One critical section reads every field, and every record_* writes
+    // its coupled fields inside the same mutex — a snapshot can never
+    // see `completed_ok` advanced without the matching latency samples
+    // (pinned by the TSan-covered hammer in test_obs).
     std::lock_guard<std::mutex> lk(mu_);
     s.submitted = submitted_;
     s.completed_ok = completed_ok_;

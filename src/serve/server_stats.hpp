@@ -5,6 +5,16 @@
 // feed the p50/p95/p99 tail summary via benchutil's percentile
 // machinery. The batch-occupancy histogram is the direct evidence for
 // whether the batching policy actually coalesces work.
+//
+// Consistency contract: every record_* mutates its coupled fields
+// under ONE mutex and snapshot() reads every field in one critical
+// section of the same mutex, so a snapshot can never observe torn
+// pairs — e.g. completed_ok advanced without the matching latency
+// sample, or batches without its occupancy slot. The registry-atomics
+// mirror (obs::Registry::global(), `serve.*` names) exists for the
+// live scrape path and is monotone-per-metric but NOT a cross-metric
+// cut; anything that checks the funnel invariants must read
+// snapshot(), not the registry.
 
 #include <mutex>
 #include <vector>

@@ -15,8 +15,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -186,6 +189,134 @@ TEST(ClusterE2E, TypedErrorsSurviveRealSockets) {
   EXPECT_THROW(
       cluster.client.decode_step(12345, row.data(), row.data(), row.data(), d, out.data()),
       kvcache::SessionNotFound);
+}
+
+/// Runs `gpa_cli <args>`, capturing stdout+stderr and the exit code.
+std::pair<int, std::string> run_cli(const std::string& args) {
+  const std::string cmd = "\"" + std::string(GPA_CLI_PATH) + "\" " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return {-1, ""};
+  std::string output;
+  char buf[512];
+  while (::fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+  const int status = ::pclose(pipe);
+  return {(status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1, output};
+}
+
+// The live scrape path, end to end against real forked processes: each
+// node's Op::Stats snapshot is that PROCESS's registry, so per-node
+// counters must reconcile exactly with the work this test routed to it,
+// and `gpa_cli stats` — a third process speaking the same RPC — must
+// report the same numbers. gpa_serve serves one connection at a time,
+// so the test runs in phases: the workload client disconnects (sessions
+// and the registry survive across connections) before the CLI scrapes,
+// and a final client connects just to shut the nodes down.
+TEST(ClusterE2E, StatsScrapeMatchesNodeActivityAndCli) {
+  const Index d = 16, prompt = 20;
+  std::vector<NodeProc> procs;
+  for (int p = 0; p < 2; ++p) procs.push_back(spawn_serve(/*pages=*/64, /*page_size=*/16, d));
+  ASSERT_EQ(procs.size(), 2u);
+
+  net::WireMask wm;
+  wm.kind = net::WireMaskKind::Local;
+  wm.a = 5;
+
+  auto connect_all = [&](net::ClusterClient& client) {
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      auto t = net::TcpTransport::connect("127.0.0.1", procs[p].port, net::Millis{10000},
+                                          net::Millis{30000});
+      ASSERT_NE(t, nullptr);
+      client.add_peer(static_cast<std::uint64_t>(p), std::move(t));
+    }
+  };
+
+  // Phase 1: known per-node workload — sessions land where the ring
+  // says, and we tally the decode steps we send to each owner — then
+  // scrape over the same connection and reconcile.
+  std::map<std::uint64_t, obs::MetricsSnapshot> scraped;
+  {
+    net::ClusterClient client;
+    connect_all(client);
+    Rng rng(5);
+    std::map<std::uint64_t, Size> steps_by_node, sessions_by_node;
+    for (const std::uint64_t sid : {101u, 202u, 303u}) {
+      const std::uint64_t owner = client.owner_of(sid);
+      client.create_session(sid, wm);
+      sessions_by_node[owner] += 1;
+      Matrix<float> q(prompt, d), k(prompt, d), v(prompt, d), o;
+      fill_uniform(q, rng);
+      fill_uniform(k, rng);
+      fill_uniform(v, rng);
+      client.prefill(sid, q, k, v, o);
+      std::vector<float> row(static_cast<std::size_t>(d), 0.5f), out_row(row.size());
+      const Size steps = 1 + sid % 4;
+      for (Size t = 0; t < steps; ++t) {
+        client.decode_step(sid, row.data(), row.data(), row.data(), d, out_row.data());
+      }
+      steps_by_node[owner] += steps;
+    }
+
+    Size scraped_sessions = 0, scraped_steps = 0;
+    for (const std::uint64_t node : {0u, 1u}) {
+      const obs::MetricsSnapshot snap = client.node_stats(node);
+      // Counters reconcile with the work we routed to this node.
+      EXPECT_EQ(snap.counter("kvcache.decode.steps"), steps_by_node[node]) << "node " << node;
+      EXPECT_EQ(snap.gauge("kvcache.sessions.live"),
+                static_cast<std::int64_t>(sessions_by_node[node]))
+          << "node " << node;
+      // The scrape-time gauges agree with the Ping view of the same node.
+      const auto info = client.ping(node);
+      EXPECT_EQ(snap.gauge("kvcache.pages.in_use"),
+                static_cast<std::int64_t>(info.pages_in_use));
+      EXPECT_EQ(snap.gauge("kvcache.pages.free"), static_cast<std::int64_t>(info.pages_free));
+      // The node's wire layer saw our traffic.
+      EXPECT_GT(snap.counter("net.frames.received"), 0u);
+      EXPECT_GT(snap.counter("net.bytes.received"), 0u);
+      EXPECT_EQ(snap.counter("net.checksum_failures"), 0u);
+      scraped_sessions += static_cast<Size>(snap.gauge("kvcache.sessions.live"));
+      scraped_steps += snap.counter("kvcache.decode.steps");
+
+      // Counters are monotone across scrapes, and the scrape itself is
+      // visible in the second snapshot's frame counters.
+      const obs::MetricsSnapshot again = client.node_stats(node);
+      for (const auto& c : snap.counters) {
+        EXPECT_GE(again.counter(c.name), c.value) << c.name;
+      }
+      EXPECT_GT(again.counter("net.frames.received"), snap.counter("net.frames.received"));
+      scraped[node] = again;
+    }
+    EXPECT_EQ(scraped_sessions, 3u);
+    EXPECT_EQ(scraped_steps, static_cast<Size>(1 + 101 % 4 + 1 + 202 % 4 + 1 + 303 % 4));
+    // client destructs here: the nodes see EOF and loop back to accept.
+  }
+
+  // Phase 2: gpa_cli stats — a separate process speaking Op::Stats over
+  // TCP. kvcache counters are quiescent across connections, so the
+  // CLI's text line must match the phase-1 scrape exactly.
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const auto [exit_code, output] =
+        run_cli("stats 127.0.0.1:" + std::to_string(procs[p].port));
+    ASSERT_EQ(exit_code, 0) << output;
+    const std::string want =
+        "kvcache.decode.steps " +
+        std::to_string(scraped[static_cast<std::uint64_t>(p)].counter("kvcache.decode.steps"));
+    EXPECT_NE(output.find(want), std::string::npos)
+        << "node " << p << " cli output:\n" << output;
+    EXPECT_NE(output.find("net.frames.received"), std::string::npos);
+  }
+
+  // Phase 3: reconnect just to shut the nodes down, then reap them.
+  {
+    net::ClusterClient client;
+    connect_all(client);
+    client.shutdown_all();
+  }
+  for (const NodeProc& np : procs) {
+    int status = 0;
+    ::waitpid(np.pid, &status, 0);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "node " << np.pid << " did not exit cleanly";
+  }
 }
 
 }  // namespace

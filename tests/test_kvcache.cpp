@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <string>
@@ -17,6 +18,7 @@
 #include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "kvcache/kvcache.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/build.hpp"
 #include "sparse/presets.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -641,6 +643,113 @@ TEST(DecodeBatch, InSessionOrderIsPreservedWithinOneBatch) {
       ASSERT_EQ(got(t, p), want(t, p)) << "token " << t << " col " << p;
     }
   }
+}
+
+// --- stats invariants under churn ------------------------------------
+
+// The stats contract the scrape path depends on: counters are monotone
+// across snapshots, the pool balance always closes, evictions count
+// only when pages were actually freed, and the registry mirror
+// (kvcache.* in obs::Registry::global()) moves in lockstep with the
+// manager's own stats() — an instrument site that forgets one side
+// shows up as a drifting delta here.
+TEST(SessionStats, ChurnKeepsCountersMonotoneAndMirroredInRegistry) {
+  const Index d = 8;
+  const Index num_pages = 8;
+  const obs::MetricsSnapshot reg0 = obs::Registry::global().snapshot();
+  SessionManager mgr(small_config(d, num_pages));
+  const SessionManager::Stats base = mgr.stats();
+
+  SessionManager::Stats prev = base;
+  std::vector<float> row(static_cast<std::size_t>(d), 0.25f);
+  std::vector<float> out(static_cast<std::size_t>(d));
+  Rng rng(99);
+  std::uint64_t next_id = 1;
+  std::vector<std::uint64_t> live;
+
+  for (int round = 0; round < 60; ++round) {
+    const int action = static_cast<int>(rng.next_u64() % 4);
+    try {
+      if (action == 0 || live.empty()) {
+        const std::uint64_t id = next_id++;
+        mgr.create(id, MaskSpec::make_local(LocalParams{2}));
+        live.push_back(id);  // a failed prefill still leaves the session
+        prefill_n(mgr, id, 2 + static_cast<Index>(rng.next_u64() % 8), d);
+      } else if (action == 1) {
+        mgr.decode_step(live.back(), row.data(), row.data(), row.data(), out.data());
+      } else if (action == 2) {
+        const std::uint64_t id = next_id++;
+        mgr.fork(live.back(), id);
+        live.push_back(id);
+      } else {
+        mgr.release(live.front());
+        live.erase(live.begin());
+      }
+    } catch (const CacheFull&) {
+      // Overload is part of the churn; the books must still balance.
+    } catch (const SessionNotFound&) {
+      // The victim was evicted under our feet — drop it from `live`.
+    }
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](std::uint64_t id) { return !mgr.contains(id); }),
+               live.end());
+
+    const SessionManager::Stats s = mgr.stats();
+    // Monotone counters (gauges — sessions, pages, entries — are not).
+    ASSERT_GE(s.evictions, prev.evictions);
+    ASSERT_GE(s.decode_steps, prev.decode_steps);
+    ASSERT_GE(s.decode_edges, prev.decode_edges);
+    ASSERT_GE(s.prefix_lookups, prev.prefix_lookups);
+    ASSERT_GE(s.prefix_hits, prev.prefix_hits);
+    ASSERT_GE(s.prefix_published, prev.prefix_published);
+    ASSERT_GE(s.prefix_reclaimed, prev.prefix_reclaimed);
+    prev = s;
+
+    // The pool balance closes on every snapshot.
+    ASSERT_EQ(s.pages_in_use + s.pages_free, num_pages);
+    ASSERT_EQ(s.sessions, live.size());
+    ASSERT_LE(s.prefix_hits, s.prefix_lookups);
+    // Index entries: every publish adds one, every reclaim drops one.
+    ASSERT_EQ(static_cast<Size>(s.prefix_entries), s.prefix_published - s.prefix_reclaimed);
+  }
+
+  // Registry mirror moved in lockstep with the manager's own books.
+  const obs::MetricsSnapshot reg1 = obs::Registry::global().snapshot();
+  const SessionManager::Stats s = mgr.stats();
+  auto delta = [&](const char* name) { return reg1.counter(name) - reg0.counter(name); };
+  EXPECT_EQ(delta("kvcache.evictions"), s.evictions - base.evictions);
+  EXPECT_EQ(delta("kvcache.decode.steps"), s.decode_steps - base.decode_steps);
+  EXPECT_EQ(delta("kvcache.decode.edges"), s.decode_edges - base.decode_edges);
+  EXPECT_EQ(delta("kvcache.prefix.lookups"), s.prefix_lookups - base.prefix_lookups);
+  EXPECT_EQ(delta("kvcache.prefix.hits"), s.prefix_hits - base.prefix_hits);
+  EXPECT_EQ(delta("kvcache.prefix.hits") + delta("kvcache.prefix.misses"),
+            delta("kvcache.prefix.lookups"));
+}
+
+// Unproductive evictions (victim's pages all shared) must stay out of
+// BOTH books — the local counter and the registry mirror.
+TEST(SessionStats, UnproductiveEvictionCountsNowhere) {
+  const Index d = 8;
+  auto mc = small_config(d, 4);
+  mc.prefix_dedup = false;
+  const obs::MetricsSnapshot reg0 = obs::Registry::global().snapshot();
+  SessionManager mgr(mc);
+  mgr.create(1, MaskSpec::make_local(LocalParams{2}));
+  prefill_n(mgr, 1, 4, d);
+  mgr.fork(1, 2);
+  mgr.set_pinned(2, true);
+
+  mgr.create(3, MaskSpec::make_local(LocalParams{2}));
+  EXPECT_THROW(prefill_n(mgr, 3, 6, d), CacheFull);  // evicts 1, frees nothing
+  EXPECT_EQ(mgr.stats().evictions, 0u);
+  const obs::MetricsSnapshot reg1 = obs::Registry::global().snapshot();
+  EXPECT_EQ(reg1.counter("kvcache.evictions"), reg0.counter("kvcache.evictions"));
+
+  mgr.set_pinned(2, false);
+  prefill_n(mgr, 3, 6, d);  // now the fork's eviction frees pages
+  EXPECT_EQ(mgr.stats().evictions, 1u);
+  const obs::MetricsSnapshot reg2 = obs::Registry::global().snapshot();
+  EXPECT_EQ(reg2.counter("kvcache.evictions"), reg0.counter("kvcache.evictions") + 1);
 }
 
 }  // namespace

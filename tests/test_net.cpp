@@ -502,4 +502,104 @@ TEST(Cluster, RoutedDecodeBitIdenticalToLocalSessionManager) {
   EXPECT_EQ(i0.sessions + i1.sessions, 0u);  // all released
 }
 
+// ---------------------------------------------------------------------
+// Metrics snapshot wire codec + the Op::Stats scrape path
+
+TEST(MetricsCodec, SnapshotRoundTripsExactly) {
+  obs::MetricsSnapshot s;
+  s.counters = {{"a.count", 7}, {"z.count", 0xffffffffffffull}};
+  s.gauges = {{"g.depth", -12}, {"g.live", 3}};
+  obs::HistogramSample h;
+  h.name = "h.lat";
+  h.edges = {0.5, 2.0, 100.25};
+  h.counts = {1, 0, 5, 2};  // edges + overflow
+  h.sum = 312.75;
+  h.count = 8;
+  s.histograms = {h};
+
+  net::Writer w;
+  net::put_metrics_snapshot(w, s);
+  net::Reader r(w.buf);
+  obs::MetricsSnapshot got;
+  ASSERT_TRUE(net::get_metrics_snapshot(r, got));
+  EXPECT_TRUE(r.done());
+
+  ASSERT_EQ(got.counters.size(), 2u);
+  EXPECT_EQ(got.counter("a.count"), 7u);
+  EXPECT_EQ(got.counter("z.count"), 0xffffffffffffull);
+  EXPECT_EQ(got.gauge("g.depth"), -12);
+  const obs::HistogramSample* gh = got.histogram("h.lat");
+  ASSERT_NE(gh, nullptr);
+  EXPECT_EQ(gh->edges, h.edges);  // f64 codec is bit-exact
+  EXPECT_EQ(gh->counts, h.counts);
+  EXPECT_EQ(gh->sum, h.sum);
+  EXPECT_EQ(gh->count, 8u);
+}
+
+TEST(MetricsCodec, HostileInputsAreRejectedNotTrusted) {
+  // Truncated mid-stream: flip success off, never read past the end.
+  {
+    obs::MetricsSnapshot s;
+    s.counters = {{"a", 1}, {"b", 2}};
+    net::Writer w;
+    net::put_metrics_snapshot(w, s);
+    for (std::size_t cut = 1; cut < w.buf.size(); cut += 3) {
+      std::vector<std::uint8_t> trunc(w.buf.begin(), w.buf.begin() + cut);
+      net::Reader r(trunc);
+      obs::MetricsSnapshot got;
+      EXPECT_FALSE(net::get_metrics_snapshot(r, got)) << "cut=" << cut;
+    }
+  }
+  // A hostile metric count must be bounds-rejected before allocation.
+  {
+    net::Writer w;
+    w.u32(0x40000000u);  // 2^30 "counters"
+    net::Reader r(w.buf);
+    obs::MetricsSnapshot got;
+    EXPECT_FALSE(net::get_metrics_snapshot(r, got));
+  }
+}
+
+TEST(Stats, LoopbackScrapeServesTheNodeRegistry) {
+  net::NodeConfig cfg;
+  cfg.sessions.pool.num_pages = 16;
+  cfg.sessions.pool.page_size = 4;
+  cfg.sessions.pool.head_dim = 8;
+  LoopbackCluster cluster(1, cfg);
+  auto& cc = cluster.client;
+
+  net::WireMask wm;
+  wm.kind = net::WireMaskKind::Local;
+  wm.a = 3;
+  cc.create_session(1, wm);
+  Rng rng(3);
+  Matrix<float> q(8, 8), k(8, 8), v(8, 8), o;
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  cc.prefill(1, q, k, v, o);
+  std::vector<float> row(8, 0.5f), out_row(8);
+  cc.decode_step(1, row.data(), row.data(), row.data(), 8, out_row.data());
+
+  // Loopback shares this process's registry, so compare the scraped
+  // gauges against the node's own SessionManager (refreshed at scrape
+  // time) and check counter deltas between two scrapes, not absolutes.
+  const obs::MetricsSnapshot snap = cc.node_stats(0);
+  const auto local = cluster.services[0]->sessions().stats();
+  EXPECT_EQ(snap.gauge("kvcache.sessions.live"), static_cast<std::int64_t>(local.sessions));
+  EXPECT_EQ(snap.gauge("kvcache.pages.in_use"), static_cast<std::int64_t>(local.pages_in_use));
+  EXPECT_EQ(snap.gauge("kvcache.pages.free"), static_cast<std::int64_t>(local.pages_free));
+  EXPECT_EQ(snap.gauge("kvcache.prefix.entries"),
+            static_cast<std::int64_t>(local.prefix_entries));
+  EXPECT_GT(snap.counter("net.frames.received"), 0u);
+  EXPECT_GT(snap.counter("net.rpc.calls"), 0u);
+
+  // A second scrape is itself traffic: every counter is monotone and
+  // the rpc/frame counters strictly advance.
+  const obs::MetricsSnapshot again = cc.node_stats(0);
+  for (const auto& c : snap.counters) EXPECT_GE(again.counter(c.name), c.value) << c.name;
+  EXPECT_GT(again.counter("net.rpc.calls"), snap.counter("net.rpc.calls"));
+  EXPECT_GT(again.counter("net.frames.sent"), snap.counter("net.frames.sent"));
+}
+
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "kvcache/kvcache.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace gpa::kvcache {
@@ -397,6 +398,91 @@ TEST(PrefixDedupConcurrency, ConcurrentIdenticalPrefillsRaceReclaimCleanly) {
   // entries, every one reclaimable.
   const auto st = mgr.stats();
   EXPECT_EQ(st.pages_in_use, st.prefix_entries);
+}
+
+// --- stats invariants under churn ------------------------------------
+
+// Randomized publish/acquire/release/reclaim churn on the raw index.
+// After every operation the books must close: hits never exceed
+// lookups, live entries equal published minus reclaimed, all counters
+// are monotone, and the registry mirror (kvcache.prefix.*) tracks the
+// index's own stats exactly — including the derived misses counter,
+// which only the registry carries (hits + misses == lookups).
+TEST(PrefixIndexStats, ChurnKeepsBooksClosedAndRegistryInLockstep) {
+  const obs::MetricsSnapshot reg0 = obs::Registry::global().snapshot();
+  BlockPool pool({/*page_size=*/4, /*head_dim=*/8, /*num_pages=*/16});
+  PrefixIndex idx;
+  const PrefixIndex::Stats base = idx.stats();
+
+  Rng rng(7);
+  std::uint64_t next_chain = 1;
+  std::vector<std::uint64_t> chains;       // ever-published chains (may be gone)
+  std::vector<Index> caller_held;          // pages we hold a caller ref on
+  PrefixIndex::Stats prev = base;
+
+  for (int round = 0; round < 300; ++round) {
+    switch (rng.next_u64() % 4) {
+      case 0: {  // publish a fresh page under a fresh chain
+        const Index p = pool.allocate();
+        if (p == BlockPool::kNoPage) break;
+        const std::uint64_t chain = next_chain++;
+        ASSERT_TRUE(idx.publish(chain, p, pool));
+        chains.push_back(chain);
+        caller_held.push_back(p);  // we still hold the allocator's ref
+        break;
+      }
+      case 1: {  // probe a known chain (hit unless reclaimed) or a cold one
+        const bool cold = chains.empty() || rng.next_u64() % 3 == 0;
+        const std::uint64_t chain =
+            cold ? 0xdead0000u + rng.next_u64() % 64
+                 : chains[rng.next_u64() % chains.size()];
+        const Index p = idx.acquire(chain, pool);
+        if (p != BlockPool::kNoPage) caller_held.push_back(p);
+        break;
+      }
+      case 2: {  // drop one caller ref, telling the index about it
+        if (caller_held.empty()) break;
+        const Index p = caller_held.back();
+        caller_held.pop_back();
+        pool.release(p);
+        idx.note_released({p});
+        break;
+      }
+      default: {  // reclaim under pressure
+        if (rng.next_u64() % 2 == 0) {
+          idx.reclaim_one_orphan(pool);
+        } else {
+          idx.reclaim_all_orphans(pool);
+        }
+        break;
+      }
+    }
+
+    const PrefixIndex::Stats s = idx.stats();
+    ASSERT_LE(s.hits, s.lookups);
+    ASSERT_EQ(static_cast<Size>(s.entries), s.published - s.reclaimed);
+    ASSERT_GE(s.lookups, prev.lookups);
+    ASSERT_GE(s.hits, prev.hits);
+    ASSERT_GE(s.published, prev.published);
+    ASSERT_GE(s.reclaimed, prev.reclaimed);
+    prev = s;
+  }
+
+  const obs::MetricsSnapshot reg1 = obs::Registry::global().snapshot();
+  const PrefixIndex::Stats s = idx.stats();
+  auto delta = [&](const char* name) { return reg1.counter(name) - reg0.counter(name); };
+  EXPECT_EQ(delta("kvcache.prefix.lookups"), s.lookups - base.lookups);
+  EXPECT_EQ(delta("kvcache.prefix.hits"), s.hits - base.hits);
+  EXPECT_EQ(delta("kvcache.prefix.published"), s.published - base.published);
+  EXPECT_EQ(delta("kvcache.prefix.reclaimed"), s.reclaimed - base.reclaimed);
+  EXPECT_EQ(delta("kvcache.prefix.hits") + delta("kvcache.prefix.misses"),
+            delta("kvcache.prefix.lookups"));
+
+  // Wind down: drop our refs, then reclaim everything the index holds.
+  for (const Index p : caller_held) pool.release(p);
+  idx.reclaim_all_orphans(pool);
+  EXPECT_EQ(idx.stats().entries, 0);
+  EXPECT_EQ(pool.pages_in_use(), 0);
 }
 
 }  // namespace

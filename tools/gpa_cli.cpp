@@ -17,6 +17,8 @@
 //   gpa decode-bench --pattern local --length 1024 --dim 64 --steps 32
 //   gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2
 //                    (chained local ∘ global longformer session)
+//   gpa stats <host:port>  [--json]   (scrape a live node's metrics registry)
+//   gpa serve-bench ... --trace out.json   (span tracing on; Chrome trace dump)
 //
 // Exit code 0 on success (and verification OK for `run`), 1 otherwise.
 
@@ -44,6 +46,8 @@
 #include "memmodel/memory_model.hpp"
 #include "net/cluster.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "seqpar/partition.hpp"
 #include "seqpar/sim_cluster.hpp"
@@ -406,9 +410,31 @@ int cmd_serve_bench(const Args& args) {
     cfg.policy.seq_buckets = parse_index_list("--buckets", buckets_arg);
   }
 
+  // --trace <file>: span tracing for the whole run, dumped as Chrome
+  // trace_event JSON at the end. The ring is sized to the run so the
+  // dump is complete (dropped events are reported if it still wraps).
+  const std::string trace_file = args.get("trace", "");
+  if (!trace_file.empty()) {
+    obs::trace::reset();
+    obs::trace::set_enabled(true);
+  }
+  const auto finish_trace = [&trace_file](int rc) {
+    if (trace_file.empty()) return rc;
+    obs::trace::set_enabled(false);
+    const std::uint64_t emitted = obs::trace::emitted();
+    const std::uint64_t dropped = obs::trace::dropped();
+    if (!obs::trace::write_chrome_json(trace_file)) {
+      std::cerr << "serve-bench: failed to write trace to " << trace_file << "\n";
+      return 1;
+    }
+    std::cout << "trace:       " << trace_file << " (" << emitted << " events, " << dropped
+              << " dropped)" << (dropped > 0 ? " — raise the ring capacity" : "") << "\n";
+    return rc;
+  };
+
   if (args.flag("decode")) {
-    return cmd_serve_bench_decode(args, cfg,
-                                  static_cast<Size>(args.get_index("requests", 512)));
+    return finish_trace(cmd_serve_bench_decode(
+        args, cfg, static_cast<Size>(args.get_index("requests", 512))));
   }
 
   serve::LoadGenConfig lg;
@@ -465,7 +491,7 @@ int cmd_serve_bench(const Args& args) {
     if (s.occupancy[b] > 0) std::cout << " " << b << "x" << s.occupancy[b];
   }
   std::cout << "\n";
-  return 0;
+  return finish_trace(0);
 }
 
 /// Quick KV-cache probe: prefill L tokens of the chosen pattern, time
@@ -720,6 +746,23 @@ int cmd_cluster_bench(const Args& args) {
       std::cout << " n" << p << "=" << owned[static_cast<std::size_t>(p)];
     }
     std::cout << "\n";
+
+    // End-of-run per-node stats, scraped over the wire (Op::Stats): each
+    // node process's registry IS that node's stats, so this shows what
+    // each node actually did — not what the router thinks it did.
+    for (Index p = 0; p < N; ++p) {
+      const auto snap = cc.node_stats(static_cast<std::uint64_t>(p));
+      std::cout << "  node " << p << " stats: prefix "
+                << snap.counter("kvcache.prefix.hits") << "/"
+                << snap.counter("kvcache.prefix.lookups") << " hits, "
+                << snap.counter("kvcache.evictions") << " evictions, "
+                << snap.gauge("kvcache.sessions.live") << " sessions, "
+                << snap.gauge("kvcache.pages.in_use") << " pages in use, wire in "
+                << snap.counter("net.frames.received") << " frames/"
+                << snap.counter("net.bytes.received") << " B, out "
+                << snap.counter("net.frames.sent") << " frames/"
+                << snap.counter("net.bytes.sent") << " B\n";
+    }
   } catch (...) {
     cc.shutdown_all();
     for (const auto& np : procs) ::waitpid(np.pid, nullptr, 0);
@@ -737,6 +780,35 @@ int cmd_cluster_bench(const Args& args) {
 
 #endif  // !_WIN32
 
+/// `gpa stats <host:port>` — scrape a live node's registry snapshot over
+/// Op::Stats and print the text exposition (or JSON with --json).
+int cmd_stats(const Args& args) {
+  std::string host = args.get("host", "127.0.0.1");
+  long long port = args.get_index("port", 0);
+  for (const auto& [key, val] : args.kv) {
+    (void)val;
+    const std::size_t colon = key.find(':');
+    if (key.rfind("--", 0) != 0 && colon != std::string::npos) {
+      host = key.substr(0, colon);
+      port = std::stoll(key.substr(colon + 1));
+      break;
+    }
+  }
+  GPA_CHECK(port > 0 && port <= 65535, "stats requires <host:port> (or --host/--port)");
+  auto t = net::TcpTransport::connect(host, static_cast<std::uint16_t>(port),
+                                      net::Millis{5000}, net::Millis{10000});
+  GPA_CHECK(t != nullptr, "stats: connect to " + host + ":" + std::to_string(port) + " failed");
+  net::RpcClient rpc(*t);
+  net::Writer w;
+  w.u8(1);
+  const auto body = rpc.call(net::Op::Stats, std::move(w.buf));
+  net::Reader r(body);
+  obs::MetricsSnapshot snap;
+  GPA_CHECK(net::get_metrics_snapshot(r, snap) && r.done(), "stats: bad response body");
+  std::cout << (args.flag("json") ? snap.to_json() + "\n" : snap.to_text());
+  return 0;
+}
+
 int cmd_version() {
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
             << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
@@ -744,7 +816,7 @@ int cmd_version() {
 }
 
 void usage() {
-  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|decode-bench|cluster-bench|version> [--key value ...]\n"
+  std::cout << "usage: gpa <mask|info|run|memmodel|serve-bench|decode-bench|cluster-bench|stats|version> [--key value ...]\n"
             << "  gpa mask --pattern local --length 1024 --window 8 --out mask.bin\n"
             << "  gpa info --in mask.bin\n"
             << "  gpa run --pattern bigbird --length 2048 --dim 64 [--causal] [--fp16]\n"
@@ -757,7 +829,10 @@ void usage() {
             << "  gpa decode-bench --mask composed --length 1024 --reach 8 --globals 2\n"
             << "  gpa cluster-bench --nodes 2 --length 512 --dim 64 [--causal]\n"
             << "      (spawns N gpa_serve processes; ring prefill must be bit-identical\n"
-            << "       to the in-process sim_cluster oracle, then a routed decode burst)\n";
+            << "       to the in-process sim_cluster oracle, then a routed decode burst;\n"
+            << "       ends with a per-node stats line scraped over Op::Stats)\n"
+            << "  gpa stats 127.0.0.1:9000 [--json]   (scrape a live gpa_serve node)\n"
+            << "  gpa serve-bench ... --trace trace.json   (Chrome trace of the run)\n";
 }
 
 }  // namespace
@@ -770,6 +845,7 @@ int main(int argc, char** argv) {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "memmodel") return cmd_memmodel(args);
     if (args.command == "serve-bench") return cmd_serve_bench(args);
+    if (args.command == "stats") return cmd_stats(args);
     if (args.command == "decode-bench") return cmd_decode_bench(args);
 #ifndef _WIN32
     if (args.command == "cluster-bench") return cmd_cluster_bench(args);

@@ -2,6 +2,7 @@
 //
 //   gpa_serve --port 0 --pages 256 --page-size 16 --dim 64
 //             [--accept-timeout-ms 30000] [--io-timeout-ms 30000]
+//             [--trace-out <file>]
 //
 // Binds 127.0.0.1:<port> (0 = ephemeral), prints exactly one line
 //
@@ -13,6 +14,12 @@
 // SessionManager) persists across connections; a front-end can
 // reconnect without losing sessions.
 //
+// --trace-out enables span tracing for the process lifetime and dumps
+// the ring as Chrome trace_event JSON on every orderly exit path
+// (Shutdown op or idle accept-timeout) — load the file at
+// chrome://tracing. A crash loses the ring by design: it lives in
+// memory to stay off the serving hot path.
+//
 // Exit codes: 0 orderly shutdown (op or accept-timeout idle exit),
 // 1 setup failure.
 
@@ -21,6 +28,7 @@
 
 #include "net/node.hpp"
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -29,6 +37,20 @@ long long arg_ll(int argc, char** argv, const std::string& name, long long fallb
     if (name == argv[i]) return std::stoll(argv[i + 1]);
   }
   return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return {};
+}
+
+int finish(const std::string& trace_out) {
+  if (!trace_out.empty() && !gpa::obs::trace::write_chrome_json(trace_out)) {
+    std::cerr << "gpa_serve: failed to write trace to " << trace_out << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -43,6 +65,8 @@ int main(int argc, char** argv) {
     cfg.sessions.pool.head_dim = static_cast<Index>(arg_ll(argc, argv, "--dim", 64));
     const net::Millis accept_timeout{arg_ll(argc, argv, "--accept-timeout-ms", 30000)};
     const net::Millis io_timeout{arg_ll(argc, argv, "--io-timeout-ms", 30000)};
+    const std::string trace_out = arg_str(argc, argv, "--trace-out");
+    if (!trace_out.empty()) obs::trace::set_enabled(true);
 
     net::TcpListener listener(port);
     net::NodeService node(cfg);
@@ -54,9 +78,9 @@ int main(int argc, char** argv) {
         // Idle exit: nobody connected within the window. Keeps an
         // orphaned node from outliving a crashed front-end forever.
         std::cerr << "gpa_serve: accept timeout, exiting\n";
-        return 0;
+        return finish(trace_out);
       }
-      if (node.serve(*conn)) return 0;  // Shutdown op
+      if (node.serve(*conn)) return finish(trace_out);  // Shutdown op
       // EOF / transport error: drop the connection, keep the sessions.
     }
   } catch (const std::exception& e) {
