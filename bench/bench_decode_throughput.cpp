@@ -15,14 +15,21 @@
 // parallelism — the acceptance gate wants cached ≥10× cheaper at
 // L ≥ 512 on at least one pattern.
 //
+// Every (pattern, L) cell runs twice — fp32 pages and fp16 (half-width)
+// pages — against the same uncached recompute arm: the fp16 cells
+// measure the widen-on-load decode fold, and the capacity section of
+// the JSON records what the halved bytes-per-token buys in cached
+// sessions per device (H100 / RTX 4090, from the memory model).
+//
 //   bench_decode_throughput [--smoke] [--csv f] [--json f]
 //
-// --json writes the gpa-bench-decode/v2 records (BENCH_decode.json),
+// --json writes the gpa-bench-decode/v3 records (BENCH_decode.json),
 // with the process's end-of-run metrics snapshot embedded — the
 // kvcache.decode.* counters cross-check how many steps/edges the run
 // actually folded against the per-cell row_nnz claims.
 
 #include <functional>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -105,6 +112,28 @@ std::vector<PatternCase> make_patterns(Index L) {
   return cases;
 }
 
+/// Sessions-per-device at fp32 vs fp16 page storage, from the memory
+/// model: the capacity half of the half-width-pages claim (the latency
+/// half is the f16 records). One "session" is `ctx` cached tokens.
+std::string capacity_json(Index d, Index page_size, Index ctx) {
+  std::ostringstream os;
+  os << "{\"head_dim\": " << d << ", \"page_size\": " << page_size
+     << ", \"context_len\": " << ctx << ", \"budget_fraction\": 1, \"devices\": [";
+  const Index pages_per_session = (ctx + page_size - 1) / page_size;
+  bool first = true;
+  for (const DeviceSpec& dev : {DeviceSpec::h100_80gb(), DeviceSpec::rtx4090_24gb()}) {
+    const auto f32 = kvcache::pool_config_for_device(dev, d, page_size, 1.0, DType::F32);
+    const auto f16 = kvcache::pool_config_for_device(dev, d, page_size, 1.0, DType::F16);
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"device\": \"" << dev.name << "\", \"f32_sessions\": "
+       << f32.num_pages / pages_per_session
+       << ", \"f16_sessions\": " << f16.num_pages / pages_per_session << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,7 +148,7 @@ int main(int argc, char** argv) {
   opts.policy = ExecPolicy::serial();
 
   benchutil::Table table(
-      {"pattern", "L", "row_nnz", "cached us/tok", "recompute us/tok", "speedup"});
+      {"pattern", "L", "dtype", "row_nnz", "cached us/tok", "recompute us/tok", "speedup"});
   std::vector<benchutil::DecodeBenchRecord> records;
 
   for (const Index L : lengths) {
@@ -137,32 +166,6 @@ int main(int argc, char** argv) {
         return s;
       };
 
-      // --- cached arm: prefill L, then time decode steps -------------
-      kvcache::SessionManager::Config mc;
-      mc.pool.page_size = 16;
-      mc.pool.head_dim = d;
-      mc.pool.num_pages = (L + 256) / 16 + 4;
-      mc.opts = opts;
-      kvcache::SessionManager mgr(mc);
-      mgr.create(1, pc.spec);
-      Matrix<float> prompt_out(L, d);
-      {
-        const auto qp = slice(q, L), kp = slice(k, L), vp = slice(v, L);
-        mgr.prefill(1, qp, kp, vp, prompt_out);
-      }
-      Index pos = L;
-      Index row_nnz = 0;
-      std::vector<float> out_row(static_cast<std::size_t>(d));
-      const auto cached = benchutil::run_benchmark(
-          [&] {
-            // Each iteration appends one real token (the cache grows,
-            // as it would in production); 64 spare rows bound the growth.
-            const Index t = std::min<Index>(pos, L + 63);
-            row_nnz = mgr.decode_step(1, q.row(t), k.row(t), v.row(t), out_row.data());
-            ++pos;
-          },
-          args.run);
-
       // --- uncached arm: full causal recompute at length L+1 ---------
       const auto qf = slice(q, L + 1), kf = slice(k, L + 1), vf = slice(v, L + 1);
       Matrix<float> full_out(L + 1, d);
@@ -171,29 +174,60 @@ int main(int argc, char** argv) {
       const auto recompute = benchutil::run_benchmark(
           [&] { pc.full_kernel(qf, kf, vf, full_out, copts); }, args.run);
 
-      const double cached_us = cached.mean * 1e6;
-      const double recompute_us = recompute.mean * 1e6;
-      const double speedup = cached_us > 0.0 ? recompute_us / cached_us : 0.0;
+      // --- cached arm, per page dtype: prefill L, time decode steps --
+      for (const DType dtype : {DType::F32, DType::F16}) {
+        kvcache::SessionManager::Config mc;
+        mc.pool.page_size = 16;
+        mc.pool.head_dim = d;
+        mc.pool.num_pages = (L + 256) / 16 + 4;
+        mc.pool.dtype = dtype;
+        mc.opts = opts;
+        kvcache::SessionManager mgr(mc);
+        mgr.create(1, pc.spec);
+        Matrix<float> prompt_out(L, d);
+        {
+          const auto qp = slice(q, L), kp = slice(k, L), vp = slice(v, L);
+          mgr.prefill(1, qp, kp, vp, prompt_out);
+        }
+        Index pos = L;
+        Index row_nnz = 0;
+        std::vector<float> out_row(static_cast<std::size_t>(d));
+        const auto cached = benchutil::run_benchmark(
+            [&] {
+              // Each iteration appends one real token (the cache grows,
+              // as it would in production); 64 spare rows bound the growth.
+              const Index t = std::min<Index>(pos, L + 63);
+              row_nnz = mgr.decode_step(1, q.row(t), k.row(t), v.row(t), out_row.data());
+              ++pos;
+            },
+            args.run);
 
-      table.add_row({pc.name, std::to_string(L), std::to_string(row_nnz),
-                     std::to_string(cached_us), std::to_string(recompute_us),
-                     std::to_string(speedup)});
+        const double cached_us = cached.mean * 1e6;
+        const double recompute_us = recompute.mean * 1e6;
+        const double speedup = cached_us > 0.0 ? recompute_us / cached_us : 0.0;
+        const std::string dtype_name = dtype == DType::F16 ? "f16" : "f32";
 
-      benchutil::DecodeBenchRecord rec;
-      rec.pattern = pc.name;
-      rec.seq_len = L;
-      rec.head_dim = d;
-      rec.row_nnz = row_nnz;
-      // Causal edge count of the recompute arm (what it must visit).
-      Size causal = 0;
-      for (Index i = 0; i <= L; ++i) {
-        pc.spec.for_each_causal(i, [&](Index, float) { ++causal; });
+        table.add_row({pc.name, std::to_string(L), dtype_name, std::to_string(row_nnz),
+                       std::to_string(cached_us), std::to_string(recompute_us),
+                       std::to_string(speedup)});
+
+        benchutil::DecodeBenchRecord rec;
+        rec.pattern = pc.name;
+        rec.seq_len = L;
+        rec.head_dim = d;
+        rec.row_nnz = row_nnz;
+        // Causal edge count of the recompute arm (what it must visit).
+        Size causal = 0;
+        for (Index i = 0; i <= L; ++i) {
+          pc.spec.for_each_causal(i, [&](Index, float) { ++causal; });
+        }
+        rec.causal_nnz = causal;
+        rec.page_dtype = dtype_name;
+        rec.cached_us_per_token = cached_us;
+        rec.recompute_us_per_token = recompute_us;
+        rec.speedup = speedup;
+        records.push_back(std::move(rec));
       }
-      rec.causal_nnz = causal;
-      rec.cached_us_per_token = cached_us;
-      rec.recompute_us_per_token = recompute_us;
-      rec.speedup = speedup;
-      records.push_back(std::move(rec));
     }
   }
 
@@ -210,7 +244,8 @@ int main(int argc, char** argv) {
     benchutil::write_decode_bench_json(args.json_path, records, host,
                                        std::string(parallel_backend()),
                                        std::string(simd::simd_backend()),
-                                       obs::Registry::global().snapshot().to_json());
+                                       obs::Registry::global().snapshot().to_json(),
+                                       capacity_json(d, 16, 2048));
     std::cout << "wrote " << args.json_path << "\n";
   }
   return 0;

@@ -1,26 +1,38 @@
 // SIMD backend before/after evidence: single-thread throughput of every
-// vectorized kernel under each dispatch arm (scalar vs avx2), with a
-// machine-readable BENCH_kernels.json so future PRs can track the perf
-// trajectory (median seconds, estimated GB/s and Gflop/s per cell).
+// vectorized kernel under each dispatch tier (scalar, avx2, avx2-fma,
+// avx512), with a machine-readable BENCH_kernels.json so future PRs can
+// track the perf trajectory (median seconds, estimated GB/s and Gflop/s
+// per cell).
 //
 //   ./bench_simd_kernels [--smoke] [--json BENCH_kernels.json] [--csv f]
 //
+// The sweep REQUESTS all four arms unconditionally and records both the
+// requested and the RESOLVED level per cell: on a host lacking an ISA
+// the request clamps down and the cell shows the clamped level instead
+// of going missing, so a trajectory diff can tell "slower" from "didn't
+// run" without knowing the recording machine.
+//
 // --smoke shrinks shapes and the protocol to a CTest-sized run (it is
-// registered as the tier2 `bench_kernels_smoke` test, so both dispatch
-// arms stay exercised under the sanitizer matrix).
+// registered as the tier2 `bench_kernels_smoke` test, so every dispatch
+// arm stays exercised under the sanitizer matrix).
 //
 // Throughput estimates are deliberately simple and stated here once:
 // per-edge kernels count 4·d flops (2·d dot + 2·d accumulate) and 8·d
-// bytes (one K row + one V row read) per edge; GEMM counts 2·m·n·k
-// flops and the ideal A+B+C traffic; softmax counts 4 flops and 16
-// bytes per element (max/exp/sum/scale passes).
+// bytes (one K row + one V row read) per edge — 4·d bytes on the fp16
+// fold cell, which is the half-width point of reading pages; GEMM
+// counts 2·m·n·k flops and the ideal A+B+C traffic; softmax counts 4
+// flops and 16 bytes per element (max/exp/sum/scale passes).
 
+#include <algorithm>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "baselines/flash_attention.hpp"
 #include "benchutil/json.hpp"
+#include "common/half.hpp"
+#include "core/kernel_common.hpp"
 #include "benchutil/runner.hpp"
 #include "benchutil/table.hpp"
 #include "common/rng.hpp"
@@ -51,12 +63,16 @@ Inputs make_inputs(Index L, Index d, std::uint64_t seed) {
   return in;
 }
 
+/// The REQUESTED axis: every tier, whether or not this build/CPU can
+/// run it — unavailable requests clamp and record the resolved level.
 std::vector<SimdLevel> levels_under_test() {
-  const std::vector<SimdLevel> levels = simd::available_levels();
-  if (levels.size() == 1) {
-    std::cout << "note: only the scalar arm is available on this build/CPU\n";
+  const std::vector<SimdLevel> requested = {SimdLevel::Scalar, SimdLevel::Avx2,
+                                            SimdLevel::Avx2Fma, SimdLevel::Avx512};
+  if (simd::available_levels().size() == 1) {
+    std::cout << "note: only the scalar arm is available on this build/CPU; "
+                 "vector-tier cells will record their clamped level\n";
   }
-  return levels;
+  return requested;
 }
 
 }  // namespace
@@ -78,28 +94,30 @@ int main(int argc, char** argv) {
             << (args.smoke ? " (smoke scale)" : "") << "; parallel backend "
             << parallel_backend() << ", auto simd level " << simd::simd_backend() << "\n";
 
-  Table table({"kernel", "simd", "L", "d", "median_s", "GB/s", "Gflop/s"});
+  Table table({"kernel", "requested", "simd", "L", "d", "median_s", "GB/s", "Gflop/s"});
   std::vector<benchutil::KernelBenchRecord> records;
-  // speedups[kernel-d key] -> scalar median, for the summary column.
-  double csr64_scalar_median = 0.0, csr64_avx2_median = 0.0;
+  // csr d=64 medians keyed by the REQUESTED arm, for the speedup summary.
+  std::map<std::string, double> csr64_median;
 
-  auto report = [&](const std::string& kernel, SimdLevel level, Index seq, Index d,
+  auto report = [&](const std::string& kernel, SimdLevel requested, Index seq, Index d,
                     double flops, double bytes, const benchutil::Stats& st) {
     benchutil::KernelBenchRecord r;
     r.kernel = kernel;
-    r.simd = std::string(simd::level_name(level));
+    r.simd = std::string(simd::level_name(simd::resolve(requested)));
+    r.simd_requested = std::string(simd::level_name(requested));
     r.seq_len = seq;
     r.head_dim = d;
     r.median_s = st.median;
     r.gbytes_per_s = bytes / st.median / 1e9;
     r.gflops_per_s = flops / st.median / 1e9;
     records.push_back(r);
-    table.add_row({kernel, r.simd, std::to_string(seq), std::to_string(d),
+    table.add_row({kernel, r.simd_requested, r.simd, std::to_string(seq), std::to_string(d),
                    Table::fmt_seconds(st.median), Table::fmt_double(r.gbytes_per_s, 3),
                    Table::fmt_double(r.gflops_per_s, 3)});
-    std::cout << "  " << kernel << " [" << r.simd << "] L=" << seq << " d=" << d << ": "
-              << Table::fmt_seconds(st.median) << " s, " << Table::fmt_double(r.gflops_per_s, 3)
-              << " Gflop/s\n";
+    std::cout << "  " << kernel << " [" << r.simd_requested
+              << (r.simd != r.simd_requested ? " -> " + r.simd : "") << "] L=" << seq
+              << " d=" << d << ": " << Table::fmt_seconds(st.median) << " s, "
+              << Table::fmt_double(r.gflops_per_s, 3) << " Gflop/s\n";
   };
 
   for (const SimdLevel level : levels_under_test()) {
@@ -117,9 +135,7 @@ int main(int argc, char** argv) {
           [&] { csr_attention(in.q, in.k, in.v, mask, out, opts); }, args.run);
       report("csr_online_softmax", level, L, d, 4.0 * static_cast<double>(d) * edges,
              8.0 * static_cast<double>(d) * edges, st);
-      if (d == 64) {
-        (level == SimdLevel::Scalar ? csr64_scalar_median : csr64_avx2_median) = st.median;
-      }
+      if (d == 64) csr64_median[std::string(simd::level_name(level))] = st.median;
     }
 
     // Local window (the contiguous-neighbor fold).
@@ -203,6 +219,40 @@ int main(int argc, char** argv) {
           benchutil::run_benchmark([&] { softmax_rows(s, level); }, args.run);
       report("softmax_rows", level, L_dense, L_dense, 4.0 * elems, 16.0 * elems, st);
     }
+
+    // fp16 decode fold (the half-width KV page hot loop): one query row
+    // folded over L cached half K/V rows through dot_fh/axpby_h —
+    // widen-on-load arithmetic, half the page traffic of the fp32 fold.
+    {
+      const Index d = 64;
+      const auto in = make_inputs(L, d, 28);
+      std::vector<half_t> kh(static_cast<std::size_t>(L) * static_cast<std::size_t>(d));
+      std::vector<half_t> vh(kh.size());
+      const auto& cvt = simd::ops(SimdLevel::Scalar);
+      for (Index j = 0; j < L; ++j) {
+        cvt.f2h(kh.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(d),
+                in.k.row(j), d);
+        cvt.f2h(vh.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(d),
+                in.v.row(j), d);
+      }
+      const auto& vo = simd::ops(level);
+      std::vector<float> acc(static_cast<std::size_t>(d));
+      const double edges = static_cast<double>(L);
+      const auto st = benchutil::run_benchmark(
+          [&] {
+            OnlineSoftmaxRow osr;
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            for (Index j = 0; j < L; ++j) {
+              detail::fold_edge_rows_fh(
+                  in.q.row(0), kh.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(d),
+                  vh.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(d), d, 0.125f,
+                  1.0f, false, osr, acc.data(), vo);
+            }
+          },
+          args.run);
+      report("fp16_decode_fold", level, L, d, 4.0 * static_cast<double>(d) * edges,
+             4.0 * static_cast<double>(d) * edges, st);
+    }
   }
 
   std::cout << '\n';
@@ -211,9 +261,13 @@ int main(int argc, char** argv) {
   benchutil::write_kernel_bench_json(args.json_path, records, std::string(parallel_backend()));
   std::cout << "\njson written: " << args.json_path << "\n";
 
-  if (csr64_scalar_median > 0.0 && csr64_avx2_median > 0.0) {
-    std::cout << "csr_online_softmax d=64 single-thread speedup (avx2 vs scalar): "
-              << Table::fmt_double(csr64_scalar_median / csr64_avx2_median, 2) << "x\n";
+  const auto scalar_it = csr64_median.find("scalar");
+  if (scalar_it != csr64_median.end()) {
+    for (const auto& [arm, median] : csr64_median) {
+      if (arm == "scalar" || median <= 0.0) continue;
+      std::cout << "csr_online_softmax d=64 single-thread speedup (" << arm
+                << " vs scalar): " << Table::fmt_double(scalar_it->second / median, 2) << "x\n";
+    }
   }
   return 0;
 }

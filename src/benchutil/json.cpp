@@ -48,12 +48,13 @@ void write_kernel_bench_json(const std::string& path,
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-kernels/v1\",\n"
+      << "  \"schema\": \"gpa-bench-kernels/v2\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     out << "    {\"kernel\": \"" << escape(r.kernel) << "\", \"simd\": \"" << escape(r.simd)
+        << "\", \"simd_requested\": \"" << escape(r.simd_requested)
         << "\", \"L\": " << r.seq_len << ", \"d\": " << r.head_dim
         << ", \"median_s\": " << fmt(r.median_s) << ", \"gbytes_per_s\": "
         << fmt(r.gbytes_per_s) << ", \"gflops_per_s\": " << fmt(r.gflops_per_s) << "}"
@@ -119,21 +120,24 @@ void write_decode_bench_json(const std::string& path,
                              const std::vector<DecodeBenchRecord>& records,
                              const std::string& host, const std::string& parallel_backend_name,
                              const std::string& simd_name,
-                             const std::string& metrics_json) {
+                             const std::string& metrics_json,
+                             const std::string& capacity_json) {
   std::ofstream out(path);
   GPA_CHECK(out.good(), "cannot open JSON output file: " + path);
   out << "{\n"
-      << "  \"schema\": \"gpa-bench-decode/v2\",\n"
+      << "  \"schema\": \"gpa-bench-decode/v3\",\n"
       << "  \"host\": \"" << escape(host) << "\",\n"
       << "  \"parallel_backend\": \"" << escape(parallel_backend_name) << "\",\n"
       << "  \"simd\": \"" << escape(simd_name) << "\",\n"
       << "  \"metrics\": " << (metrics_json.empty() ? "{}" : metrics_json) << ",\n"
+      << "  \"capacity\": " << (capacity_json.empty() ? "{}" : capacity_json) << ",\n"
       << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     out << "    {\"pattern\": \"" << escape(r.pattern) << "\", \"L\": " << r.seq_len
         << ", \"d\": " << r.head_dim << ", \"row_nnz\": " << r.row_nnz
         << ", \"causal_nnz\": " << r.causal_nnz
+        << ", \"page_dtype\": \"" << escape(r.page_dtype) << "\""
         << ", \"cached_us_per_token\": " << fmt(r.cached_us_per_token)
         << ", \"recompute_us_per_token\": " << fmt(r.recompute_us_per_token)
         << ", \"speedup\": " << fmt(r.speedup) << "}"

@@ -13,7 +13,14 @@ namespace gpa::benchutil {
 
 struct KernelBenchRecord {
   std::string kernel;  ///< e.g. "csr_online_softmax"
-  std::string simd;    ///< dispatch arm the cell ran under ("scalar"/"avx2")
+  /// Dispatch arm the cell ACTUALLY ran under, after the silent clamp
+  /// ("scalar"/"avx2"/"avx2-fma"/"avx512").
+  std::string simd;
+  /// Arm the sweep REQUESTED for this cell. On a host lacking the ISA,
+  /// simd != simd_requested and the cell is a visible clamped record
+  /// rather than an absent one — trajectory diffs can tell "slower"
+  /// from "didn't run" without knowing the recording machine.
+  std::string simd_requested;
   Index seq_len = 0;
   Index head_dim = 0;
   double median_s = 0.0;
@@ -21,7 +28,8 @@ struct KernelBenchRecord {
   double gflops_per_s = 0.0;   ///< estimated flop count / median
 };
 
-/// Writes `{schema, parallel_backend, records: [...]}` to `path`.
+/// Writes `{schema: "gpa-bench-kernels/v2", parallel_backend, records}`
+/// (v2 added per-record simd_requested next to the resolved simd).
 /// Throws InvalidArgument when the file cannot be opened.
 void write_kernel_bench_json(const std::string& path,
                              const std::vector<KernelBenchRecord>& records,
@@ -112,21 +120,28 @@ struct DecodeBenchRecord {
   Index head_dim = 0;
   Index row_nnz = 0;   ///< edges the measured decode row folds
   Size causal_nnz = 0; ///< edges one full causal recompute visits
+  /// Storage precision of the session's KV pages ("f32" / "f16"): the
+  /// fp16 cells measure the half-width decode fold against the same
+  /// uncached recompute arm.
+  std::string page_dtype = "f32";
   double cached_us_per_token = 0.0;
   double recompute_us_per_token = 0.0;
   double speedup = 0.0;  ///< recompute / cached
 };
 
-/// Writes `{schema: "gpa-bench-decode/v2", host, parallel_backend,
-/// simd, metrics, records}` — the host string matters here because the
-/// claim is a single-core per-token latency ratio. v2 added the
-/// end-of-run `metrics` object (same pre-rendered-JSON convention as
-/// write_serving_bench_json), which records how many decode edges and
-/// pages the run actually folded.
+/// Writes `{schema: "gpa-bench-decode/v3", host, parallel_backend,
+/// simd, metrics, capacity, records}` — the host string matters here
+/// because the claim is a single-core per-token latency ratio. v2 added
+/// the end-of-run `metrics` object (same pre-rendered-JSON convention
+/// as write_serving_bench_json); v3 added per-record page_dtype and the
+/// `capacity` object (sessions-per-device at fp32 vs fp16 page storage,
+/// from the memory model — pass a pre-rendered JSON object or "" for
+/// `{}`).
 void write_decode_bench_json(const std::string& path,
                              const std::vector<DecodeBenchRecord>& records,
                              const std::string& host, const std::string& parallel_backend_name,
                              const std::string& simd_name,
-                             const std::string& metrics_json = std::string());
+                             const std::string& metrics_json = std::string(),
+                             const std::string& capacity_json = std::string());
 
 }  // namespace gpa::benchutil

@@ -20,7 +20,12 @@ constexpr std::uint16_t f32_to_f16_bits(float f) noexcept {
   const std::uint32_t abs = x & 0x7fffffffu;
 
   if (abs >= 0x7f800000u) {             // inf / NaN
-    const std::uint32_t mant = abs > 0x7f800000u ? 0x0200u : 0u;  // quiet NaN keeps a payload bit
+    // NaN: truncate the payload to the top 10 bits and force the quiet
+    // bit — exactly what VCVTPS2PH does (F16C hardware and this
+    // software converter are pinned bit-identical by
+    // test_half_exhaustive, NaN payloads included).
+    const std::uint32_t mant =
+        abs > 0x7f800000u ? (((abs & 0x007fffffu) >> 13) | 0x0200u) : 0u;
     return static_cast<std::uint16_t>(sign | 0x7c00u | mant);
   }
   if (abs >= 0x477ff000u) {             // overflows f16 range -> inf
@@ -71,6 +76,9 @@ constexpr float f16_bits_to_f32(std::uint16_t h) noexcept {
     }
   } else if (exp == 0x1fu) {
     out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+    // NaN: set the quiet bit like VCVTPH2PS (an SNaN half widens to a
+    // QNaN float with the payload preserved; a QNaN already has it).
+    if (mant != 0) out |= 0x00400000u;
   } else {
     out = sign | ((exp + 112u) << 23) | (mant << 13);
   }

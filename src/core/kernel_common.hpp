@@ -55,11 +55,12 @@ void check_inputs(const Matrix<T>& q, const Matrix<T>& k, const Matrix<T>& v,
 /// pointers (each page slot is a contiguous d-float span), so incremental
 /// decode reuses the exact fold — same VecOps dispatch, same operation
 /// order — and stays bit-identical to the one-shot kernels.
-/// `qi` is the query row, `acc` the unnormalised accumulator. The float
-/// instantiation routes the d-dimension loops (Q·K dot, accumulate /
-/// rescale) through the dispatched vector ops; half storage keeps the
-/// scalar convert-and-accumulate loops (the arms would need F16C to
-/// vectorize bit-identically, which is left open in the ROADMAP).
+/// `qi` is the query row, `acc` the unnormalised accumulator. Both
+/// instantiations route the d-dimension loops (Q·K dot, accumulate /
+/// rescale) through the dispatched vector ops: the half instantiation
+/// uses the fp16 table entries (F16C/AVX-512 widen on load, fp32
+/// accumulate), so half storage vectorizes with the same parity class
+/// as the float path on every arm.
 template <typename T>
 inline void fold_edge_rows(const T* GPA_RESTRICT qi, const T* GPA_RESTRICT kj,
                            const T* GPA_RESTRICT vj, Index head_dim, float scale, float gate,
@@ -69,10 +70,7 @@ inline void fold_edge_rows(const T* GPA_RESTRICT qi, const T* GPA_RESTRICT kj,
   if constexpr (std::is_same_v<T, float>) {
     w = vo.dot(qi, kj, head_dim);
   } else {
-    w = 0.0f;
-    for (Index p = 0; p < head_dim; ++p) {
-      w += static_cast<float>(qi[p]) * static_cast<float>(kj[p]);
-    }
+    w = vo.dot_h(qi, kj, head_dim);
   }
   w *= scale;
   if (use_gate) w *= gate;
@@ -86,12 +84,31 @@ inline void fold_edge_rows(const T* GPA_RESTRICT qi, const T* GPA_RESTRICT kj,
     }
   } else {
     if (alpha == 1.0f) {
-      for (Index p = 0; p < head_dim; ++p) acc[p] += beta * static_cast<float>(vj[p]);
+      vo.axpy_h(acc, beta, vj, head_dim);
     } else {
-      for (Index p = 0; p < head_dim; ++p) {
-        acc[p] = acc[p] * alpha + beta * static_cast<float>(vj[p]);
-      }
+      vo.axpby_h(acc, alpha, beta, vj, head_dim);
     }
+  }
+}
+
+/// Mixed-precision fold for decode over half-width KV pages: the query
+/// row is the caller's fp32 payload, K/V come from fp16 page storage
+/// and widen on load. Numerics match folding the widened rows through
+/// the float path (widening is exact), so fp16-page decode differs from
+/// fp32-page decode only by the storage quantisation of K/V.
+inline void fold_edge_rows_fh(const float* GPA_RESTRICT qi, const half_t* GPA_RESTRICT kj,
+                              const half_t* GPA_RESTRICT vj, Index head_dim, float scale,
+                              float gate, bool use_gate, OnlineSoftmaxRow& osr,
+                              float* GPA_RESTRICT acc, const simd::VecOps& vo) {
+  float w = vo.dot_fh(qi, kj, head_dim);
+  w *= scale;
+  if (use_gate) w *= gate;
+
+  const auto [alpha, beta] = osr.push(w);
+  if (alpha == 1.0f) {
+    vo.axpy_h(acc, beta, vj, head_dim);
+  } else {
+    vo.axpby_h(acc, alpha, beta, vj, head_dim);
   }
 }
 

@@ -1,20 +1,25 @@
 #include "kvcache/block_pool.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
+#include "simd/simd.hpp"
 
 namespace gpa::kvcache {
 
 BlockPoolConfig pool_config_for_device(const DeviceSpec& device, Index head_dim,
-                                       Index page_size, double budget_fraction) {
+                                       Index page_size, double budget_fraction,
+                                       DType dtype) {
   GPA_CHECK(page_size >= 1, "page size must be at least one token slot");
   memmodel::ModelConfig mc;
-  mc.dtype = DType::F32;  // pool storage precision
+  mc.dtype = dtype;  // pool storage precision drives bytes-per-token
   mc.embed_dim = head_dim;
   const Index tokens = memmodel::max_cached_tokens(device, mc, budget_fraction);
   BlockPoolConfig cfg;
   cfg.page_size = page_size;
   cfg.head_dim = head_dim;
   cfg.num_pages = tokens / page_size;
+  cfg.dtype = dtype;
   return cfg;
 }
 
@@ -22,13 +27,42 @@ BlockPool::BlockPool(BlockPoolConfig cfg) : cfg_(cfg) {
   GPA_CHECK(cfg_.page_size >= 1, "page size must be at least one token slot");
   GPA_CHECK(cfg_.head_dim >= 1, "head dimension must be positive");
   GPA_CHECK(cfg_.num_pages >= 1, "pool needs at least one page");
-  storage_.resize(static_cast<std::size_t>(cfg_.num_pages) *
-                  static_cast<std::size_t>(cfg_.page_size) * 2 *
-                  static_cast<std::size_t>(cfg_.head_dim));
+  const std::size_t elems = static_cast<std::size_t>(cfg_.num_pages) *
+                            static_cast<std::size_t>(cfg_.page_size) * 2 *
+                            static_cast<std::size_t>(cfg_.head_dim);
+  if (cfg_.dtype == DType::F16) {
+    storage_h_.resize(elems);
+  } else {
+    storage_.resize(elems);
+  }
   refs_.assign(static_cast<std::size_t>(cfg_.num_pages), 0);
   free_.reserve(static_cast<std::size_t>(cfg_.num_pages));
   // Stack order: page 0 pops first (cosmetic, but deterministic for tests).
   for (Index p = cfg_.num_pages - 1; p >= 0; --p) free_.push_back(p);
+}
+
+void BlockPool::store_token(Index page, Index slot, const float* k, const float* v) noexcept {
+  const std::size_t d = static_cast<std::size_t>(cfg_.head_dim);
+  if (cfg_.dtype == DType::F16) {
+    // Narrow via the dispatched converter: f2h is round-to-nearest-even
+    // on every arm (test_simd_parity pins it), so the stored bits do
+    // not depend on the dispatch decision.
+    const simd::VecOps& vo = simd::ops(SimdLevel::Auto);
+    vo.f2h(k_row_h(page, slot), k, cfg_.head_dim);
+    vo.f2h(v_row_h(page, slot), v, cfg_.head_dim);
+  } else {
+    std::memcpy(k_row(page, slot), k, d * sizeof(float));
+    std::memcpy(v_row(page, slot), v, d * sizeof(float));
+  }
+}
+
+void BlockPool::copy_slots(Index dst_page, Index src_page, Index slots) noexcept {
+  const std::size_t bytes = static_cast<std::size_t>(slots) * 2 * row_bytes();
+  if (cfg_.dtype == DType::F16) {
+    std::memcpy(static_cast<void*>(k_row_h(dst_page, 0)), k_row_h(src_page, 0), bytes);
+  } else {
+    std::memcpy(k_row(dst_page, 0), k_row(src_page, 0), bytes);
+  }
 }
 
 Index BlockPool::allocate() {

@@ -1,7 +1,5 @@
 #include "kvcache/page_table.hpp"
 
-#include <cstring>
-
 #include "common/error.hpp"
 
 namespace gpa::kvcache {
@@ -23,16 +21,12 @@ bool PageTable::append(BlockPool& pool, const float* k_row, const float* v_row) 
     const Index fresh = pool.allocate();
     if (fresh == BlockPool::kNoPage) return false;
     const Index old = pages_.back();
-    const std::size_t used = static_cast<std::size_t>(slot) * 2 *
-                             static_cast<std::size_t>(pool.head_dim());
-    std::memcpy(pool.k_row(fresh, 0), pool.k_row(old, 0), used * sizeof(float));
+    pool.copy_slots(fresh, old, slot);
     pool.release(old);
     pages_.back() = fresh;
   }
 
-  const Index d = pool.head_dim();
-  std::memcpy(pool.k_row(pages_.back(), slot), k_row, static_cast<std::size_t>(d) * sizeof(float));
-  std::memcpy(pool.v_row(pages_.back(), slot), v_row, static_cast<std::size_t>(d) * sizeof(float));
+  pool.store_token(pages_.back(), slot, k_row, v_row);
   ++len_;
   return true;
 }

@@ -22,17 +22,24 @@ class PageTable {
   Index num_pages() const noexcept { return static_cast<Index>(pages_.size()); }
   const std::vector<Index>& pages() const noexcept { return pages_; }
 
-  /// Appends one token's K/V rows (each `pool.head_dim()` floats).
-  /// Returns false when the pool is exhausted (nothing is appended; the
-  /// caller may evict and retry).
+  /// Appends one token's K/V rows (each `pool.head_dim()` floats; an
+  /// fp16 pool narrows them on write). Returns false when the pool is
+  /// exhausted (nothing is appended; the caller may evict and retry).
   bool append(BlockPool& pool, const float* k_row, const float* v_row);
 
   /// K/V row of cached token `pos` (0 <= pos < length(), unchecked).
+  /// The *_h forms address fp16 pools — callers branch on pool.dtype().
   const float* k_row(const BlockPool& pool, Index pos) const noexcept {
     return pool.k_row(page_of(pos), slot_of(pool, pos));
   }
   const float* v_row(const BlockPool& pool, Index pos) const noexcept {
     return pool.v_row(page_of(pos), slot_of(pool, pos));
+  }
+  const half_t* k_row_h(const BlockPool& pool, Index pos) const noexcept {
+    return pool.k_row_h(page_of(pos), slot_of(pool, pos));
+  }
+  const half_t* v_row_h(const BlockPool& pool, Index pos) const noexcept {
+    return pool.v_row_h(page_of(pos), slot_of(pool, pos));
   }
 
   /// Appends a FULL page of already-cached tokens by reference: the

@@ -247,7 +247,9 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
     if (cfg_.prefix_dedup) {
       Fnv1a chain;
       chain.mix(s->mask.fingerprint());
-      chain.mix(0xF32u);  // storage dtype tag (the pool is fp32 today)
+      // Storage dtype tag: an fp16 pool quantises page payloads, so its
+      // chains must never collide with fp32 chains of the same prompt.
+      chain.mix(pool_.dtype() == DType::F16 ? 0xF16u : 0xF32u);
       chain.mix(static_cast<std::uint64_t>(d));
       chain.mix(static_cast<std::uint64_t>(ps));
       for (; i + ps <= L; i += ps) {
@@ -320,7 +322,23 @@ void SessionManager::prefill(std::uint64_t id, const Matrix<float>& q, const Mat
 bool SessionManager::page_matches(Index page, const Matrix<float>& k, const Matrix<float>& v,
                                   Index start) const {
   const Index ps = pool_.page_size();
-  const std::size_t bytes = static_cast<std::size_t>(pool_.head_dim()) * sizeof(float);
+  const Index d = pool_.head_dim();
+  if (pool_.dtype() == DType::F16) {
+    // The page holds narrowed rows: narrow the candidate input the same
+    // way (f2h is round-to-nearest-even on every arm, so equal floats
+    // give equal half bits) and compare in storage precision.
+    const simd::VecOps& vo = simd::ops(SimdLevel::Auto);
+    std::vector<half_t> row(static_cast<std::size_t>(d));
+    const std::size_t bytes = static_cast<std::size_t>(d) * sizeof(half_t);
+    for (Index t = 0; t < ps; ++t) {
+      vo.f2h(row.data(), k.row(start + t), d);
+      if (std::memcmp(pool_.k_row_h(page, t), row.data(), bytes) != 0) return false;
+      vo.f2h(row.data(), v.row(start + t), d);
+      if (std::memcmp(pool_.v_row_h(page, t), row.data(), bytes) != 0) return false;
+    }
+    return true;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(d) * sizeof(float);
   for (Index t = 0; t < ps; ++t) {
     if (std::memcmp(pool_.k_row(page, t), k.row(start + t), bytes) != 0) return false;
     if (std::memcmp(pool_.v_row(page, t), v.row(start + t), bytes) != 0) return false;
@@ -349,11 +367,22 @@ Index SessionManager::decode_step(std::uint64_t id, const float* q_new, const fl
   float* acc = s->acc.data();
   OnlineSoftmaxRow osr;
   Index edges = 0;
-  s->mask.for_each_causal(t, [&](Index j, float gate) {
-    detail::fold_edge_rows(q_new, s->table.k_row(pool_, j), s->table.v_row(pool_, j), d, scale,
-                           gate, use_gate, osr, acc, vo);
-    ++edges;
-  });
+  if (pool_.dtype() == DType::F16) {
+    // Half-width pages: K/V widen on load through the vectorized fp16
+    // fold — output differs from an fp32-page session only by the
+    // storage quantisation of the cached rows.
+    s->mask.for_each_causal(t, [&](Index j, float gate) {
+      detail::fold_edge_rows_fh(q_new, s->table.k_row_h(pool_, j), s->table.v_row_h(pool_, j),
+                                d, scale, gate, use_gate, osr, acc, vo);
+      ++edges;
+    });
+  } else {
+    s->mask.for_each_causal(t, [&](Index j, float gate) {
+      detail::fold_edge_rows(q_new, s->table.k_row(pool_, j), s->table.v_row(pool_, j), d, scale,
+                             gate, use_gate, osr, acc, vo);
+      ++edges;
+    });
+  }
 
   // Same normalisation expression as SoftmaxState::finalize_into, so a
   // decode stream is bit-identical to the full-sequence kernel call.

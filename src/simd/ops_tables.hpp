@@ -11,8 +11,21 @@ namespace gpa::simd::detail {
 extern const VecOps kScalarOps;
 
 #if defined(GPA_SIMD_AVX2)
-/// AVX2 arm (simd_avx2.cpp — the only TU built with -mavx2).
+/// Bitwise AVX2 arm (simd_avx2.cpp — built with -mavx2 -mf16c and
+/// -ffp-contract=off; pinned bit-identical to the scalar arm).
 extern const VecOps kAvx2Ops;
+#endif
+
+#if defined(GPA_SIMD_AVX2_FMA)
+/// Relaxed AVX2+FMA arm (simd_avx2_fma.cpp — -mavx2 -mfma -mf16c,
+/// explicit fused multiply-adds; ULP-bounded vs scalar).
+extern const VecOps kAvx2FmaOps;
+#endif
+
+#if defined(GPA_SIMD_AVX512)
+/// Relaxed AVX-512 arm (simd_avx512.cpp — -mavx512f, 16 lanes with FMA;
+/// ULP-bounded vs scalar).
+extern const VecOps kAvx512Ops;
 #endif
 
 }  // namespace gpa::simd::detail

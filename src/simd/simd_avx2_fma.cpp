@@ -1,13 +1,14 @@
-// Bitwise AVX2 arm of the SIMD dispatch — compiled with -mavx2 -mf16c
-// and -ffp-contract=off: the mul/add pairs below must not be fused into
-// FMAs, or the arm would diverge from the scalar lane contract in
-// simd.hpp (the relaxed avx2-fma arm exists for exactly that). Tails
-// are handled with masked loads/stores for floats and zero-padded stack
-// staging for halfs (no 16-bit masked load exists below AVX-512), so no
-// lane ever touches memory past n and ASan stays quiet.
+// Relaxed AVX2+FMA arm of the SIMD dispatch — compiled with
+// -mavx2 -mfma -mf16c. Same 8-lane shape, masked tails, and pairwise
+// reduction tree as the bitwise avx2 arm, but every multiply-accumulate
+// is an explicit _mm256_fmadd_ps: a·b+c rounds ONCE where the lane
+// contract rounds twice, so this arm is deterministic but only
+// ULP-bounded against the scalar reference (tests/test_simd_parity.cpp
+// derives and pins the bounds). scale / reduce_max / reduce_sum contain
+// no mul+add pairs and remain bit-identical to the bitwise arms.
 
-#if !defined(GPA_SIMD_AVX2)
-#error "simd_avx2.cpp must only be compiled when GPA_SIMD_AVX2 is defined"
+#if !defined(GPA_SIMD_AVX2_FMA)
+#error "simd_avx2_fma.cpp must only be compiled when GPA_SIMD_AVX2_FMA is defined"
 #endif
 
 #include <immintrin.h>
@@ -22,15 +23,11 @@ namespace {
 
 constexpr Index kLanes = 8;
 
-/// Lane mask for an r-element tail (1 <= r <= 7): lanes < r are enabled
-/// (sign bit set, as maskload/maskstore/blendv require).
 inline __m256i tail_mask(Index r) noexcept {
   const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
   return _mm256_cmpgt_epi32(_mm256_set1_epi32(static_cast<int>(r)), lane_ids);
 }
 
-/// The fixed pairwise tree of the lane contract: t = lo ⊕ hi, then the
-/// {0,2}/{1,3} pair, then the final pair.
 inline float reduce_tree_add(__m256 s) noexcept {
   const __m128 lo = _mm256_castps256_ps128(s);
   const __m128 hi = _mm256_extractf128_ps(s, 1);
@@ -47,19 +44,29 @@ inline float reduce_tree_max(__m256 s) noexcept {
   return _mm_cvtss_f32(_mm_max_ss(u, _mm_shuffle_ps(u, u, 0x1)));
 }
 
+inline __m256 load_h8(const half_t* p) noexcept {
+  __m128i raw;
+  std::memcpy(&raw, p, sizeof raw);
+  return _mm256_cvtph_ps(raw);
+}
+
+inline __m256 load_h_tail(const half_t* p, Index r) noexcept {
+  alignas(16) std::uint16_t buf[8] = {};
+  std::memcpy(buf, p, static_cast<std::size_t>(r) * sizeof(std::uint16_t));
+  return _mm256_cvtph_ps(_mm_load_si128(reinterpret_cast<const __m128i*>(buf)));
+}
+
 float dot(const float* a, const float* b, Index n) noexcept {
   __m256 s = _mm256_setzero_ps();
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
-    const __m256 av = _mm256_loadu_ps(a + base);
-    const __m256 bv = _mm256_loadu_ps(b + base);
-    s = _mm256_add_ps(s, _mm256_mul_ps(av, bv));
+    s = _mm256_fmadd_ps(_mm256_loadu_ps(a + base), _mm256_loadu_ps(b + base), s);
   }
   if (base < n) {
     const __m256i mask = tail_mask(n - base);
     const __m256 av = _mm256_maskload_ps(a + base, mask);
     const __m256 bv = _mm256_maskload_ps(b + base, mask);
-    s = _mm256_add_ps(s, _mm256_mul_ps(av, bv));  // dead lanes add +0.0f
+    s = _mm256_fmadd_ps(av, bv, s);  // dead lanes contribute fma(0,0,s) = s
   }
   return reduce_tree_add(s);
 }
@@ -71,15 +78,13 @@ void axpby(float* acc, float alpha, float beta, const float* v, Index n) noexcep
   for (; base + kLanes <= n; base += kLanes) {
     const __m256 accv = _mm256_loadu_ps(acc + base);
     const __m256 vv = _mm256_loadu_ps(v + base);
-    _mm256_storeu_ps(acc + base,
-                     _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+    _mm256_storeu_ps(acc + base, _mm256_fmadd_ps(accv, va, _mm256_mul_ps(vb, vv)));
   }
   if (base < n) {
     const __m256i mask = tail_mask(n - base);
     const __m256 accv = _mm256_maskload_ps(acc + base, mask);
     const __m256 vv = _mm256_maskload_ps(v + base, mask);
-    _mm256_maskstore_ps(acc + base, mask,
-                        _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+    _mm256_maskstore_ps(acc + base, mask, _mm256_fmadd_ps(accv, va, _mm256_mul_ps(vb, vv)));
   }
 }
 
@@ -88,14 +93,13 @@ void axpy(float* acc, float beta, const float* v, Index n) noexcept {
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
     const __m256 accv = _mm256_loadu_ps(acc + base);
-    const __m256 vv = _mm256_loadu_ps(v + base);
-    _mm256_storeu_ps(acc + base, _mm256_add_ps(accv, _mm256_mul_ps(vb, vv)));
+    _mm256_storeu_ps(acc + base, _mm256_fmadd_ps(vb, _mm256_loadu_ps(v + base), accv));
   }
   if (base < n) {
     const __m256i mask = tail_mask(n - base);
     const __m256 accv = _mm256_maskload_ps(acc + base, mask);
     const __m256 vv = _mm256_maskload_ps(v + base, mask);
-    _mm256_maskstore_ps(acc + base, mask, _mm256_add_ps(accv, _mm256_mul_ps(vb, vv)));
+    _mm256_maskstore_ps(acc + base, mask, _mm256_fmadd_ps(vb, vv, accv));
   }
 }
 
@@ -119,8 +123,6 @@ float reduce_max(const float* x, Index n) noexcept {
     s = _mm256_max_ps(s, _mm256_loadu_ps(x + base));
   }
   if (base < n) {
-    // Dead tail lanes must see the max identity (-inf), not the 0.0f a
-    // masked load yields — the all-masked-row convention depends on it.
     const __m256i mask = tail_mask(n - base);
     const __m256 loaded = _mm256_maskload_ps(x + base, mask);
     const __m256 neg_inf = _mm256_set1_ps(-std::numeric_limits<float>::infinity());
@@ -141,36 +143,15 @@ float reduce_sum(const float* x, Index n) noexcept {
   return reduce_tree_add(s);
 }
 
-// --- fp16 storage ops (F16C) -----------------------------------------
-// VCVTPH2PS widens binary16 -> binary32 exactly — the same values the
-// scalar arm's software converter produces — so the half dot/accumulate
-// ops below stay bit-identical to the scalar arm by the lane contract.
-
-/// Eight halfs -> eight floats (exact).
-inline __m256 load_h8(const half_t* p) noexcept {
-  __m128i raw;
-  std::memcpy(&raw, p, sizeof raw);
-  return _mm256_cvtph_ps(raw);
-}
-
-/// Tail load: r < 8 halfs, staged through a zero-padded stack block so
-/// the vector load never reads past the caller's range. Dead lanes hold
-/// +0.0f — exactly what the lane contract's masked loads yield.
-inline __m256 load_h_tail(const half_t* p, Index r) noexcept {
-  alignas(16) std::uint16_t buf[8] = {};
-  std::memcpy(buf, p, static_cast<std::size_t>(r) * sizeof(std::uint16_t));
-  return _mm256_cvtph_ps(_mm_load_si128(reinterpret_cast<const __m128i*>(buf)));
-}
-
 float dot_h(const half_t* a, const half_t* b, Index n) noexcept {
   __m256 s = _mm256_setzero_ps();
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
-    s = _mm256_add_ps(s, _mm256_mul_ps(load_h8(a + base), load_h8(b + base)));
+    s = _mm256_fmadd_ps(load_h8(a + base), load_h8(b + base), s);
   }
   if (base < n) {
     const Index r = n - base;
-    s = _mm256_add_ps(s, _mm256_mul_ps(load_h_tail(a + base, r), load_h_tail(b + base, r)));
+    s = _mm256_fmadd_ps(load_h_tail(a + base, r), load_h_tail(b + base, r), s);
   }
   return reduce_tree_add(s);
 }
@@ -179,12 +160,12 @@ float dot_fh(const float* a, const half_t* b, Index n) noexcept {
   __m256 s = _mm256_setzero_ps();
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
-    s = _mm256_add_ps(s, _mm256_mul_ps(_mm256_loadu_ps(a + base), load_h8(b + base)));
+    s = _mm256_fmadd_ps(_mm256_loadu_ps(a + base), load_h8(b + base), s);
   }
   if (base < n) {
     const Index r = n - base;
     const __m256 av = _mm256_maskload_ps(a + base, tail_mask(r));
-    s = _mm256_add_ps(s, _mm256_mul_ps(av, load_h_tail(b + base, r)));
+    s = _mm256_fmadd_ps(av, load_h_tail(b + base, r), s);
   }
   return reduce_tree_add(s);
 }
@@ -195,17 +176,15 @@ void axpby_h(float* acc, float alpha, float beta, const half_t* v, Index n) noex
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
     const __m256 accv = _mm256_loadu_ps(acc + base);
-    const __m256 vv = load_h8(v + base);
     _mm256_storeu_ps(acc + base,
-                     _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+                     _mm256_fmadd_ps(accv, va, _mm256_mul_ps(vb, load_h8(v + base))));
   }
   if (base < n) {
     const Index r = n - base;
     const __m256i mask = tail_mask(r);
     const __m256 accv = _mm256_maskload_ps(acc + base, mask);
-    const __m256 vv = load_h_tail(v + base, r);
     _mm256_maskstore_ps(acc + base, mask,
-                        _mm256_add_ps(_mm256_mul_ps(accv, va), _mm256_mul_ps(vb, vv)));
+                        _mm256_fmadd_ps(accv, va, _mm256_mul_ps(vb, load_h_tail(v + base, r))));
   }
 }
 
@@ -214,14 +193,14 @@ void axpy_h(float* acc, float beta, const half_t* v, Index n) noexcept {
   Index base = 0;
   for (; base + kLanes <= n; base += kLanes) {
     const __m256 accv = _mm256_loadu_ps(acc + base);
-    _mm256_storeu_ps(acc + base, _mm256_add_ps(accv, _mm256_mul_ps(vb, load_h8(v + base))));
+    _mm256_storeu_ps(acc + base, _mm256_fmadd_ps(vb, load_h8(v + base), accv));
   }
   if (base < n) {
     const Index r = n - base;
     const __m256i mask = tail_mask(r);
     const __m256 accv = _mm256_maskload_ps(acc + base, mask);
     _mm256_maskstore_ps(acc + base, mask,
-                        _mm256_add_ps(accv, _mm256_mul_ps(vb, load_h_tail(v + base, r))));
+                        _mm256_fmadd_ps(vb, load_h_tail(v + base, r), accv));
   }
 }
 
@@ -255,7 +234,7 @@ void f2h(half_t* dst, const float* src, Index n) noexcept {
 
 }  // namespace
 
-const VecOps kAvx2Ops = {dot,   axpby,  axpy,    scale,  reduce_max, reduce_sum,
-                         dot_h, dot_fh, axpby_h, axpy_h, h2f,        f2h};
+const VecOps kAvx2FmaOps = {dot,   axpby,  axpy,    scale,  reduce_max, reduce_sum,
+                            dot_h, dot_fh, axpby_h, axpy_h, h2f,        f2h};
 
 }  // namespace gpa::simd::detail

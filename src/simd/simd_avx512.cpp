@@ -1,0 +1,231 @@
+// Relaxed AVX-512 arm of the SIMD dispatch — the only translation unit
+// compiled with -mavx512f, behind the GPA_ENABLE_AVX512 CMake gate.
+// Sixteen lanes with explicit fused multiply-adds: both the lane count
+// and the single-rounding FMAs reassociate every reduction relative to
+// the 8-lane contract, so this arm is deterministic (same inputs, same
+// bits, every run and schedule) but only ULP-bounded against the scalar
+// reference (tests/test_simd_parity.cpp derives and pins the bounds).
+//
+// Tails use AVX-512's native per-lane masking (__mmask16 zero-masked
+// loads / masked stores) for floats; half rows stage through a
+// zero-padded stack block (VCVTPH2PS has no masked form on the __m256i
+// source). Dead lanes hold the op identity: +0.0f for sums and dots,
+// -inf for max.
+
+#if !defined(GPA_SIMD_AVX512)
+#error "simd_avx512.cpp must only be compiled when GPA_SIMD_AVX512 is defined"
+#endif
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <limits>
+
+#include "simd/ops_tables.hpp"
+
+namespace gpa::simd::detail {
+namespace {
+
+constexpr Index kLanes = 16;
+
+inline __mmask16 tail_mask(Index r) noexcept {
+  return static_cast<__mmask16>((1u << static_cast<unsigned>(r)) - 1u);
+}
+
+/// Sixteen halfs -> sixteen floats (exact).
+inline __m512 load_h16(const half_t* p) noexcept {
+  __m256i raw;
+  std::memcpy(&raw, p, sizeof raw);
+  return _mm512_cvtph_ps(raw);
+}
+
+/// Tail load: r < 16 halfs through a zero-padded stack block (dead
+/// lanes hold +0.0f).
+inline __m512 load_h_tail(const half_t* p, Index r) noexcept {
+  alignas(32) std::uint16_t buf[16] = {};
+  std::memcpy(buf, p, static_cast<std::size_t>(r) * sizeof(std::uint16_t));
+  return _mm512_cvtph_ps(_mm256_load_si256(reinterpret_cast<const __m256i*>(buf)));
+}
+
+float dot(const float* a, const float* b, Index n) noexcept {
+  __m512 s = _mm512_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm512_fmadd_ps(_mm512_loadu_ps(a + base), _mm512_loadu_ps(b + base), s);
+  }
+  if (base < n) {
+    const __mmask16 m = tail_mask(n - base);
+    const __m512 av = _mm512_maskz_loadu_ps(m, a + base);
+    const __m512 bv = _mm512_maskz_loadu_ps(m, b + base);
+    s = _mm512_fmadd_ps(av, bv, s);  // dead lanes contribute fma(0,0,s) = s
+  }
+  return _mm512_reduce_add_ps(s);
+}
+
+void axpby(float* acc, float alpha, float beta, const float* v, Index n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 vb = _mm512_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m512 accv = _mm512_loadu_ps(acc + base);
+    const __m512 vv = _mm512_loadu_ps(v + base);
+    _mm512_storeu_ps(acc + base, _mm512_fmadd_ps(accv, va, _mm512_mul_ps(vb, vv)));
+  }
+  if (base < n) {
+    const __mmask16 m = tail_mask(n - base);
+    const __m512 accv = _mm512_maskz_loadu_ps(m, acc + base);
+    const __m512 vv = _mm512_maskz_loadu_ps(m, v + base);
+    _mm512_mask_storeu_ps(acc + base, m, _mm512_fmadd_ps(accv, va, _mm512_mul_ps(vb, vv)));
+  }
+}
+
+void axpy(float* acc, float beta, const float* v, Index n) noexcept {
+  const __m512 vb = _mm512_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m512 accv = _mm512_loadu_ps(acc + base);
+    _mm512_storeu_ps(acc + base, _mm512_fmadd_ps(vb, _mm512_loadu_ps(v + base), accv));
+  }
+  if (base < n) {
+    const __mmask16 m = tail_mask(n - base);
+    const __m512 accv = _mm512_maskz_loadu_ps(m, acc + base);
+    const __m512 vv = _mm512_maskz_loadu_ps(m, v + base);
+    _mm512_mask_storeu_ps(acc + base, m, _mm512_fmadd_ps(vb, vv, accv));
+  }
+}
+
+void scale(float* x, float s, Index n) noexcept {
+  const __m512 vs = _mm512_set1_ps(s);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    _mm512_storeu_ps(x + base, _mm512_mul_ps(_mm512_loadu_ps(x + base), vs));
+  }
+  if (base < n) {
+    const __mmask16 m = tail_mask(n - base);
+    const __m512 xv = _mm512_maskz_loadu_ps(m, x + base);
+    _mm512_mask_storeu_ps(x + base, m, _mm512_mul_ps(xv, vs));
+  }
+}
+
+float reduce_max(const float* x, Index n) noexcept {
+  const __m512 neg_inf = _mm512_set1_ps(-std::numeric_limits<float>::infinity());
+  __m512 s = neg_inf;
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm512_max_ps(s, _mm512_loadu_ps(x + base));
+  }
+  if (base < n) {
+    // Dead tail lanes must see the max identity (-inf), not 0.0f.
+    const __mmask16 m = tail_mask(n - base);
+    s = _mm512_max_ps(s, _mm512_mask_loadu_ps(neg_inf, m, x + base));
+  }
+  return _mm512_reduce_max_ps(s);
+}
+
+float reduce_sum(const float* x, Index n) noexcept {
+  __m512 s = _mm512_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm512_add_ps(s, _mm512_loadu_ps(x + base));
+  }
+  if (base < n) {
+    s = _mm512_add_ps(s, _mm512_maskz_loadu_ps(tail_mask(n - base), x + base));
+  }
+  return _mm512_reduce_add_ps(s);
+}
+
+float dot_h(const half_t* a, const half_t* b, Index n) noexcept {
+  __m512 s = _mm512_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm512_fmadd_ps(load_h16(a + base), load_h16(b + base), s);
+  }
+  if (base < n) {
+    const Index r = n - base;
+    s = _mm512_fmadd_ps(load_h_tail(a + base, r), load_h_tail(b + base, r), s);
+  }
+  return _mm512_reduce_add_ps(s);
+}
+
+float dot_fh(const float* a, const half_t* b, Index n) noexcept {
+  __m512 s = _mm512_setzero_ps();
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    s = _mm512_fmadd_ps(_mm512_loadu_ps(a + base), load_h16(b + base), s);
+  }
+  if (base < n) {
+    const Index r = n - base;
+    const __m512 av = _mm512_maskz_loadu_ps(tail_mask(r), a + base);
+    s = _mm512_fmadd_ps(av, load_h_tail(b + base, r), s);
+  }
+  return _mm512_reduce_add_ps(s);
+}
+
+void axpby_h(float* acc, float alpha, float beta, const half_t* v, Index n) noexcept {
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 vb = _mm512_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m512 accv = _mm512_loadu_ps(acc + base);
+    _mm512_storeu_ps(acc + base,
+                     _mm512_fmadd_ps(accv, va, _mm512_mul_ps(vb, load_h16(v + base))));
+  }
+  if (base < n) {
+    const Index r = n - base;
+    const __mmask16 m = tail_mask(r);
+    const __m512 accv = _mm512_maskz_loadu_ps(m, acc + base);
+    _mm512_mask_storeu_ps(
+        acc + base, m, _mm512_fmadd_ps(accv, va, _mm512_mul_ps(vb, load_h_tail(v + base, r))));
+  }
+}
+
+void axpy_h(float* acc, float beta, const half_t* v, Index n) noexcept {
+  const __m512 vb = _mm512_set1_ps(beta);
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m512 accv = _mm512_loadu_ps(acc + base);
+    _mm512_storeu_ps(acc + base, _mm512_fmadd_ps(vb, load_h16(v + base), accv));
+  }
+  if (base < n) {
+    const Index r = n - base;
+    const __mmask16 m = tail_mask(r);
+    const __m512 accv = _mm512_maskz_loadu_ps(m, acc + base);
+    _mm512_mask_storeu_ps(acc + base, m,
+                          _mm512_fmadd_ps(vb, load_h_tail(v + base, r), accv));
+  }
+}
+
+void h2f(float* dst, const half_t* src, Index n) noexcept {
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    _mm512_storeu_ps(dst + base, load_h16(src + base));
+  }
+  if (base < n) {
+    const Index r = n - base;
+    _mm512_mask_storeu_ps(dst + base, tail_mask(r), load_h_tail(src + base, r));
+  }
+}
+
+void f2h(half_t* dst, const float* src, Index n) noexcept {
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    const __m256i h = _mm512_cvtps_ph(_mm512_loadu_ps(src + base), _MM_FROUND_TO_NEAREST_INT);
+    std::memcpy(static_cast<void*>(dst + base), &h, sizeof h);
+  }
+  if (base < n) {
+    const Index r = n - base;
+    const __m512 v = _mm512_maskz_loadu_ps(tail_mask(r), src + base);
+    alignas(32) std::uint16_t buf[16];
+    const __m256i h = _mm512_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf), h);
+    std::memcpy(static_cast<void*>(dst + base), buf,
+                static_cast<std::size_t>(r) * sizeof(std::uint16_t));
+  }
+}
+
+}  // namespace
+
+const VecOps kAvx512Ops = {dot,   axpby,  axpy,    scale,  reduce_max, reduce_sum,
+                           dot_h, dot_fh, axpby_h, axpy_h, h2f,        f2h};
+
+}  // namespace gpa::simd::detail

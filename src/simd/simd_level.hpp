@@ -7,16 +7,29 @@
 
 namespace gpa {
 
-/// Which arm of the SIMD dispatch a call should take.
-///  * Auto   — resolve at runtime: GPA_SIMD env var if set, otherwise the
-///             best level this build + CPU supports.
-///  * Scalar — the portable scalar reference path (always compiled).
-///  * Avx2   — the AVX2 path; silently clamped to Scalar when the build
-///             or the CPU lacks it (check simd::resolve() to detect).
+/// Which arm of the SIMD dispatch a call should take. Levels above
+/// Scalar form a total order (each adds ISA requirements on top of the
+/// previous); a request the build or CPU cannot honour is silently
+/// clamped DOWN to the best available level at or below it (check
+/// simd::resolve() to detect the clamp).
+///  * Auto    — resolve at runtime: forced level, then the GPA_SIMD env
+///              var if set, otherwise the best level this build + CPU
+///              supports.
+///  * Scalar  — portable scalar reference path (always compiled).
+///              Bitwise-pinned arm.
+///  * Avx2    — 8-lane AVX2 + F16C, no FMA contraction. Bitwise-pinned:
+///              bit-identical to Scalar by the lane contract.
+///  * Avx2Fma — 8-lane AVX2 using FMA in the dot/accumulate kernels.
+///              RELAXED arm: parity vs Scalar is ULP-bounded, not
+///              bitwise (fused multiply-adds round once, not twice).
+///  * Avx512  — 16-lane AVX-512F with FMA. RELAXED arm (wider lanes
+///              reassociate every reduction).
 enum class SimdLevel : std::uint8_t {
   Auto,
   Scalar,
   Avx2,
+  Avx2Fma,
+  Avx512,
 };
 
 }  // namespace gpa

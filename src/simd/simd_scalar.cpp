@@ -97,8 +97,63 @@ float reduce_sum(const float* x, Index n) noexcept {
   return reduce_tree_add(s);
 }
 
+// --- fp16 storage ops ------------------------------------------------
+// Widening binary16 -> binary32 is exact (every half value is a float),
+// so these follow the same 8-lane contract as the float ops over the
+// widened values and stay bit-identical to the AVX2 arm's F16C path:
+// VCVTPH2PS performs the identical exact conversion.
+
+float dot_h(const half_t* a, const half_t* b, Index n) noexcept {
+  float s[kLanes] = {};
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      s[l] += static_cast<float>(a[base + l]) * static_cast<float>(b[base + l]);
+    }
+  }
+  if (base < n) {
+    for (int l = 0; l < kLanes; ++l) {
+      s[l] += base + l < n
+                  ? static_cast<float>(a[base + l]) * static_cast<float>(b[base + l])
+                  : 0.0f;
+    }
+  }
+  return reduce_tree_add(s);
+}
+
+float dot_fh(const float* a, const half_t* b, Index n) noexcept {
+  float s[kLanes] = {};
+  Index base = 0;
+  for (; base + kLanes <= n; base += kLanes) {
+    for (int l = 0; l < kLanes; ++l) s[l] += a[base + l] * static_cast<float>(b[base + l]);
+  }
+  if (base < n) {
+    for (int l = 0; l < kLanes; ++l) {
+      s[l] += base + l < n ? a[base + l] * static_cast<float>(b[base + l]) : 0.0f;
+    }
+  }
+  return reduce_tree_add(s);
+}
+
+void axpby_h(float* acc, float alpha, float beta, const half_t* v, Index n) noexcept {
+  for (Index i = 0; i < n; ++i) acc[i] = acc[i] * alpha + beta * static_cast<float>(v[i]);
+}
+
+void axpy_h(float* acc, float beta, const half_t* v, Index n) noexcept {
+  for (Index i = 0; i < n; ++i) acc[i] = acc[i] + beta * static_cast<float>(v[i]);
+}
+
+void h2f(float* dst, const half_t* src, Index n) noexcept {
+  for (Index i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+}
+
+void f2h(half_t* dst, const float* src, Index n) noexcept {
+  for (Index i = 0; i < n; ++i) dst[i] = half_t(src[i]);
+}
+
 }  // namespace
 
-const VecOps kScalarOps = {dot, axpby, axpy, scale, reduce_max, reduce_sum};
+const VecOps kScalarOps = {dot,   axpby,  axpy,   scale,  reduce_max, reduce_sum,
+                           dot_h, dot_fh, axpby_h, axpy_h, h2f,        f2h};
 
 }  // namespace gpa::simd::detail

@@ -1,12 +1,21 @@
-// Execution-matrix determinism: every kernel must produce bitwise
-// identical results across thread counts, schedules, grain sizes, AND
-// SIMD dispatch arms (per-row arithmetic never changes: the scalar and
-// AVX2 arms follow the same lane contract — see src/simd/simd.hpp).
-// The baselines must be deterministic as well. This pins down the PRAM
-// claim of §IV-B on the CPU substrate: neither parallelism nor the
-// vector width changes what is computed, only who/how it is computed.
+// Execution-matrix determinism, per arm class (src/simd/simd.hpp):
+//
+//  * Within ONE dispatch arm, every kernel must produce bitwise
+//    identical results across thread counts, schedules, and grain sizes
+//    — relaxed (FMA/AVX-512) arms included. Parallelism never changes
+//    what is computed, only who/how it is computed (the PRAM claim of
+//    §IV-B on the CPU substrate).
+//  * Across arms, the BITWISE arms (scalar, avx2) must match each other
+//    exactly by the lane contract; the RELAXED arms (avx2-fma, avx512)
+//    reassociate/fuse and are held to a loose ULP sanity bound here —
+//    the tight per-reduction-length bounds live in test_simd_parity.
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 
 #include "baselines/flash_attention.hpp"
 #include "baselines/sdp_masked.hpp"
@@ -19,6 +28,23 @@
 
 namespace gpa {
 namespace {
+
+std::int64_t ulp_index(float x) {
+  std::int32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits >= 0 ? bits : std::int64_t{std::numeric_limits<std::int32_t>::min()} - bits;
+}
+
+std::int64_t ulp_diff(float a, float b) {
+  if (std::isnan(a) && std::isnan(b)) return 0;
+  if (std::isnan(a) != std::isnan(b)) return std::numeric_limits<std::int64_t>::max();
+  return std::abs(ulp_index(a) - ulp_index(b));
+}
+
+/// Sanity bound for relaxed arms vs the scalar reference at this
+/// fixture's shapes (d=16, ~14 neighbors/row). Deliberately loose: this
+/// test pins determinism, test_simd_parity pins accuracy.
+constexpr std::int64_t kRelaxedUlp = 256;
 
 struct Fixture {
   static constexpr Index kL = 96;
@@ -34,46 +60,59 @@ struct Fixture {
   }
 };
 
-/// backend × schedule × SIMD: every thread/schedule/grain combination is
-/// crossed with the scalar arm and (when this build + CPU has it) the
-/// AVX2 arm.
-const std::vector<ExecPolicy>& policies() {
-  static const std::vector<ExecPolicy> p = [] {
-    const std::vector<ExecPolicy> base = {
-        ExecPolicy::serial(),
-        {2, 8, Schedule::Static},
-        {2, 8, Schedule::Dynamic},
-        {4, 1, Schedule::Dynamic},
-        {8, 33, Schedule::Static},
-        {8, 33, Schedule::Dynamic},
-    };
-    std::vector<ExecPolicy> crossed;
-    for (const SimdLevel level : simd::available_levels()) {
-      for (ExecPolicy policy : base) {
-        policy.simd = level;
-        crossed.push_back(policy);
-      }
-    }
-    return crossed;
-  }();
+/// The thread/schedule/grain axis, crossed below with every available
+/// dispatch arm.
+const std::vector<ExecPolicy>& schedule_policies() {
+  static const std::vector<ExecPolicy> p = {
+      ExecPolicy::serial(),
+      {2, 8, Schedule::Static},
+      {2, 8, Schedule::Dynamic},
+      {4, 1, Schedule::Dynamic},
+      {8, 33, Schedule::Static},
+      {8, 33, Schedule::Dynamic},
+  };
   return p;
 }
 
-/// Runs `call(policy, out)` for every policy and checks bitwise equality
-/// against the serial scalar-arm result.
+/// Runs `call(policy, out)` across the full schedule × arm matrix.
+/// Every policy is checked bitwise against a serial baseline computed
+/// on the SAME arm; bitwise arms additionally pin their baseline equal
+/// to serial-scalar, relaxed arms to the ULP sanity bound.
 template <typename CallFn>
 void expect_policy_invariant(const CallFn& call) {
-  Matrix<float> baseline(Fixture::kL, Fixture::kD);
+  Matrix<float> scalar_base(Fixture::kL, Fixture::kD);
   ExecPolicy serial_scalar = ExecPolicy::serial();
   serial_scalar.simd = SimdLevel::Scalar;
-  call(serial_scalar, baseline);
-  for (const auto& policy : policies()) {
-    Matrix<float> out(Fixture::kL, Fixture::kD);
-    call(policy, out);
-    EXPECT_EQ(max_abs_diff(out, baseline), 0.0)
-        << "threads=" << policy.num_threads << " grain=" << policy.grain
-        << " sched=" << static_cast<int>(policy.schedule)
-        << " simd=" << simd::level_name(policy.simd);
+  call(serial_scalar, scalar_base);
+
+  for (const SimdLevel level : simd::available_levels()) {
+    Matrix<float> arm_base(Fixture::kL, Fixture::kD);
+    ExecPolicy serial_arm = ExecPolicy::serial();
+    serial_arm.simd = level;
+    call(serial_arm, arm_base);
+
+    if (simd::is_bitwise_level(level)) {
+      EXPECT_EQ(max_abs_diff(arm_base, scalar_base), 0.0)
+          << "bitwise arm " << simd::level_name(level) << " diverged from scalar";
+    } else {
+      for (Index i = 0; i < Fixture::kL; ++i) {
+        for (Index j = 0; j < Fixture::kD; ++j) {
+          ASSERT_LE(ulp_diff(arm_base(i, j), scalar_base(i, j)), kRelaxedUlp)
+              << "relaxed arm " << simd::level_name(level) << " row " << i << " col " << j
+              << ": arm=" << arm_base(i, j) << " scalar=" << scalar_base(i, j);
+        }
+      }
+    }
+
+    for (ExecPolicy policy : schedule_policies()) {
+      policy.simd = level;
+      Matrix<float> out(Fixture::kL, Fixture::kD);
+      call(policy, out);
+      EXPECT_EQ(max_abs_diff(out, arm_base), 0.0)
+          << "threads=" << policy.num_threads << " grain=" << policy.grain
+          << " sched=" << static_cast<int>(policy.schedule)
+          << " simd=" << simd::level_name(policy.simd);
+    }
   }
 }
 

@@ -14,11 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/half.hpp"
 #include "common/rng.hpp"
 #include "core/composed.hpp"
 #include "core/graph_attention.hpp"
 #include "kvcache/kvcache.hpp"
 #include "obs/metrics.hpp"
+#include "simd/simd.hpp"
 #include "sparse/build.hpp"
 #include "sparse/presets.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -750,6 +752,174 @@ TEST(SessionStats, UnproductiveEvictionCountsNowhere) {
   EXPECT_EQ(mgr.stats().evictions, 1u);
   const obs::MetricsSnapshot reg2 = obs::Registry::global().snapshot();
   EXPECT_EQ(reg2.counter("kvcache.evictions"), reg0.counter("kvcache.evictions") + 1);
+}
+
+// --- fp16 (half-width) pages -----------------------------------------
+
+/// Round-trips a matrix through fp16 via the scalar converters: the
+/// exact values an fp16 page serves back at decode time.
+Matrix<float> round_trip_fp16(const Matrix<float>& m) {
+  Matrix<float> out(m.rows(), m.cols());
+  const auto& vo = simd::ops(SimdLevel::Scalar);
+  std::vector<half_t> h(static_cast<std::size_t>(m.cols()));
+  for (Index i = 0; i < m.rows(); ++i) {
+    vo.f2h(h.data(), m.row(i), m.cols());
+    vo.h2f(out.row(i), h.data(), m.cols());
+  }
+  return out;
+}
+
+TEST(Fp16Pages, StoreNarrowsAndCopySlotsMovesHalfPayloads) {
+  BlockPoolConfig cfg{/*page_size=*/4, /*head_dim=*/8, /*num_pages=*/4};
+  cfg.dtype = DType::F16;
+  BlockPool pool(cfg);
+  EXPECT_EQ(pool.dtype(), DType::F16);
+  EXPECT_EQ(pool.row_bytes(), 8 * sizeof(half_t));
+
+  PageTable table;
+  for (Index t = 0; t < 6; ++t) {
+    const auto k = token_row(t, 8, 1.0f);
+    const auto v = token_row(t, 8, 2.0f);
+    ASSERT_TRUE(table.append(pool, k.data(), v.data()));
+  }
+  // Reads come back as the RNE-narrowed bits of what went in.
+  for (Index t = 0; t < 6; ++t) {
+    const auto k = token_row(t, 8, 1.0f);
+    const auto v = token_row(t, 8, 2.0f);
+    for (Index p = 0; p < 8; ++p) {
+      EXPECT_EQ(table.k_row_h(pool, t)[p].bits(), half_t(k[static_cast<std::size_t>(p)]).bits());
+      EXPECT_EQ(table.v_row_h(pool, t)[p].bits(), half_t(v[static_cast<std::size_t>(p)]).bits());
+    }
+  }
+
+  // CoW through copy_slots preserves the half payloads byte-for-byte.
+  PageTable child = table.fork(pool);
+  const auto k6 = token_row(6, 8, 5.0f);
+  const auto v6 = token_row(6, 8, 6.0f);
+  ASSERT_TRUE(child.append(pool, k6.data(), v6.data()));
+  EXPECT_NE(child.pages()[1], table.pages()[1]);
+  for (Index t = 4; t < 6; ++t) {  // the CoW'd slots of the tail page
+    for (Index p = 0; p < 8; ++p) {
+      EXPECT_EQ(child.k_row_h(pool, t)[p].bits(), table.k_row_h(pool, t)[p].bits());
+      EXPECT_EQ(child.v_row_h(pool, t)[p].bits(), table.v_row_h(pool, t)[p].bits());
+    }
+  }
+  EXPECT_EQ(child.k_row_h(pool, 6)[0].bits(), half_t(k6[0]).bits());
+  child.release_all(pool);
+  table.release_all(pool);
+}
+
+TEST(Fp16Pages, DeviceSizedConfigDoublesPageCount) {
+  // The Table II capacity claim in miniature: the same byte budget
+  // yields 2× the pages (hence ~2× the cached sessions) at fp16.
+  const DeviceSpec dev = DeviceSpec::host(1ull << 20);
+  const BlockPoolConfig f32 = pool_config_for_device(dev, 64, 16, 1.0, DType::F32);
+  const BlockPoolConfig f16 = pool_config_for_device(dev, 64, 16, 1.0, DType::F16);
+  EXPECT_EQ(f16.dtype, DType::F16);
+  EXPECT_EQ(f16.num_pages, 2 * f32.num_pages);
+}
+
+TEST(Fp16Pages, DecodeMatchesFp32DecodeOverRoundTrippedInputsBitwise) {
+  // The sharp form of fp16-decode correctness: an fp16-page session is
+  // bit-identical to an fp32-page session fed the round-tripped K/V —
+  // widening is exact and the fp16 fold accumulates the same values in
+  // the same order, so the ONLY difference fp16 pages introduce is the
+  // storage quantisation itself.
+  const Index n = 20, d = 33;
+  Rng rng(77);
+  Matrix<float> q(n, d), k(n, d), v(n, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  const Matrix<float> k_rt = round_trip_fp16(k);
+  const Matrix<float> v_rt = round_trip_fp16(v);
+
+  SessionManager::Config mc16;
+  mc16.pool = {/*page_size=*/4, /*head_dim=*/d, /*num_pages=*/n / 4 + 2};
+  mc16.pool.dtype = DType::F16;
+  SessionManager::Config mc32 = mc16;
+  mc32.pool.dtype = DType::F32;
+  SessionManager mgr16(mc16), mgr32(mc32);
+  mgr16.create(1, MaskSpec::make_local(LocalParams{5}));
+  mgr32.create(1, MaskSpec::make_local(LocalParams{5}));
+
+  std::vector<float> out16(static_cast<std::size_t>(d)), out32(static_cast<std::size_t>(d));
+  for (Index t = 0; t < n; ++t) {
+    mgr16.decode_step(1, q.row(t), k.row(t), v.row(t), out16.data());
+    mgr32.decode_step(1, q.row(t), k_rt.row(t), v_rt.row(t), out32.data());
+    for (Index p = 0; p < d; ++p) {
+      ASSERT_EQ(out16[static_cast<std::size_t>(p)], out32[static_cast<std::size_t>(p)])
+          << "t=" << t << " col " << p;
+    }
+  }
+}
+
+TEST(Fp16Pages, DecodeWithinFp16RepresentationErrorOfFp32Decode) {
+  // Same stream into an fp32-page and an fp16-page manager: outputs
+  // drift only by the fp16 quantisation of the cached K/V. For O(1)
+  // inputs the softmax-weighted combination keeps that within ~2e-3;
+  // 1e-2 is comfortable headroom, and a storage-path bug (wrong row,
+  // garbled narrowing) lands orders of magnitude outside it.
+  const Index n = 24, d = 64;
+  Rng rng(91);
+  Matrix<float> q(n, d), k(n, d), v(n, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+
+  SessionManager::Config mc16;
+  mc16.pool = {/*page_size=*/4, /*head_dim=*/d, /*num_pages=*/n / 4 + 2};
+  mc16.pool.dtype = DType::F16;
+  SessionManager::Config mc32 = mc16;
+  mc32.pool.dtype = DType::F32;
+  SessionManager mgr16(mc16), mgr32(mc32);
+  mgr16.create(1, MaskSpec::make_local(LocalParams{6}));
+  mgr32.create(1, MaskSpec::make_local(LocalParams{6}));
+
+  std::vector<float> out16(static_cast<std::size_t>(d)), out32(static_cast<std::size_t>(d));
+  float worst = 0.0f;
+  for (Index t = 0; t < n; ++t) {
+    mgr16.decode_step(1, q.row(t), k.row(t), v.row(t), out16.data());
+    mgr32.decode_step(1, q.row(t), k.row(t), v.row(t), out32.data());
+    for (Index p = 0; p < d; ++p) {
+      worst = std::max(worst, std::abs(out16[static_cast<std::size_t>(p)] -
+                                       out32[static_cast<std::size_t>(p)]));
+    }
+  }
+  EXPECT_LT(worst, 1e-2f);
+  EXPECT_GT(worst, 0.0f);  // the quantisation is real, not a no-op path
+}
+
+TEST(Fp16Pages, PrefillAndPrefixDedupShareHalfPages) {
+  // The prompt cache works unchanged over fp16 pools: byte verification
+  // compares RNE-narrowed rows (deterministic bits), and the chain tag
+  // keeps fp16 chains disjoint from fp32 chains of the same prompt.
+  const Index d = 16, ps = 4, prompt_len = 8;
+  SessionManager::Config mc;
+  mc.pool = {ps, d, 32};
+  mc.pool.dtype = DType::F16;
+  mc.prefix_dedup = true;
+  SessionManager mgr(mc);
+
+  Rng rng(123);
+  Matrix<float> q(prompt_len, d), k(prompt_len, d), v(prompt_len, d);
+  fill_uniform(q, rng);
+  fill_uniform(k, rng);
+  fill_uniform(v, rng);
+  Matrix<float> out(prompt_len, d);
+  mgr.create(1, MaskSpec::make_local(LocalParams{3}));
+  mgr.prefill(1, q, k, v, out);
+  const Index pages_first = mgr.pool().pages_in_use();
+
+  mgr.create(2, MaskSpec::make_local(LocalParams{3}));
+  Matrix<float> out2(prompt_len, d);
+  mgr.prefill(2, q, k, v, out2);
+  // The second session adopted the full prompt pages by reference.
+  EXPECT_EQ(mgr.stats().pages_deduped, static_cast<Size>(prompt_len / ps));
+  EXPECT_EQ(mgr.pool().pages_in_use(), pages_first);
+  // And its prefill output is identical (attention reads the contiguous
+  // inputs either way).
+  EXPECT_EQ(max_abs_diff(out, out2), 0.0);
 }
 
 }  // namespace

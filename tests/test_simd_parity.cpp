@@ -1,14 +1,35 @@
-// Differential harness pinning the AVX2 dispatch arm to the scalar
-// reference. Every vectorized kernel runs twice — ExecPolicy::simd =
-// Scalar and Avx2 — over randomized shapes chosen to stress the lane
-// machinery: head dims 1..67 (every remainder-lane count), fully-masked
-// rows, ±inf score overflow, and denormal magnitudes. Agreement is
-// asserted row-wise at ≤2 ULP; by the lane contract of src/simd/simd.hpp
-// the arms are in fact bit-identical, so the 2-ULP budget is headroom
-// for future arms (FMA, AVX-512), not slack being consumed today.
+// Differential harness pinning every dispatch arm to the scalar
+// reference, by parity class (src/simd/simd.hpp):
+//
+//  * BITWISE arms (scalar, avx2): bit-identical on every input by the
+//    lane contract. Asserted with ULP distance 0 over randomized shapes
+//    chosen to stress the lane machinery — head dims 1..67 (every
+//    remainder-lane count), fully-masked rows, ±inf score overflow, and
+//    denormal magnitudes. The fp16 ops are in this class too: h->f
+//    widening is exact, f->h is round-to-nearest-even on every arm.
+//
+//  * RELAXED arms (avx2-fma, avx512): FMA rounds a·b+c once where the
+//    contract rounds twice, and 16 lanes reassociate reductions, so
+//    these arms are held to DERIVED error bounds instead of bitwise
+//    equality. The bounds come from the standard summation forward-
+//    error model: any order of accumulating n rounded products p_i
+//    lands within gamma_n·Σ|p_i| of the exact value, gamma_n = n·u
+//    (u = 2^-24, first order), so two different orders differ by at
+//    most 2·gamma_n·Σ|p_i|. The harness computes that bound per CALL —
+//    per reduction length n and per input magnitude profile — plus a
+//    tiny absolute slack for the denormal floor where relative bounds
+//    vanish. Element-wise FMA updates (axpby) use the two-term analog
+//    2u·(|alpha·acc| + |beta·v|). reduce_max, scale, h2f, and f2h do
+//    no reassociated additions and stay BITWISE across all four arms.
+//
+// Kernel-level differentials run the same sweep per class: bitwise arms
+// at ULP 0..2, relaxed arms under an empirical-but-stable kernel bound
+// (each arm is deterministic by construction, so the observed distance
+// is a property of the code, not the host — see kRelaxedKernelUlp).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -19,6 +40,7 @@
 #include "baselines/sdp_masked.hpp"
 #include "common/rng.hpp"
 #include "core/graph_attention.hpp"
+#include "core/kernel_common.hpp"
 #include "core/spmm_attention.hpp"
 #include "simd/simd.hpp"
 #include "sparse/build.hpp"
@@ -32,6 +54,20 @@ namespace {
 constexpr float kInf = std::numeric_limits<float>::infinity();
 
 bool avx2_arm_available() { return simd::resolve(SimdLevel::Avx2) == SimdLevel::Avx2; }
+
+/// The relaxed arms this build + CPU can actually run (possibly empty —
+/// every relaxed test degrades to vacuous-pass on an ISA-lacking host,
+/// which is what lets the forced-level CI legs stay green anywhere).
+const std::vector<SimdLevel>& relaxed_levels() {
+  static const std::vector<SimdLevel> levels = [] {
+    std::vector<SimdLevel> out;
+    for (const SimdLevel l : simd::available_levels()) {
+      if (!simd::is_bitwise_level(l)) out.push_back(l);
+    }
+    return out;
+  }();
+  return levels;
+}
 
 /// Maps a float onto the integer line so that adjacent representable
 /// values differ by 1 (the standard monotone ULP embedding).
@@ -51,15 +87,36 @@ std::int64_t ulp_diff(float a, float b) {
 
 constexpr std::int64_t kMaxUlp = 2;
 
-void expect_matrices_close(const Matrix<float>& scalar, const Matrix<float>& avx2) {
-  ASSERT_TRUE(scalar.same_shape(avx2));
-  for (Index i = 0; i < scalar.rows(); ++i) {
-    for (Index j = 0; j < scalar.cols(); ++j) {
-      const std::int64_t d = ulp_diff(scalar(i, j), avx2(i, j));
-      ASSERT_LE(d, kMaxUlp) << "row " << i << " col " << j << ": scalar=" << scalar(i, j)
-                            << " avx2=" << avx2(i, j);
+/// Kernel-level budget for the relaxed arms vs scalar. Score drift is a
+/// few ULP (bounded by the summation model over 2·d-term dots), exp()
+/// turns that into a matching relative error of each softmax weight,
+/// and the normalized output is a convex combination of O(1) V rows —
+/// so the observed distance stays in the tens of ULP across the whole
+/// sweep. 64 gives ~4× headroom over what the current arms measure;
+/// both arms are deterministic by construction, so the measurement is a
+/// property of the code, not the host.
+constexpr std::int64_t kRelaxedKernelUlp = 64;
+
+/// Unit roundoff of binary32 (2^-24).
+constexpr double kU = 5.9604644775390625e-8;
+/// Absolute slack absorbing the denormal floor, where relative bounds
+/// vanish (~70 denormal ULPs; smallest denormal is 1.4e-45).
+constexpr double kDenormSlack = 1e-43;
+
+void expect_matrices_ulp(const Matrix<float>& ref, const Matrix<float>& got,
+                         std::int64_t max_ulp, const char* tag) {
+  ASSERT_TRUE(ref.same_shape(got));
+  for (Index i = 0; i < ref.rows(); ++i) {
+    for (Index j = 0; j < ref.cols(); ++j) {
+      const std::int64_t d = ulp_diff(ref(i, j), got(i, j));
+      ASSERT_LE(d, max_ulp) << tag << " row " << i << " col " << j << ": ref=" << ref(i, j)
+                            << " got=" << got(i, j);
     }
   }
+}
+
+void expect_matrices_close(const Matrix<float>& scalar, const Matrix<float>& avx2) {
+  expect_matrices_ulp(scalar, avx2, kMaxUlp, "bitwise");
 }
 
 /// Every remainder-lane count at least twice, plus the paper's d=64.
@@ -91,18 +148,28 @@ Inputs make_inputs(Index L, Index d, std::uint64_t seed, float scale_factor = 1.
   return in;
 }
 
-/// Runs `call(opts, out)` under both dispatch arms and compares.
+/// Runs `call(opts, out)` under every dispatch arm and compares against
+/// scalar: bitwise arms at ≤kMaxUlp, relaxed arms at ≤kRelaxedKernelUlp.
+/// `include_relaxed = false` restricts to the bitwise class, for inputs
+/// (mixed-sign ±inf overflow) where reassociation changes which infinity
+/// a dot lands on and no cross-class bound exists.
 template <typename CallFn>
-void expect_arm_parity(Index L, Index d, const CallFn& call) {
+void expect_arm_parity(Index L, Index d, const CallFn& call, bool include_relaxed = true) {
   if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
-  Matrix<float> scalar_out(L, d), avx2_out(L, d);
+  Matrix<float> scalar_out(L, d);
   AttentionOptions opts;
   opts.policy = ExecPolicy::serial();
   opts.policy.simd = SimdLevel::Scalar;
   call(opts, scalar_out);
-  opts.policy.simd = SimdLevel::Avx2;
-  call(opts, avx2_out);
-  expect_matrices_close(scalar_out, avx2_out);
+  for (const SimdLevel level : simd::available_levels()) {
+    if (level == SimdLevel::Scalar) continue;
+    if (!include_relaxed && !simd::is_bitwise_level(level)) continue;
+    Matrix<float> arm_out(L, d);
+    opts.policy.simd = level;
+    call(opts, arm_out);
+    const std::int64_t budget = simd::is_bitwise_level(level) ? kMaxUlp : kRelaxedKernelUlp;
+    expect_matrices_ulp(scalar_out, arm_out, budget, simd::level_name(level).data());
+  }
 }
 
 // --- Primitive parity (bitwise: the lane contract itself) --------------
@@ -152,19 +219,22 @@ TEST(SimdPrimitives, AllOpsBitwiseEqualAcrossLengthsAndMagnitudes) {
 }
 
 TEST(SimdPrimitives, ReductionIdentitiesOnEmptyInput) {
-  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+  for (const SimdLevel level : simd::available_levels()) {
     const auto& vo = simd::ops(level);
     EXPECT_EQ(vo.dot(nullptr, nullptr, 0), 0.0f);
     EXPECT_EQ(vo.reduce_sum(nullptr, 0), 0.0f);
     EXPECT_EQ(vo.reduce_max(nullptr, 0), -kInf);
+    EXPECT_EQ(vo.dot_h(nullptr, nullptr, 0), 0.0f);
+    EXPECT_EQ(vo.dot_fh(nullptr, nullptr, 0), 0.0f);
   }
 }
 
 TEST(SimdPrimitives, ReduceMaxSeesTailBeyondFullBlocks) {
   // The maximum hidden in every tail position: a masked-load bug that
   // zeroes dead lanes would miss it (or fabricate a 0 max — the failure
-  // mode behind the fully-masked-row regression below).
-  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+  // mode behind the fully-masked-row regression below). reduce_max is
+  // bitwise on every arm, relaxed included, so all arms run here.
+  for (const SimdLevel level : simd::available_levels()) {
     const auto& vo = simd::ops(level);
     for (Index n = 1; n <= 24; ++n) {
       std::vector<float> x(static_cast<std::size_t>(n), -5.0f);
@@ -172,6 +242,282 @@ TEST(SimdPrimitives, ReduceMaxSeesTailBeyondFullBlocks) {
       EXPECT_EQ(vo.reduce_max(x.data(), n), -1.0f) << "n=" << n;
       std::vector<float> all_masked(static_cast<std::size_t>(n), -kInf);
       EXPECT_EQ(vo.reduce_max(all_masked.data(), n), -kInf) << "n=" << n;
+    }
+  }
+}
+
+// --- fp16 primitives: the bitwise class extends to half storage --------
+
+std::vector<half_t> narrow(const std::vector<float>& src) {
+  std::vector<half_t> out(src.size());
+  if (!src.empty()) {
+    simd::ops(SimdLevel::Scalar).f2h(out.data(), src.data(), static_cast<Index>(src.size()));
+  }
+  return out;
+}
+
+std::vector<float> widen(const std::vector<half_t>& src) {
+  std::vector<float> out(src.size());
+  if (!src.empty()) {
+    simd::ops(SimdLevel::Scalar).h2f(out.data(), src.data(), static_cast<Index>(src.size()));
+  }
+  return out;
+}
+
+TEST(SimdPrimitives, Fp16OpsBitwiseEqualAcrossBitwiseArms) {
+  if (!avx2_arm_available()) GTEST_SKIP() << "AVX2 arm unavailable on this build/CPU";
+  const auto& scalar = simd::ops(SimdLevel::Scalar);
+  const auto& avx2 = simd::ops(SimdLevel::Avx2);
+  // 1e-6 lands products in the half-denormal band, 8.0 keeps everything
+  // normal; widening is exact either way, so the lane contract carries
+  // the bitwise guarantee over to half storage unchanged.
+  for (const float mul : {1.0f, 1e-6f, 8.0f}) {
+    for (Index n = 0; n <= 67; ++n) {
+      const auto af = random_buffer(n, 2900 + static_cast<std::uint64_t>(n), mul);
+      const auto bf = random_buffer(n, 3900 + static_cast<std::uint64_t>(n), mul);
+      const auto ah = narrow(af);
+      const auto bh = narrow(bf);
+      SCOPED_TRACE(testing::Message() << "n=" << n << " mul=" << mul);
+
+      EXPECT_EQ(ulp_diff(scalar.dot_h(ah.data(), bh.data(), n), avx2.dot_h(ah.data(), bh.data(), n)),
+                0);
+      EXPECT_EQ(
+          ulp_diff(scalar.dot_fh(af.data(), bh.data(), n), avx2.dot_fh(af.data(), bh.data(), n)),
+          0);
+
+      auto acc_s = af, acc_v = af;
+      scalar.axpby_h(acc_s.data(), 0.25f, 1.75f, bh.data(), n);
+      avx2.axpby_h(acc_v.data(), 0.25f, 1.75f, bh.data(), n);
+      scalar.axpy_h(acc_s.data(), -0.5f, bh.data(), n);
+      avx2.axpy_h(acc_v.data(), -0.5f, bh.data(), n);
+      for (Index i = 0; i < n; ++i) {
+        EXPECT_EQ(
+            ulp_diff(acc_s[static_cast<std::size_t>(i)], acc_v[static_cast<std::size_t>(i)]), 0);
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, ConvertOpsBitwiseAcrossAllArms) {
+  // h2f is an exact widening and f2h rounds to nearest-even on every
+  // arm — including the relaxed ones — so fp16 page payloads never
+  // depend on the dispatch decision. Pin all arms against scalar.
+  const auto& scalar = simd::ops(SimdLevel::Scalar);
+  for (const SimdLevel level : simd::available_levels()) {
+    const auto& vo = simd::ops(level);
+    for (const float mul : {1.0f, 1e-6f, 1e6f}) {  // 1e6f overflows half -> ±inf
+      for (Index n = 0; n <= 67; ++n) {
+        SCOPED_TRACE(testing::Message()
+                     << "level=" << simd::level_name(level) << " n=" << n << " mul=" << mul);
+        const auto f = random_buffer(n, 4900 + static_cast<std::uint64_t>(n), mul);
+        std::vector<half_t> h_ref(f.size()), h_got(f.size());
+        if (n > 0) {
+          scalar.f2h(h_ref.data(), f.data(), n);
+          vo.f2h(h_got.data(), f.data(), n);
+        }
+        for (Index i = 0; i < n; ++i) {
+          EXPECT_EQ(h_ref[static_cast<std::size_t>(i)].bits(),
+                    h_got[static_cast<std::size_t>(i)].bits());
+        }
+        std::vector<float> w_ref(f.size()), w_got(f.size());
+        if (n > 0) {
+          scalar.h2f(w_ref.data(), h_ref.data(), n);
+          vo.h2f(w_got.data(), h_ref.data(), n);
+        }
+        for (Index i = 0; i < n; ++i) {
+          EXPECT_EQ(ulp_diff(w_ref[static_cast<std::size_t>(i)], w_got[static_cast<std::size_t>(i)]),
+                    0);
+        }
+      }
+    }
+  }
+}
+
+// --- Relaxed arms: derived per-length error bounds ---------------------
+
+/// Two different accumulation orders of n rounded products each land
+/// within gamma_n·Σ|p_i| of the exact dot (gamma_n = n·u to first
+/// order), so they differ by at most twice that, plus the denormal
+/// floor. The bound is computed per call from the actual inputs —
+/// this is the "per reduction length" derivation the header documents.
+double dot_bound(const float* a, const float* b, Index n) {
+  double mag = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    mag += std::abs(static_cast<double>(a[i]) * static_cast<double>(b[i]));
+  }
+  return 2.0 * static_cast<double>(n) * kU * mag + kDenormSlack;
+}
+
+double sum_bound(const float* x, Index n) {
+  double mag = 0.0;
+  for (Index i = 0; i < n; ++i) mag += std::abs(static_cast<double>(x[i]));
+  return 2.0 * static_cast<double>(n) * kU * mag + kDenormSlack;
+}
+
+/// Element-wise two-term analog for acc·alpha + beta·v: one fused vs
+/// two separate roundings differ by at most u·(|alpha·acc| + |beta·v|)
+/// each way.
+double fma_elem_bound(float acc, float alpha, float beta, float v) {
+  return 2.0 * kU *
+             (std::abs(static_cast<double>(acc) * alpha) +
+              std::abs(static_cast<double>(beta) * v)) +
+         kDenormSlack;
+}
+
+TEST(SimdPrimitives, RelaxedArmsWithinDerivedBounds) {
+  if (relaxed_levels().empty()) GTEST_SKIP() << "no relaxed arm on this build/CPU";
+  const auto& scalar = simd::ops(SimdLevel::Scalar);
+  for (const SimdLevel level : relaxed_levels()) {
+    const auto& vo = simd::ops(level);
+    // 1e-40 drives products into the denormal floor, 1e10 keeps partial
+    // sums huge but finite (decisive overflow is its own test below).
+    for (const float mul : {1.0f, 1e-40f, 1e10f}) {
+      for (Index n = 0; n <= 67; ++n) {
+        SCOPED_TRACE(testing::Message()
+                     << "level=" << simd::level_name(level) << " n=" << n << " mul=" << mul);
+        const auto a = random_buffer(n, 5900 + static_cast<std::uint64_t>(n), mul);
+        const auto b = random_buffer(n, 6900 + static_cast<std::uint64_t>(n), mul);
+
+        EXPECT_LE(std::abs(static_cast<double>(vo.dot(a.data(), b.data(), n)) -
+                           static_cast<double>(scalar.dot(a.data(), b.data(), n))),
+                  dot_bound(a.data(), b.data(), n));
+        EXPECT_LE(std::abs(static_cast<double>(vo.reduce_sum(a.data(), n)) -
+                           static_cast<double>(scalar.reduce_sum(a.data(), n))),
+                  sum_bound(a.data(), n));
+        // max and scale involve no reassociated additions: bitwise even
+        // on the relaxed arms.
+        EXPECT_EQ(ulp_diff(vo.reduce_max(a.data(), n), scalar.reduce_max(a.data(), n)), 0);
+        auto x_s = a, x_v = a;
+        scalar.scale(x_s.data(), 3.0f, n);
+        vo.scale(x_v.data(), 3.0f, n);
+        for (Index i = 0; i < n; ++i) {
+          EXPECT_EQ(ulp_diff(x_s[static_cast<std::size_t>(i)], x_v[static_cast<std::size_t>(i)]),
+                    0);
+        }
+
+        auto acc_s = b, acc_v = b;
+        scalar.axpby(acc_s.data(), 0.25f, 1.75f, a.data(), n);
+        vo.axpby(acc_v.data(), 0.25f, 1.75f, a.data(), n);
+        for (Index i = 0; i < n; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          EXPECT_LE(std::abs(static_cast<double>(acc_v[k]) - static_cast<double>(acc_s[k])),
+                    fma_elem_bound(b[k], 0.25f, 1.75f, a[k]));
+        }
+        acc_s = b;
+        acc_v = b;
+        scalar.axpy(acc_s.data(), -0.5f, a.data(), n);
+        vo.axpy(acc_v.data(), -0.5f, a.data(), n);
+        for (Index i = 0; i < n; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          EXPECT_LE(std::abs(static_cast<double>(acc_v[k]) - static_cast<double>(acc_s[k])),
+                    fma_elem_bound(b[k], 1.0f, -0.5f, a[k]));
+        }
+      }
+    }
+    // fp16 ops: widening is exact, so the same dot bound applies over
+    // the widened values.
+    for (Index n = 0; n <= 67; ++n) {
+      SCOPED_TRACE(testing::Message() << "level=" << simd::level_name(level) << " fp16 n=" << n);
+      const auto af = random_buffer(n, 7900 + static_cast<std::uint64_t>(n), 4.0f);
+      const auto bf = random_buffer(n, 8900 + static_cast<std::uint64_t>(n), 4.0f);
+      const auto ah = narrow(af);
+      const auto bh = narrow(bf);
+      const auto aw = widen(ah);
+      const auto bw = widen(bh);
+      EXPECT_LE(std::abs(static_cast<double>(vo.dot_h(ah.data(), bh.data(), n)) -
+                         static_cast<double>(scalar.dot_h(ah.data(), bh.data(), n))),
+                dot_bound(aw.data(), bw.data(), n));
+      EXPECT_LE(std::abs(static_cast<double>(vo.dot_fh(af.data(), bh.data(), n)) -
+                         static_cast<double>(scalar.dot_fh(af.data(), bh.data(), n))),
+                dot_bound(af.data(), bw.data(), n));
+      auto acc_s = af, acc_v = af;
+      scalar.axpby_h(acc_s.data(), 0.25f, 1.75f, bh.data(), n);
+      vo.axpby_h(acc_v.data(), 0.25f, 1.75f, bh.data(), n);
+      for (Index i = 0; i < n; ++i) {
+        const auto k = static_cast<std::size_t>(i);
+        EXPECT_LE(std::abs(static_cast<double>(acc_v[k]) - static_cast<double>(acc_s[k])),
+                  fma_elem_bound(af[k], 0.25f, 1.75f, bw[k]));
+      }
+    }
+  }
+}
+
+TEST(SimdPrimitives, RelaxedArmsAgreeOnDecisiveOverflow) {
+  // All-positive inputs at 1e20: every accumulation order is monotone
+  // increasing, so every arm lands on exactly +inf — no inf-inf NaNs,
+  // no near-threshold rounding races. (MIXED-sign overflow is NOT an
+  // across-class invariant: a reassociated sum can hit +inf and -inf in
+  // different partials, so that case is pinned on the bitwise arms
+  // only.)
+  const auto& scalar = simd::ops(SimdLevel::Scalar);
+  for (const SimdLevel level : relaxed_levels()) {
+    const auto& vo = simd::ops(level);
+    for (Index n = 1; n <= 35; ++n) {
+      std::vector<float> a(static_cast<std::size_t>(n), 1e20f);
+      std::vector<float> b(static_cast<std::size_t>(n), 2e19f);
+      SCOPED_TRACE(testing::Message() << "level=" << simd::level_name(level) << " n=" << n);
+      EXPECT_EQ(scalar.dot(a.data(), b.data(), n), kInf);
+      EXPECT_EQ(vo.dot(a.data(), b.data(), n), kInf);
+      std::vector<float> big(static_cast<std::size_t>(n), 3e38f);
+      EXPECT_EQ(scalar.reduce_sum(big.data(), n), n == 1 ? 3e38f : kInf);
+      EXPECT_EQ(vo.reduce_sum(big.data(), n), n == 1 ? 3e38f : kInf);
+    }
+  }
+}
+
+// --- fp16 fold parity: half pages vs the scalar-convert reference ------
+
+TEST(SimdFp16Fold, MatchesScalarConvertReferenceAcrossArms) {
+  // The decode path folds fp16 K/V pages via fold_edge_rows_fh. The
+  // reference widens the SAME half payloads back to fp32 (exact) and
+  // runs the plain float fold on the scalar arm: bitwise arms must
+  // reproduce it bit-for-bit (the lane contract runs over identical
+  // widened values); relaxed arms stay inside the kernel ULP budget.
+  const Index kEdges = 20;
+  for (const Index d : {Index{1}, Index{7}, Index{16}, Index{33}, Index{64}, Index{67}}) {
+    SCOPED_TRACE(testing::Message() << "d=" << d);
+    const auto in = make_inputs(kEdges, d, 9900 + static_cast<std::uint64_t>(d));
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    // Narrow every K/V row to the half payloads a page would hold.
+    std::vector<half_t> kh(static_cast<std::size_t>(kEdges * d));
+    std::vector<half_t> vh(static_cast<std::size_t>(kEdges * d));
+    const auto& scalar_ops = simd::ops(SimdLevel::Scalar);
+    for (Index j = 0; j < kEdges; ++j) {
+      scalar_ops.f2h(kh.data() + static_cast<std::size_t>(j * d), in.k.row(j), d);
+      scalar_ops.f2h(vh.data() + static_cast<std::size_t>(j * d), in.v.row(j), d);
+    }
+    // Reference: exact widening, then the float fold on the scalar arm.
+    Matrix<float> kw(kEdges, d), vw(kEdges, d);
+    for (Index j = 0; j < kEdges; ++j) {
+      scalar_ops.h2f(kw.row(j), kh.data() + static_cast<std::size_t>(j * d), d);
+      scalar_ops.h2f(vw.row(j), vh.data() + static_cast<std::size_t>(j * d), d);
+    }
+    std::vector<float> acc_ref(static_cast<std::size_t>(d), 0.0f);
+    OnlineSoftmaxRow osr_ref;
+    for (Index j = 0; j < kEdges; ++j) {
+      detail::fold_edge_rows(in.q.row(0), kw.row(j), vw.row(j), d, scale, 1.0f, false, osr_ref,
+                             acc_ref.data(), scalar_ops);
+    }
+
+    for (const SimdLevel level : simd::available_levels()) {
+      SCOPED_TRACE(testing::Message() << "level=" << simd::level_name(level));
+      const auto& vo = simd::ops(level);
+      std::vector<float> acc(static_cast<std::size_t>(d), 0.0f);
+      OnlineSoftmaxRow osr;
+      for (Index j = 0; j < kEdges; ++j) {
+        detail::fold_edge_rows_fh(in.q.row(0), kh.data() + static_cast<std::size_t>(j * d),
+                                  vh.data() + static_cast<std::size_t>(j * d), d, scale, 1.0f,
+                                  false, osr, acc.data(), vo);
+      }
+      const std::int64_t budget = simd::is_bitwise_level(level) ? 0 : kRelaxedKernelUlp;
+      EXPECT_LE(ulp_diff(osr.m, osr_ref.m), budget);
+      EXPECT_LE(ulp_diff(osr.l, osr_ref.l), budget);
+      for (Index i = 0; i < d; ++i) {
+        ASSERT_LE(ulp_diff(acc[static_cast<std::size_t>(i)], acc_ref[static_cast<std::size_t>(i)]),
+                  budget)
+            << "col " << i;
+      }
     }
   }
 }
@@ -335,18 +681,29 @@ TEST(SimdKernelParity, GemmBothOrientations) {
 
 TEST(SimdKernelParity, InfiniteScoresFromOverflowingDots) {
   // Inputs around ±1e20: d=64 dots overflow to ±inf after scaling, so
-  // the online softmax walks its ±inf branches identically on both arms.
+  // the online softmax walks its ±inf branches identically on both
+  // bitwise arms. Relaxed arms are excluded: a reassociated mixed-sign
+  // sum can land on a different infinity (or inf-inf NaN) than the
+  // scalar order, so cross-class agreement is not an invariant here —
+  // decisive monotone overflow is pinned for them in
+  // RelaxedArmsAgreeOnDecisiveOverflow.
   const Index L = 32;
   for (const Index d : {Index{9}, Index{64}}) {
     SCOPED_TRACE(testing::Message() << "d=" << d);
     const auto in = make_inputs(L, d, 700 + static_cast<std::uint64_t>(d), 1e20f);
     const auto mask = build_csr_random(L, RandomParams{0.4, 19});
-    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
-      csr_attention(in.q, in.k, in.v, mask, out, opts);
-    });
-    expect_arm_parity(L, d, [&](const AttentionOptions& opts, Matrix<float>& out) {
-      baselines::flash_attention(in.q, in.k, in.v, out, opts);
-    });
+    expect_arm_parity(
+        L, d,
+        [&](const AttentionOptions& opts, Matrix<float>& out) {
+          csr_attention(in.q, in.k, in.v, mask, out, opts);
+        },
+        /*include_relaxed=*/false);
+    expect_arm_parity(
+        L, d,
+        [&](const AttentionOptions& opts, Matrix<float>& out) {
+          baselines::flash_attention(in.q, in.k, in.v, out, opts);
+        },
+        /*include_relaxed=*/false);
   }
 }
 
@@ -369,7 +726,9 @@ TEST(SimdKernelParity, FullyMaskedRowsStayZeroOnBothArms) {
   // Rows ≡ 0 (mod 3) have no neighbors at all.
   const auto mask = build_csr_from_predicate(
       L, [](Index i, Index j) { return i % 3 != 0 && (i + j) % 4 == 0; });
-  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+  // The zero-row convention is exact on every arm, relaxed included:
+  // no neighbors means no arithmetic at all.
+  for (const SimdLevel level : simd::available_levels()) {
     AttentionOptions opts;
     opts.policy.simd = level;
     Matrix<float> out(L, d);
@@ -390,7 +749,7 @@ TEST(SimdKernelParity, FullyMaskedRowsStayZeroOnBothArms) {
 // distribution — the scalar path only ever got this right because it
 // never had dead lanes. The vector arm must seed dead lanes with -inf.
 TEST(SimdSoftmaxRegression, FullyMaskedRowAllZeroOnVectorPath) {
-  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+  for (const SimdLevel level : simd::available_levels()) {
     for (const Index cols : {Index{3}, Index{8}, Index{13}, Index{16}, Index{21}}) {
       Matrix<float> s(3, cols);
       Rng rng(1000);
@@ -409,7 +768,7 @@ TEST(SimdSoftmaxRegression, FullyMaskedRowAllZeroOnVectorPath) {
 }
 
 TEST(SimdSoftmaxRegression, FoldTileOfFullyMaskedScoresLeavesStateEmpty) {
-  for (const SimdLevel level : {SimdLevel::Scalar, SimdLevel::Avx2}) {
+  for (const SimdLevel level : simd::available_levels()) {
     const auto& vo = simd::ops(level);
     OnlineSoftmaxRow osr;
     std::vector<float> tile(11, -kInf);
@@ -434,6 +793,80 @@ TEST(SimdDispatch, ResolveClampsToAvailability) {
     EXPECT_EQ(avx2, SimdLevel::Scalar);
   }
   EXPECT_NE(simd::resolve(SimdLevel::Auto), SimdLevel::Auto);
+
+  // The new tiers clamp DOWN, never up, and never to Auto: a forced
+  // avx512 request on an AVX2-only host runs the best arm at or below
+  // the request instead of crashing or silently upgrading.
+  const SimdLevel fma = simd::resolve(SimdLevel::Avx2Fma);
+  EXPECT_TRUE(fma == SimdLevel::Avx2Fma || fma == SimdLevel::Avx2 || fma == SimdLevel::Scalar);
+  if (simd::compiled_with_avx2_fma() && simd::cpu_supports_avx2_fma()) {
+    EXPECT_EQ(fma, SimdLevel::Avx2Fma);
+  }
+  const SimdLevel a512 = simd::resolve(SimdLevel::Avx512);
+  EXPECT_NE(a512, SimdLevel::Auto);
+  if (simd::compiled_with_avx512() && simd::cpu_supports_avx512()) {
+    EXPECT_EQ(a512, SimdLevel::Avx512);
+  } else {
+    // Clamp lands at or below the request.
+    EXPECT_TRUE(a512 == SimdLevel::Avx2Fma || a512 == SimdLevel::Avx2 ||
+                a512 == SimdLevel::Scalar);
+  }
+}
+
+TEST(SimdDispatch, ParityClassesAndLevelEnumeration) {
+  EXPECT_TRUE(simd::is_bitwise_level(SimdLevel::Scalar));
+  EXPECT_TRUE(simd::is_bitwise_level(SimdLevel::Avx2));
+  EXPECT_FALSE(simd::is_bitwise_level(SimdLevel::Avx2Fma));
+  EXPECT_FALSE(simd::is_bitwise_level(SimdLevel::Avx512));
+
+  const auto avail = simd::available_levels();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), SimdLevel::Scalar);
+  for (std::size_t i = 0; i < avail.size(); ++i) {
+    // Available means runnable: every enumerated level resolves to
+    // itself, and the list ascends strictly.
+    EXPECT_EQ(simd::resolve(avail[i]), avail[i]);
+    if (i > 0) {
+      EXPECT_LT(static_cast<int>(avail[i - 1]), static_cast<int>(avail[i]));
+    }
+  }
+
+  const auto compiled = simd::compiled_levels();
+  ASSERT_FALSE(compiled.empty());
+  EXPECT_EQ(compiled.front(), SimdLevel::Scalar);
+  // Everything runnable was necessarily compiled.
+  for (const SimdLevel l : avail) {
+    EXPECT_NE(std::find(compiled.begin(), compiled.end(), l), compiled.end())
+        << simd::level_name(l);
+  }
+}
+
+TEST(SimdDispatch, ParseLevelRoundTripsAndRejectsUnknown) {
+  // Round trip: every enum value's canonical name parses back to it.
+  for (const SimdLevel l : {SimdLevel::Auto, SimdLevel::Scalar, SimdLevel::Avx2,
+                            SimdLevel::Avx2Fma, SimdLevel::Avx512}) {
+    SimdLevel out = SimdLevel::Scalar;
+    EXPECT_TRUE(simd::parse_level(simd::level_name(l), out)) << simd::level_name(l);
+    EXPECT_EQ(out, l);
+  }
+  // Accepted aliases and case-insensitivity (the GPA_SIMD env spellings).
+  SimdLevel out = SimdLevel::Scalar;
+  EXPECT_TRUE(simd::parse_level("AVX2-FMA", out));
+  EXPECT_EQ(out, SimdLevel::Avx2Fma);
+  EXPECT_TRUE(simd::parse_level("avx2fma", out));
+  EXPECT_EQ(out, SimdLevel::Avx2Fma);
+  EXPECT_TRUE(simd::parse_level("fma", out));
+  EXPECT_EQ(out, SimdLevel::Avx2Fma);
+  EXPECT_TRUE(simd::parse_level("", out));
+  EXPECT_EQ(out, SimdLevel::Auto);
+  // Unknown names are rejected and leave `out` untouched — the env path
+  // turns this signal into a one-time warning + Auto fallback instead
+  // of UB or a silent scalar downgrade.
+  out = SimdLevel::Avx2;
+  EXPECT_FALSE(simd::parse_level("bogus", out));
+  EXPECT_FALSE(simd::parse_level("avx-512", out));
+  EXPECT_FALSE(simd::parse_level("sse", out));
+  EXPECT_EQ(out, SimdLevel::Avx2);
 }
 
 TEST(SimdDispatch, ForceLevelOverridesAutoButNotExplicit) {

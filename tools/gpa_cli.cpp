@@ -781,7 +781,9 @@ int cmd_cluster_bench(const Args& args) {
 #endif  // !_WIN32
 
 /// `gpa stats <host:port>` — scrape a live node's registry snapshot over
-/// Op::Stats and print the text exposition (or JSON with --json).
+/// Op::Stats and print the text exposition (or JSON with --json). With
+/// --watch <sec> the node is scraped twice, <sec> apart, and counters
+/// are printed as per-second rates (gauges as the second sample).
 int cmd_stats(const Args& args) {
   std::string host = args.get("host", "127.0.0.1");
   long long port = args.get_index("port", 0);
@@ -795,23 +797,62 @@ int cmd_stats(const Args& args) {
     }
   }
   GPA_CHECK(port > 0 && port <= 65535, "stats requires <host:port> (or --host/--port)");
-  auto t = net::TcpTransport::connect(host, static_cast<std::uint16_t>(port),
-                                      net::Millis{5000}, net::Millis{10000});
-  GPA_CHECK(t != nullptr, "stats: connect to " + host + ":" + std::to_string(port) + " failed");
-  net::RpcClient rpc(*t);
-  net::Writer w;
-  w.u8(1);
-  const auto body = rpc.call(net::Op::Stats, std::move(w.buf));
-  net::Reader r(body);
-  obs::MetricsSnapshot snap;
-  GPA_CHECK(net::get_metrics_snapshot(r, snap) && r.done(), "stats: bad response body");
-  std::cout << (args.flag("json") ? snap.to_json() + "\n" : snap.to_text());
+  auto scrape = [&] {
+    auto t = net::TcpTransport::connect(host, static_cast<std::uint16_t>(port),
+                                        net::Millis{5000}, net::Millis{10000});
+    GPA_CHECK(t != nullptr, "stats: connect to " + host + ":" + std::to_string(port) + " failed");
+    net::RpcClient rpc(*t);
+    net::Writer w;
+    w.u8(1);
+    const auto body = rpc.call(net::Op::Stats, std::move(w.buf));
+    net::Reader r(body);
+    obs::MetricsSnapshot snap;
+    GPA_CHECK(net::get_metrics_snapshot(r, snap) && r.done(), "stats: bad response body");
+    return snap;
+  };
+
+  const Index watch_s = args.get_index("watch", 0);
+  if (watch_s <= 0) {
+    const auto snap = scrape();
+    std::cout << (args.flag("json") ? snap.to_json() + "\n" : snap.to_text());
+    return 0;
+  }
+
+  // --watch: two scrapes bracketing a wall-clock interval. Rates use
+  // the measured elapsed time, not the requested one, so a slow connect
+  // doesn't inflate them.
+  const auto first = scrape();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::seconds(watch_s));
+  const auto second = scrape();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::cout << "# rates over " << elapsed << " s (counters: delta/s; gauges: current)\n";
+  for (const auto& c : second.counters) {
+    double v0 = 0.0;
+    for (const auto& p : first.counters) {
+      if (p.name == c.name) {
+        v0 = static_cast<double>(p.value);
+        break;
+      }
+    }
+    std::cout << c.name << " " << (static_cast<double>(c.value) - v0) / elapsed << "/s\n";
+  }
+  for (const auto& g : second.gauges) std::cout << g.name << " " << g.value << "\n";
   return 0;
 }
 
 int cmd_version() {
+  // Resolved = the arm Auto dispatches to right now (after GPA_SIMD and
+  // the cpuid clamp); compiled = every arm this binary carries.
+  std::string compiled;
+  for (const SimdLevel l : simd::compiled_levels()) {
+    if (!compiled.empty()) compiled += ",";
+    compiled += std::string(simd::level_name(l));
+  }
   std::cout << "gpa " << kVersion << " (" << kBuildType << ", parallel backend: "
-            << parallel_backend() << ", simd: " << simd::simd_backend() << ")\n";
+            << parallel_backend() << ", simd: " << simd::simd_backend()
+            << ", simd compiled: " << compiled << ")\n";
   return 0;
 }
 
@@ -832,6 +873,7 @@ void usage() {
             << "       to the in-process sim_cluster oracle, then a routed decode burst;\n"
             << "       ends with a per-node stats line scraped over Op::Stats)\n"
             << "  gpa stats 127.0.0.1:9000 [--json]   (scrape a live gpa_serve node)\n"
+            << "  gpa stats 127.0.0.1:9000 --watch 5  (two scrapes, counters as per-second rates)\n"
             << "  gpa serve-bench ... --trace trace.json   (Chrome trace of the run)\n";
 }
 
